@@ -1,0 +1,18 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper at a scaled
+size, prints the rows/series it produces (run with ``-s`` to see them), and
+asserts the *shape* the paper reports — who wins, by roughly what factor,
+where the crossovers fall. Timing comes from pytest-benchmark; each
+experiment runs exactly once (``rounds=1``) because the experiments
+themselves are the workload, not micro-operations.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,87 @@
+"""Ablation A7 — Astrolabe-style aggregation vs. self-selection.
+
+Section 2: "Astrolabe can easily provide (approximate) information on how
+many nodes fit an application's requirements, but cannot efficiently
+produce the list of nodes themselves." We quantify all three clauses:
+counting is one message, counts are approximate under correlation, and
+enumeration sweeps the tree while the cell overlay touches essentially only
+the answer.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.baselines.astrolabe import AstrolabeTree
+from repro.experiments import SCALED_PEERSIM, build_deployment, measure_queries
+from repro.workloads.distributions import clustered_sampler
+from repro.workloads.queries import aligned_selectivity_query
+
+SIZE = 1_500
+
+
+def run_comparison():
+    config = SCALED_PEERSIM.scaled(SIZE)
+    schema = config.schema()
+    # A clustered (correlated) population: the regime that breaks
+    # marginal-histogram count estimates.
+    sampler = clustered_sampler(schema, clusters=6, seed=3)
+    deployment, metrics = build_deployment(config, sampler=sampler)
+    population = deployment.alive_descriptors()
+    tree = AstrolabeTree(
+        schema, population, branching=8, leaf_size=8, rng=random.Random(4)
+    )
+
+    rng = random.Random(9)
+    count_errors = []
+    enumerate_cost = []
+    overlay_cost = []
+    for index in range(15):
+        query = aligned_selectivity_query(schema, config.selectivity, rng)
+        truth = len([d for d in population if query.matches(d.values)])
+        estimate = tree.estimate_count(query)
+        if truth:
+            count_errors.append(abs(estimate - truth) / truth)
+        tree.query_messages = 0
+        tree.enumerate_matching(query)
+        enumerate_cost.append(tree.query_messages)
+    outcomes = measure_queries(
+        deployment,
+        metrics,
+        lambda r: aligned_selectivity_query(schema, config.selectivity, r),
+        count=15,
+        sigma=None,
+        seed=10,
+    )
+    overlay_cost = [
+        outcome.overhead + outcome.found for outcome in outcomes
+    ]
+    return {
+        "median_count_error": sorted(count_errors)[len(count_errors) // 2],
+        "tree_zones": tree.zone_count(),
+        "mean_enumerate_messages": sum(enumerate_cost) / len(enumerate_cost),
+        "mean_overlay_messages": sum(overlay_cost) / len(overlay_cost),
+        "refresh_messages_per_round": tree.zone_count() - 1,
+    }
+
+
+def test_aggregation_counts_but_cannot_enumerate(benchmark):
+    results = run_once(benchmark, run_comparison)
+    print(
+        f"\nA7 Astrolabe-style tree ({results['tree_zones']} zones) on a "
+        f"clustered population:\n"
+        f"  count estimate median error : "
+        f"{100 * results['median_count_error']:.0f}%\n"
+        f"  enumerate cost              : "
+        f"{results['mean_enumerate_messages']:.0f} zone visits/query\n"
+        f"  cell-overlay cost           : "
+        f"{results['mean_overlay_messages']:.0f} receptions/query\n"
+        f"  standing refresh cost       : "
+        f"{results['refresh_messages_per_round']} msgs/round"
+    )
+    # Counting is approximate under correlated attributes.
+    assert results["median_count_error"] > 0.02
+    # Enumeration sweeps a large share of the tree per query...
+    assert results["mean_enumerate_messages"] > results["tree_zones"] * 0.3
+    # ...and delegation pays a standing refresh bill every round.
+    assert results["refresh_messages_per_round"] >= SIZE / 8 - 1

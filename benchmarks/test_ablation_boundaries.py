@@ -1,0 +1,91 @@
+"""Ablation A2 — regular vs. quantile (irregular) cell boundaries.
+
+The paper motivates irregular cell boundaries: "the attribute ranges of
+each cell do not have to be regular. One cell may range over memory between
+0 and 128 MB, and another one between 4 GB and 8 GB. This allows us to deal
+with skewed distributions of attribute values."
+
+We use a low-dimensional space (where crowding is actually possible: 8x8
+lowest-level cells) and a log-normal host population that piles up near the
+origin. With regular boundaries most nodes share a handful of cells, so the
+C0 member lists — and hence per-node link state and fan-out cost — balloon;
+quantile boundaries equalize cell occupancy.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.experiments.harness import latency_for_testbed
+from repro.metrics.stats import gini
+from repro.sim.deployment import Deployment
+
+SIZE = 1_200
+
+
+def skewed_hosts(count, seed=17):
+    rng = random.Random(seed)
+    hosts = []
+    for _ in range(count):
+        hosts.append(
+            {
+                "mem_mb": min(16_384.0, 400.0 * 2.718 ** rng.gauss(0, 1.0)),
+                "disk_gb": min(2_000.0, 40.0 * 2.718 ** rng.gauss(0, 1.1)),
+            }
+        )
+    return hosts
+
+
+def build_and_measure(schema, hosts_values, seed=17):
+    latency, _ = latency_for_testbed("peersim")
+    deployment = Deployment(schema, seed=seed, latency=latency)
+    for values in hosts_values:
+        deployment.add_host(values)
+    deployment.bootstrap()
+    zero_sizes = [
+        host.node.routing.zero_count()
+        for host in deployment.alive_hosts()
+    ]
+    occupancy = {}
+    for host in deployment.alive_hosts():
+        key = host.node.descriptor.coordinates
+        occupancy[key] = occupancy.get(key, 0) + 1
+    return {
+        "max_zero": max(zero_sizes),
+        "mean_zero": sum(zero_sizes) / len(zero_sizes),
+        "cell_gini": gini(list(occupancy.values())),
+        "occupied_cells": len(occupancy),
+    }
+
+
+def run_comparison():
+    definitions = [numeric("mem_mb", 0, 16_384), numeric("disk_gb", 0, 2_000)]
+    hosts_values = skewed_hosts(SIZE)
+    regular = build_and_measure(
+        AttributeSchema.regular(definitions, max_level=3), hosts_values
+    )
+    quantile = build_and_measure(
+        AttributeSchema.from_quantiles(definitions, hosts_values, max_level=3),
+        hosts_values,
+    )
+    return {"regular": regular, "quantile": quantile}
+
+
+def test_quantile_boundaries_tame_skew(benchmark):
+    results = run_once(benchmark, run_comparison)
+    print()
+    for label, data in results.items():
+        print(
+            f"A2 {label:>8}: occupied cells={data['occupied_cells']:3d}/64  "
+            f"max C0 list={data['max_zero']:4d}  "
+            f"mean C0 list={data['mean_zero']:6.2f}  "
+            f"cell gini={data['cell_gini']:.3f}"
+        )
+    regular, quantile = results["regular"], results["quantile"]
+    # Quantile boundaries spread the skewed population over many more
+    # cells, shrink the largest C0 member list dramatically, and flatten
+    # the occupancy distribution.
+    assert quantile["occupied_cells"] > 1.5 * regular["occupied_cells"]
+    assert quantile["max_zero"] < regular["max_zero"] / 3
+    assert quantile["cell_gini"] < regular["cell_gini"]

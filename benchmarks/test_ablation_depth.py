@@ -1,0 +1,72 @@
+"""Ablation A4 — nesting depth max(l).
+
+DESIGN.md lists the nesting depth as a design parameter: deeper nesting
+refines cells (shorter C0 lists, more routing levels), shallower nesting
+coarsens them. This sweep quantifies the trade-off at fixed N and d: C0
+list sizes shrink roughly geometrically with depth while routing overhead
+stays low throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.experiments.report import format_table
+from repro.workloads.queries import aligned_selectivity_query
+
+DEPTHS = (1, 2, 3, 4)
+
+
+def run_sweep():
+    rows = []
+    for depth in DEPTHS:
+        config = ExperimentConfig(
+            network_size=2_000, max_level=depth, dimensions=3, seed=23
+        )
+        schema = config.schema()
+        deployment, metrics = build_deployment(config)
+        outcomes = measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(
+                schema, config.selectivity, rng
+            ),
+            count=15,
+            sigma=config.sigma,
+            seed=23 + depth,
+        )
+        hosts = deployment.alive_hosts()
+        rows.append(
+            {
+                "max_level": depth,
+                "overhead": mean_overhead(outcomes),
+                "mean_zero": sum(
+                    host.node.routing.zero_count() for host in hosts
+                ) / len(hosts),
+                "mean_links": sum(
+                    host.node.routing.primary_link_count() for host in hosts
+                ) / len(hosts),
+            }
+        )
+    return rows
+
+
+def test_nesting_depth_tradeoff(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    print()
+    print(
+        format_table(
+            rows,
+            ["max_level", "overhead", "mean_zero", "mean_links"],
+            "A4: nesting depth sweep (N=2000, d=3)",
+        )
+    )
+    by_depth = {row["max_level"]: row for row in rows}
+    # Deeper nesting shrinks the C0 member lists dramatically.
+    assert by_depth[4]["mean_zero"] < by_depth[1]["mean_zero"] / 8
+    # Routing overhead stays modest at every depth.
+    assert all(row["overhead"] < 25 for row in rows)

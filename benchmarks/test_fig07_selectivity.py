@@ -1,0 +1,60 @@
+"""Figure 7 — routing overhead vs. query selectivity (PeerSim + DAS).
+
+Paper shape: best-case queries cost ~nothing at every selectivity; the
+worst case peaks in the low-f region (257 messages at f=0.125 on 100,000
+nodes — against 12,500 matches) and vanishes at f=1; σ=50 collapses the
+worst case; and the worst-case cost is nearly independent of N (7(a) at
+100,000 nodes vs 7(b) at 1,000).
+"""
+
+from conftest import run_once
+
+from repro.experiments import SCALED_DAS, SCALED_PEERSIM, fig07_selectivity
+from repro.experiments.report import format_table
+
+SELECTIVITIES = (0.05, 0.125, 0.25, 0.5, 1.0)
+COLUMNS = ["selectivity", "best_sigma_inf", "worst_sigma_inf", "worst_sigma_50"]
+
+
+def run_both():
+    peersim = fig07_selectivity.run(
+        selectivities=SELECTIVITIES,
+        queries_per_point=10,
+        config=SCALED_PEERSIM,
+    )
+    das = fig07_selectivity.run(
+        selectivities=SELECTIVITIES,
+        queries_per_point=10,
+        config=SCALED_DAS,
+    )
+    return peersim, das
+
+
+def test_fig07_selectivity(benchmark):
+    peersim, das = run_once(benchmark, run_both)
+    print()
+    print(format_table(peersim, COLUMNS, "Figure 7(a): PeerSim preset"))
+    print()
+    print(format_table(das, COLUMNS, "Figure 7(b): DAS preset"))
+
+    for rows in (peersim, das):
+        by_f = {row["selectivity"]: row for row in rows}
+        # Best case is negligible at every selectivity.
+        assert all(row["best_sigma_inf"] < 10 for row in rows)
+        # Worst case costs orders of magnitude more at the paper's f.
+        assert by_f[0.125]["worst_sigma_inf"] > 20 * max(
+            1.0, by_f[0.125]["best_sigma_inf"]
+        )
+        # At full selectivity everyone matches: no overhead left.
+        assert by_f[1.0]["worst_sigma_inf"] == 0
+        # σ=50 cuts the worst case substantially at moderate f.
+        assert (
+            by_f[0.25]["worst_sigma_50"] < by_f[0.25]["worst_sigma_inf"]
+        )
+
+    # The worst-case overhead depends on the space topology, not on N:
+    # the two presets differ 5x in size but stay within a small factor.
+    peersim_peak = max(row["worst_sigma_inf"] for row in peersim)
+    das_peak = max(row["worst_sigma_inf"] for row in das)
+    assert peersim_peak < 6 * das_peak
+    assert das_peak < 6 * peersim_peak

@@ -1,0 +1,35 @@
+"""Figure 8 — routing overhead vs. number of dimensions.
+
+Paper shape (d = 2..20, f=0.125, σ=50): overhead stays very low (a handful
+of messages) and roughly flat — the property CAN/Voronoi-style systems lack.
+"""
+
+from conftest import run_once
+
+from repro.experiments import SCALED_PEERSIM, fig08_dimensions
+from repro.experiments.report import format_table
+
+DIMENSIONS = (2, 4, 6, 10, 16, 20)
+
+
+def test_fig08_dimensions(benchmark):
+    rows = run_once(
+        benchmark,
+        fig08_dimensions.run,
+        dimensions=DIMENSIONS,
+        queries_per_point=20,
+        config=SCALED_PEERSIM.scaled(3_000),
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            ["dimensions", "overhead"],
+            "Figure 8: routing overhead vs dimensions",
+        )
+    )
+    overheads = [row["overhead"] for row in rows]
+    # Very low overhead at every dimensionality...
+    assert max(overheads) < 5.0, overheads
+    # ...and no blow-up with d: 20 dimensions cost about the same as 2.
+    assert overheads[-1] <= overheads[0] + 4.0

@@ -1,0 +1,61 @@
+"""Figure 10 — number of neighbors per node.
+
+10(a): mean links vs. dimensions — virtually constant beyond small d
+(small-d populations share lowest-level cells, inflating neighborsZero).
+10(b): link-count distribution under uniform and normal populations — a
+couple dozen links at most, the hotspot case slightly heavier.
+"""
+
+from conftest import run_once
+
+from repro.experiments import SCALED_PEERSIM, fig10_neighbors
+from repro.experiments.report import format_histogram, format_table
+
+DIMENSIONS = (2, 4, 6, 10, 16, 20)
+BAND_LABELS = ["0-3", "4-6", "7-9", "10-12", "13-15", "16-18", "19-21",
+               "22-24", "25-27", "28+"]
+
+
+def test_fig10a_neighbors_vs_dimensions(benchmark):
+    rows = run_once(
+        benchmark,
+        fig10_neighbors.run_dimension_sweep,
+        dimensions=DIMENSIONS,
+        config=SCALED_PEERSIM.scaled(3_000),
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            ["dimensions", "mean_links", "mean_zero_links", "filled_slots"],
+            "Figure 10(a): neighbors vs dimensions",
+        )
+    )
+    # Beyond small d the link count is virtually constant.
+    tail = [row["mean_links"] for row in rows if row["dimensions"] >= 5]
+    assert max(tail) - min(tail) < 2.0, tail
+    # And it stays tens, not hundreds, everywhere.
+    assert all(row["mean_links"] < 60 for row in rows)
+
+
+def test_fig10b_link_distribution(benchmark):
+    results = run_once(
+        benchmark,
+        fig10_neighbors.run_link_distribution,
+        config=SCALED_PEERSIM.scaled(3_000),
+    )
+    print()
+    for label, data in results.items():
+        print(
+            format_histogram(
+                data["histogram"], BAND_LABELS,
+                title=f"Figure 10(b): {label} population",
+            )
+        )
+        print(f"  mean={data['mean']:.1f} max={data['max']}")
+    # Paper: "in both cases, this number remains under [a few tens of]
+    # links in total", the normal case needing slightly more because
+    # neighborsZero grows around the hotspot.
+    assert results["uniform"]["max"] <= 30
+    assert results["normal"]["max"] <= 60
+    assert results["normal"]["mean"] >= results["uniform"]["mean"]

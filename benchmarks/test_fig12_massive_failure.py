@@ -1,0 +1,77 @@
+"""Figure 12 — delivery across a massive simultaneous failure.
+
+Paper shape: after 50% of nodes crash at once, delivery oscillates and then
+recovers completely within ~15 minutes of gossip; after 90% the overlay is
+partitioned and full delivery is never restored. Shown for both the PeerSim
+and DAS presets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    SCALED_DAS,
+    SCALED_PEERSIM,
+    fig12_massive_failure,
+)
+from repro.experiments.report import format_table
+from repro.experiments.timeline import mean_delivery_after
+
+
+def run_all():
+    half_peersim = fig12_massive_failure.run(
+        fraction=0.5, config=SCALED_PEERSIM.scaled(500),
+        warmup=300.0, before=90.0, after=900.0,
+    )
+    ninety_peersim = fig12_massive_failure.run(
+        fraction=0.9, config=SCALED_PEERSIM.scaled(500),
+        warmup=300.0, before=90.0, after=900.0,
+    )
+    half_das = fig12_massive_failure.run(
+        fraction=0.5, config=SCALED_DAS.scaled(400),
+        warmup=300.0, before=90.0, after=900.0,
+    )
+    return half_peersim, ninety_peersim, half_das
+
+
+def test_fig12_massive_failure(benchmark):
+    half_peersim, ninety_peersim, half_das = run_once(benchmark, run_all)
+    print()
+    for title, rows in (
+        ("Figure 12(a): 50% failure (PeerSim preset)", half_peersim),
+        ("Figure 12(b): 90% failure (PeerSim preset)", ninety_peersim),
+        ("Figure 12(c): 50% failure (DAS preset)", half_das),
+    ):
+        print(format_table(rows, ["time", "delivery", "after_failure"], title))
+        print()
+
+    for rows in (half_peersim, half_das):
+        pre = [r["delivery"] for r in rows if not r["after_failure"]]
+        failure_time = min(r["time"] for r in rows if r["after_failure"])
+        # Steady state before the failure: essentially full delivery.
+        assert sum(pre) / len(pre) > 0.9
+        # The failure visibly disrupts delivery...
+        early = [
+            r["delivery"]
+            for r in rows
+            if r["after_failure"] and r["time"] < failure_time + 180
+        ]
+        assert min(early) < 0.7
+        # ...and the system recovers completely through gossip alone.
+        assert mean_delivery_after(rows, failure_time + 600) > 0.9
+
+    # A 90% failure hurts far more than a 50% one while repair is underway.
+    # (The paper's *permanent* partition at 90% needs paper-scale N: at the
+    # benchmark size the ~50 survivors usually manage to reconnect, so we
+    # assert the slower/deeper recovery rather than a permanent loss —
+    # see EXPERIMENTS.md.)
+    failure_time = min(r["time"] for r in ninety_peersim if r["after_failure"])
+
+    def early_mean(rows):
+        window = [
+            r["delivery"]
+            for r in rows
+            if failure_time <= r["time"] < failure_time + 420
+        ]
+        return sum(window) / len(window)
+
+    assert early_mean(ninety_peersim) < early_mean(half_peersim)

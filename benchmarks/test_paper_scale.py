@@ -1,0 +1,48 @@
+"""Paper-scale sanity: the full 100,000-node PeerSim configuration.
+
+The paper's headline simulations run at N=100,000 (Table 1). This benchmark
+builds that exact configuration — 100,000 nodes, d=5, max(l)=3, uniform
+population, converged overlay — and issues σ=50 queries at f=0.125,
+asserting the Figure-6 regime: sub-3-message overhead and zero duplicate
+receptions at full scale.
+"""
+
+from conftest import run_once
+
+from repro.experiments.config import PAPER_PEERSIM
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.workloads.queries import aligned_selectivity_query
+
+
+def run_paper_scale():
+    schema = PAPER_PEERSIM.schema()
+    deployment, metrics = build_deployment(PAPER_PEERSIM)
+    outcomes = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: aligned_selectivity_query(
+            schema, PAPER_PEERSIM.selectivity, rng
+        ),
+        count=10,
+        sigma=PAPER_PEERSIM.sigma,
+        seed=PAPER_PEERSIM.seed,
+    )
+    return outcomes
+
+
+def test_100k_nodes(benchmark):
+    outcomes = run_once(benchmark, run_paper_scale)
+    overhead = mean_overhead(outcomes)
+    duplicates = sum(outcome.duplicates for outcome in outcomes)
+    found = sum(outcome.found for outcome in outcomes) / len(outcomes)
+    print(
+        f"\nN=100,000: overhead={overhead:.2f} msgs/query, "
+        f"{found:.0f} candidates/query, {duplicates} duplicates"
+    )
+    assert overhead < 3.0            # Figure 6's bound, at full scale
+    assert duplicates == 0           # exactly-once at full scale
+    assert all(outcome.found >= 50 for outcome in outcomes)

@@ -1,0 +1,16 @@
+"""Table 1 — default simulation parameters.
+
+Reprints the table and verifies the library defaults embody it exactly.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import TABLE1_ROWS, verify_defaults
+
+
+def test_table1_defaults(benchmark):
+    problems = run_once(benchmark, verify_defaults)
+    print()
+    print(format_table(TABLE1_ROWS, ["parameter", "value"], "Table 1"))
+    assert problems == [], problems

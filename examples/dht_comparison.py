@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Load balance: autonomous self-selection vs. a SWORD-style DHT index.
+
+Reproduces the Section 6.4 comparison on a synthetic, highly skewed BOINC
+host population (16 attributes): registering every node's record under a
+DHT key per attribute value concentrates the popular values on a few
+registry nodes, while the self-representing overlay spreads query work
+across the nodes that actually own the resources.
+
+Run:  python examples/dht_comparison.py
+"""
+
+from repro.experiments.fig09_load import run_dht_comparison
+from repro.experiments.report import format_histogram
+
+
+def main() -> None:
+    print(
+        "Running 50 queries (f=0.125, sigma=50) over 1,500 skewed "
+        "BOINC-like hosts, twice:\n"
+        "  1. our overlay (each node represents itself)\n"
+        "  2. SWORD-style per-attribute-value records on a Chord DHT\n"
+    )
+    results = run_dht_comparison(size=1_500, queries=50)
+
+    labels = [f"{10 * i}-{10 * (i + 1)}%" for i in range(10)]
+    for label, data in results.items():
+        title = (
+            "Our protocol" if label == "ours" else "DHT-based (SWORD) baseline"
+        )
+        print(format_histogram(data["histogram"], labels, title=title))
+        print(
+            f"  gini={data['gini']:.3f}  max={data['max']} msgs  "
+            f"mean={data['mean']:.2f} msgs  "
+            f"idle nodes={100 * data['idle_fraction']:.0f}%\n"
+        )
+
+    print(
+        "The DHT baseline leaves most registry nodes idle while a handful\n"
+        "serve nearly all traffic (heavy tail); the self-selecting overlay\n"
+        "spreads a modest load over everyone — the Fig. 9(b) result."
+    )
+
+
+if __name__ == "__main__":
+    main()

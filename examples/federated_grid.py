@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Federated-grid scenario: heterogeneous clusters, categorical constraints.
+
+Models the infrastructure the paper's introduction motivates: a federation
+of machine rooms (BOINC/Nano-data-center style) with wildly heterogeneous
+hardware and *administrative* attributes — operating system builds and ISAs
+— alongside numeric capacities. Reproduces the paper's Section 3 example
+query:
+
+    CPU = IA32, MEM >= 4 GB, BANDWIDTH >= 512 Kb/s, DISK >= 128 GB,
+    OS in {linux-2.6.19, linux-2.6.20}
+
+and shows how a node changing its own attributes (a disk filling up) is
+reflected instantly, because every node represents itself — there is no
+registry to go stale.
+
+Run:  python examples/federated_grid.py
+"""
+
+from repro import AttributeSchema, Query, categorical, numeric
+from repro.cluster import SimulatedCluster
+from repro.workloads.distributions import clustered_sampler
+
+
+def main() -> None:
+    schema = AttributeSchema.regular(
+        [
+            categorical("cpu", ["ia32", "x86_64", "ppc", "sparc"]),
+            numeric("mem_mb", 0, 32_768),
+            numeric("bandwidth_kbps", 0, 100_000),
+            numeric("disk_gb", 0, 2_000),
+            categorical(
+                "os",
+                [
+                    "linux-2.4", "linux-2.6.19", "linux-2.6.20",
+                    "windows-xp", "macos-10.5", "freebsd-6",
+                ],
+            ),
+        ],
+        max_level=3,
+    )
+
+    machine_rooms = [
+        # An older IA32/Linux room — the only one the job below can use.
+        {"cpu": "ia32", "mem_mb": 8_192, "bandwidth_kbps": 10_000,
+         "disk_gb": 500, "os": "linux-2.6.20"},
+        {"cpu": "x86_64", "mem_mb": 16_384, "bandwidth_kbps": 40_000,
+         "disk_gb": 1_000, "os": "linux-2.6.19"},
+        {"cpu": "x86_64", "mem_mb": 2_048, "bandwidth_kbps": 2_000,
+         "disk_gb": 250, "os": "windows-xp"},
+        {"cpu": "ppc", "mem_mb": 4_096, "bandwidth_kbps": 8_000,
+         "disk_gb": 80, "os": "macos-10.5"},
+        {"cpu": "sparc", "mem_mb": 32_000, "bandwidth_kbps": 90_000,
+         "disk_gb": 1_800, "os": "freebsd-6"},
+    ]
+    print(f"Building a federation of {len(machine_rooms)} machine rooms...")
+    cluster = SimulatedCluster(
+        schema,
+        size=1_500,
+        seed=7,
+        sampler=clustered_sampler(schema, centroids=machine_rooms),
+    )
+
+    query = Query.where(
+        schema,
+        cpu=["ia32"],
+        mem_mb=(4_096, None),
+        bandwidth_kbps=(512, None),
+        disk_gb=(128, None),
+        os=["linux-2.6.19", "linux-2.6.20"],
+    )
+    print(f"Job requirements: {query.describe()}")
+
+    result = cluster.select(query, max_nodes=20)
+    print(
+        f"Selected {len(result.descriptors)} machines "
+        f"({result.total_found} gathered, {result.hops} overhead hops)"
+    )
+    for descriptor in result.descriptors[:5]:
+        values = descriptor.decoded(schema)
+        print(
+            f"  node {descriptor.address:5d}: cpu={values['cpu']}, "
+            f"mem={float(values['mem_mb']):6.0f} MB, os={values['os']}"
+        )
+
+    if result.descriptors:
+        # One selected machine's disk fills up: the node re-places ITSELF.
+        victim_descriptor = result.descriptors[0]
+        victim = cluster.deployment.hosts[victim_descriptor.address]
+        values = dict(victim_descriptor.decoded(schema))
+        values["disk_gb"] = 1.0
+        victim.update_attributes(values)
+        print(
+            f"\nnode {victim.address} reports its disk is now full "
+            f"(1 GB free) — no registry had to be told."
+        )
+        rerun = cluster.select(query)
+        addresses = {d.address for d in rerun.descriptors}
+        print(
+            f"Re-running the query finds {rerun.total_found} machines; "
+            f"node {victim.address} is "
+            f"{'still' if victim.address in addresses else 'no longer'} selected."
+        )
+
+
+if __name__ == "__main__":
+    main()

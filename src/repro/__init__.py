@@ -1,0 +1,55 @@
+"""repro — Autonomous Resource Selection for Decentralized Utility Computing.
+
+A faithful, from-scratch reproduction of Costa, Napper, Pierre & van Steen
+(ICDCS 2009): a fully decentralized resource-selection service in which
+every compute node represents itself in a d-dimensional attribute-space
+overlay, queries are conjunctions of (attribute, value-range) pairs routed
+depth-first over nested-cell neighbor links, and a two-layer gossip stack
+(CYCLON + a Vicinity-style semantic layer) continuously maintains the
+overlay under churn.
+
+Quickstart::
+
+    from repro import AttributeSchema, Query, numeric
+    from repro.cluster import SimulatedCluster
+
+    schema = AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+    cluster = SimulatedCluster(schema, size=1000, seed=42)
+    result = cluster.select(
+        Query.where(schema, mem=(40, None)), max_nodes=50
+    )
+    print(len(result.descriptors), "candidates in", result.hops, "hops")
+"""
+
+from repro.core import (
+    AttributeDefinition,
+    AttributeSchema,
+    CategoricalSet,
+    NodeConfig,
+    NodeDescriptor,
+    Query,
+    ResourceNode,
+    ValueRange,
+    categorical,
+    numeric,
+)
+from repro.gossip import GossipConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeDefinition",
+    "AttributeSchema",
+    "CategoricalSet",
+    "GossipConfig",
+    "NodeConfig",
+    "NodeDescriptor",
+    "Query",
+    "ResourceNode",
+    "ValueRange",
+    "categorical",
+    "numeric",
+    "__version__",
+]

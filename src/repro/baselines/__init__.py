@@ -1,0 +1,18 @@
+"""Comparator systems from the paper's related work (Section 2)."""
+
+from repro.baselines.astrolabe import AstrolabeTree, Zone
+from repro.baselines.central import CentralRegistry
+from repro.baselines.flooding import FloodingOverlay, FloodResult
+from repro.baselines.hierarchical import HierarchicalRegistry, Registry
+from repro.baselines.ordered_slicing import OrderedSlicing
+
+__all__ = [
+    "AstrolabeTree",
+    "Zone",
+    "CentralRegistry",
+    "HierarchicalRegistry",
+    "Registry",
+    "FloodingOverlay",
+    "FloodResult",
+    "OrderedSlicing",
+]

@@ -1,0 +1,71 @@
+"""Centralized registry baseline.
+
+The classic pre-P2P design (Section 2's "centralized or hierarchical
+architectures in which a few servers keep track of all the resources"):
+every node registers with one server, refreshes its record periodically,
+and queries are answered from the server's complete table. Perfectly
+accurate and cheap per query — but all load lands on the server, and the
+refresh traffic scales linearly with the population, which is what the
+ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.query import Query
+
+
+class CentralRegistry:
+    """A single-server resource directory with message accounting."""
+
+    def __init__(self, server_address: Address = -1) -> None:
+        self.server_address = server_address
+        self.records: Dict[Address, NodeDescriptor] = {}
+        #: Messages processed per node (the server absorbs nearly all).
+        self.load: Counter = Counter()
+
+    def register(self, descriptor: NodeDescriptor) -> None:
+        """A node registers (or re-registers) its attribute record."""
+        self.records[descriptor.address] = descriptor
+        self.load[descriptor.address] += 1  # the registration message
+        self.load[self.server_address] += 1
+
+    def refresh_all(self) -> None:
+        """One periodic revalidation round: every node re-registers.
+
+        This is delegation's standing cost — "unnecessary load on the
+        system due to the periodic revalidations of the registered values".
+        """
+        for descriptor in list(self.records.values()):
+            self.register(descriptor)
+
+    def deregister(self, address: Address) -> None:
+        """Explicitly remove a (failed) node's record."""
+        self.records.pop(address, None)
+
+    def search(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        origin: Optional[Address] = None,
+    ) -> List[NodeDescriptor]:
+        """Answer a query from the server's table (request + response)."""
+        if origin is not None:
+            self.load[origin] += 1
+        self.load[self.server_address] += 1
+        found = [
+            descriptor
+            for descriptor in self.records.values()
+            if query.matches(descriptor.values)
+        ]
+        return found if sigma is None else found[:sigma]
+
+    def stale_records(self, alive: Sequence[Address]) -> List[Address]:
+        """Registered nodes that are no longer alive (inconsistency window)."""
+        alive_set = set(alive)
+        return [
+            address for address in self.records if address not in alive_set
+        ]

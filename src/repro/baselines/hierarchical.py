@@ -1,0 +1,203 @@
+"""Hierarchical registry baseline.
+
+The second classical architecture of Section 2 ("centralized or
+*hierarchical* architectures in which a few servers keep track of all the
+resources"): compute nodes register with their local (leaf) registry;
+registries forward summaries up a fixed tree; queries enter at any registry
+and are resolved by ascending to the lowest common ancestor that covers
+enough matches, then descending into the subtrees that hold them.
+
+The paper's critiques, all measurable here:
+
+* registration and periodic refresh traffic flows up the tree — interior
+  registries carry load proportional to their subtree (imbalance by
+  construction, critique (iii));
+* a registry failure detaches its whole subtree until repaired — a
+  single-point-of-failure *per subtree* ("managing a robust node hierarchy
+  is far from trivial", Section 1);
+* records go stale between refreshes (critique (ii)): a node whose
+  attributes changed is mis-reported until the next refresh round.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.query import Query
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class Registry:
+    """One registry server in the hierarchy."""
+
+    registry_id: int
+    parent: Optional["Registry"] = None
+    children: List["Registry"] = field(default_factory=list)
+    #: Leaf registries hold the actual records of their compute nodes.
+    records: Dict[Address, NodeDescriptor] = field(default_factory=dict)
+    alive: bool = True
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for registries that directly serve compute nodes."""
+        return not self.children
+
+
+class HierarchicalRegistry:
+    """A fixed registry tree over a node population."""
+
+    def __init__(
+        self,
+        descriptors: Sequence[NodeDescriptor],
+        branching: int = 4,
+        nodes_per_leaf: int = 32,
+    ) -> None:
+        if not descriptors:
+            raise ConfigurationError("hierarchy needs nodes")
+        if branching < 2 or nodes_per_leaf < 1:
+            raise ConfigurationError("branching >= 2 and nodes_per_leaf >= 1")
+        self._next_id = 0
+        #: Messages processed per registry (per-server load accounting).
+        self.load: Counter = Counter()
+        leaves = []
+        for start in range(0, len(descriptors), nodes_per_leaf):
+            leaf = self._new_registry()
+            for descriptor in descriptors[start:start + nodes_per_leaf]:
+                leaf.records[descriptor.address] = descriptor
+            leaves.append(leaf)
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), branching):
+                parent = self._new_registry()
+                for child in level[start:start + branching]:
+                    child.parent = parent
+                    parent.children.append(child)
+                parents.append(parent)
+            level = parents
+        self.root = level[0]
+        self.leaves = leaves
+        self.registries = self._collect(self.root)
+        self._home: Dict[Address, Registry] = {
+            address: leaf for leaf in leaves for address in leaf.records
+        }
+
+    def _new_registry(self) -> Registry:
+        registry = Registry(registry_id=self._next_id)
+        self._next_id += 1
+        return registry
+
+    @staticmethod
+    def _collect(root: Registry) -> List[Registry]:
+        out, stack = [], [root]
+        while stack:
+            registry = stack.pop()
+            out.append(registry)
+            stack.extend(registry.children)
+        return out
+
+    # -- registration ---------------------------------------------------------------
+
+    def refresh_all(self) -> int:
+        """One revalidation round: every record re-flows up to the root.
+
+        Returns the number of messages — Θ(N · depth), the standing cost of
+        delegation, concentrated on interior registries.
+        """
+        messages = 0
+        for leaf in self.leaves:
+            for _ in leaf.records:
+                registry: Optional[Registry] = leaf
+                while registry is not None:
+                    self.load[registry.registry_id] += 1
+                    messages += 1
+                    registry = registry.parent
+        return messages
+
+    def update_record(self, descriptor: NodeDescriptor) -> None:
+        """A node pushes a changed record to its leaf (until then: stale)."""
+        leaf = self._home[descriptor.address]
+        leaf.records[descriptor.address] = descriptor
+        self.load[leaf.registry_id] += 1
+
+    # -- failures ----------------------------------------------------------------------
+
+    def fail_registry(self, registry_id: int) -> None:
+        """Crash one registry server."""
+        for registry in self.registries:
+            if registry.registry_id == registry_id:
+                registry.alive = False
+                return
+
+    def _reachable_leaves(self, registry: Registry) -> List[Registry]:
+        if not registry.alive:
+            return []
+        if registry.is_leaf:
+            return [registry]
+        out: List[Registry] = []
+        for child in registry.children:
+            out.extend(self._reachable_leaves(child))
+        return out
+
+    # -- queries -----------------------------------------------------------------------
+
+    def search(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        entry_leaf: int = 0,
+    ) -> List[NodeDescriptor]:
+        """Resolve a query starting at a leaf registry.
+
+        The query ascends toward the root, at each level scanning the
+        newly-covered subtrees, until σ matches accumulate or the root's
+        coverage is exhausted. Every registry visit costs a message. Dead
+        registries hide their entire subtree.
+        """
+        entry = self.leaves[entry_leaf % len(self.leaves)]
+        found: List[NodeDescriptor] = []
+        visited: set = set()
+        registry: Optional[Registry] = entry
+        while registry is not None:
+            if not registry.alive:
+                break  # the path to the rest of the tree is gone
+            self.load[registry.registry_id] += 1
+            for leaf in self._reachable_leaves(registry):
+                if leaf.registry_id in visited:
+                    continue
+                visited.add(leaf.registry_id)
+                self.load[leaf.registry_id] += 1
+                for record in leaf.records.values():
+                    if query.matches(record.values):
+                        found.append(record)
+                if sigma is not None and len(found) >= sigma:
+                    return found[:sigma]
+            registry = registry.parent
+        return found if sigma is None else found[:sigma]
+
+    # -- introspection ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Tree depth (root = 1)."""
+        depth, registry = 1, self.root
+        while registry.children:
+            depth += 1
+            registry = registry.children[0]
+        return depth
+
+    def interior_load_share(self) -> float:
+        """Fraction of all registry load carried by non-leaf registries."""
+        total = sum(self.load.values())
+        if not total:
+            return 0.0
+        leaf_ids = {leaf.registry_id for leaf in self.leaves}
+        interior = sum(
+            count
+            for registry_id, count in self.load.items()
+            if registry_id not in leaf_ids
+        )
+        return interior / total

@@ -1,0 +1,244 @@
+"""Command-line interface for the reproduction harness.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig06 --size 5000 --queries 25
+    python -m repro run fig11 --size 500 --churn 0.002 --duration 900
+    python -m repro run table1
+    python -m repro run traffic --size 600
+
+Each command regenerates one table/figure at a configurable scale and
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig06_network_size,
+    fig07_selectivity,
+    fig08_dimensions,
+    fig09_load,
+    fig10_neighbors,
+    fig11_churn,
+    fig12_massive_failure,
+    fig13_planetlab,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_histogram, format_table
+from repro.experiments.tables import TABLE1_ROWS, verify_defaults
+
+PERCENT_LABELS = [f"{10 * i}-{10 * (i + 1)}%" for i in range(10)]
+
+
+def _config(args: argparse.Namespace, testbed: str = "peersim") -> ExperimentConfig:
+    return ExperimentConfig(
+        network_size=args.size, seed=args.seed, testbed=testbed
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table(TABLE1_ROWS, ["parameter", "value"], "Table 1"))
+    problems = verify_defaults()
+    if problems:
+        print("\nDEFAULTS OUT OF SYNC:", *problems, sep="\n  ")
+        return 1
+    print("\nLibrary defaults verified against Table 1.")
+    return 0
+
+
+def _cmd_fig06(args: argparse.Namespace) -> int:
+    sizes = tuple(
+        int(s) for s in (args.sizes.split(",") if args.sizes else ())
+    ) or (100, 500, 2_000, args.size)
+    rows = fig06_network_size.run(
+        sizes=sizes, queries_per_size=args.queries, config=_config(args)
+    )
+    print(format_table(
+        rows, ["size", "overhead", "overhead_unaligned", "duplicates"],
+        "Figure 6: routing overhead vs network size",
+    ))
+    return 0
+
+
+def _cmd_fig07(args: argparse.Namespace) -> int:
+    rows = fig07_selectivity.run(
+        queries_per_point=args.queries, config=_config(args)
+    )
+    print(format_table(
+        rows,
+        ["selectivity", "best_sigma_inf", "worst_sigma_inf", "worst_sigma_50"],
+        "Figure 7: routing overhead vs selectivity",
+    ))
+    return 0
+
+
+def _cmd_fig08(args: argparse.Namespace) -> int:
+    rows = fig08_dimensions.run(
+        queries_per_point=args.queries, config=_config(args)
+    )
+    print(format_table(
+        rows, ["dimensions", "overhead"],
+        "Figure 8: routing overhead vs dimensions",
+    ))
+    return 0
+
+
+def _cmd_fig09(args: argparse.Namespace) -> int:
+    results = fig09_load.run_distribution_comparison(
+        config=_config(args), queries=args.queries
+    )
+    for label, data in results.items():
+        print(format_histogram(
+            data["histogram"], PERCENT_LABELS,
+            title=f"Figure 9(a): {label} population",
+        ))
+        print(f"  gini={data['gini']:.3f} max={data['max']}\n")
+    results = fig09_load.run_dht_comparison(
+        size=args.size, queries=args.queries
+    )
+    for label, data in results.items():
+        print(format_histogram(
+            data["histogram"], PERCENT_LABELS, title=f"Figure 9(b): {label}",
+        ))
+        print(
+            f"  gini={data['gini']:.3f} max={data['max']} "
+            f"idle={100 * data['idle_fraction']:.0f}%\n"
+        )
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    rows = fig10_neighbors.run_dimension_sweep(config=_config(args))
+    print(format_table(
+        rows, ["dimensions", "mean_links", "mean_zero_links", "filled_slots"],
+        "Figure 10(a): neighbors vs dimensions",
+    ))
+    results = fig10_neighbors.run_link_distribution(config=_config(args))
+    for label, data in results.items():
+        print(f"\nFigure 10(b) {label}: mean={data['mean']:.1f} "
+              f"max={data['max']}")
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    rows = fig11_churn.run(
+        churn_rate=args.churn, config=_config(args), duration=args.duration
+    )
+    print(format_table(
+        rows, ["time", "delivery", "expected"],
+        f"Figure 11: delivery under {100 * args.churn:.1f}%/10s churn",
+    ))
+    return 0
+
+
+def _cmd_fig12(args: argparse.Namespace) -> int:
+    rows = fig12_massive_failure.run(
+        fraction=args.fraction, config=_config(args), after=args.duration
+    )
+    print(format_table(
+        rows, ["time", "delivery", "after_failure"],
+        f"Figure 12: delivery across a {100 * args.fraction:.0f}% failure",
+    ))
+    return 0
+
+
+def _cmd_fig13(args: argparse.Namespace) -> int:
+    rows = fig13_planetlab.run(
+        config=_config(args, testbed="planetlab"),
+        kill_interval=args.interval,
+        rounds=args.rounds,
+    )
+    print(format_table(
+        rows, ["time", "delivery", "alive"],
+        "Figure 13: repeated 10% kills (PlanetLab preset)",
+    ))
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import build_deployment
+    from repro.metrics.traffic import measure_gossip_traffic
+
+    deployment, _ = build_deployment(
+        _config(args), gossip=True, warmup=120.0
+    )
+    report = measure_gossip_traffic(deployment, duration=args.duration)
+    print(
+        "Maintenance traffic (Section 6):\n"
+        f"  gossip messages sent/node/cycle    : "
+        f"{report.sent_per_node_per_cycle:.2f}\n"
+        f"  gossip messages touched/node/cycle : "
+        f"{report.touched_per_node_per_cycle:.2f}\n"
+        f"  bytes/node/cycle (320 B messages)  : "
+        f"{report.bytes_per_node_per_cycle:.0f}\n"
+        f"  standing bandwidth per node        : "
+        f"{report.bytes_per_second_per_node():.0f} B/s"
+    )
+    return 0
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "table1": _cmd_table1,
+    "fig06": _cmd_fig06,
+    "fig07": _cmd_fig07,
+    "fig08": _cmd_fig08,
+    "fig09": _cmd_fig09,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "traffic": _cmd_traffic,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Autonomous Resource "
+        "Selection for Decentralized Utility Computing' (ICDCS 2009).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(COMMANDS))
+    run.add_argument("--size", type=int, default=2_000,
+                     help="network size N (default 2000)")
+    run.add_argument("--seed", type=int, default=2009)
+    run.add_argument("--queries", type=int, default=20,
+                     help="queries per measurement point")
+    run.add_argument("--sizes", type=str, default="",
+                     help="comma-separated N sweep (fig06)")
+    run.add_argument("--churn", type=float, default=0.001,
+                     help="churn fraction per 10 s (fig11)")
+    run.add_argument("--fraction", type=float, default=0.5,
+                     help="failure fraction (fig12)")
+    run.add_argument("--duration", type=float, default=900.0,
+                     help="measurement duration in simulated seconds")
+    run.add_argument("--interval", type=float, default=1200.0,
+                     help="kill interval in seconds (fig13)")
+    run.add_argument("--rounds", type=int, default=4,
+                     help="kill rounds (fig13)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        print("Available experiments:")
+        for name in sorted(COMMANDS):
+            print(f"  {name}")
+        print("\nRun one with: python -m repro run <experiment> [--size N]")
+        return 0
+    return COMMANDS[args.experiment](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

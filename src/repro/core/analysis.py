@@ -1,0 +1,86 @@
+"""Closed-form properties of the cell hierarchy (Section 6.5 arithmetic).
+
+The paper reasons about scalability with a few formulas:
+
+* the number of lowest-level cells is ``(2**d)**max(l)``, which "grows
+  extremely fast with d and max(l)", so realistic populations leave most
+  cells empty;
+* a node nominally has ``d * max(l)`` neighboring cells ("the number of
+  N(l,k) subcells grows only linearly" with d), which bounds its non-C0
+  link count;
+* expected cell occupancy ``N / cells`` predicts when C0 lists collapse to
+  "nodes strictly identical to each other".
+
+These helpers make that arithmetic available to experiments and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cells import num_cells
+
+
+def nominal_neighbor_slots(dimensions: int, max_level: int) -> int:
+    """Upper bound on non-C0 links per node: ``d * max(l)``."""
+    return dimensions * max_level
+
+
+def expected_cell_occupancy(
+    network_size: int, dimensions: int, max_level: int
+) -> float:
+    """Mean nodes per lowest-level cell under a uniform population."""
+    return network_size / num_cells(dimensions, max_level)
+
+
+def expected_nonempty_slot_fraction(
+    network_size: int, dimensions: int, max_level: int
+) -> float:
+    """Probability that a node's *largest* neighboring cells are inhabited.
+
+    A coarse (level = max(l)) neighboring cell covers at least half the
+    space along one dimension, so for any realistic N it is essentially
+    always inhabited; the interesting emptiness lives at low levels. This
+    returns the probability that a *level-1* neighboring cell (the smallest,
+    covering ``2**(d-1)`` lowest-level cells at most) holds at least one of
+    the other N-1 uniformly placed nodes.
+    """
+    cells = num_cells(dimensions, max_level)
+    level1_fraction = (1 << (dimensions - 1)) / cells if cells else 1.0
+    if level1_fraction >= 1.0:
+        return 1.0
+    return 1.0 - math.exp(
+        (network_size - 1) * math.log1p(-level1_fraction)
+    ) if level1_fraction < 1.0 else 1.0
+
+
+@dataclass(frozen=True)
+class GeometrySummary:
+    """A compact report of a configuration's geometric regime."""
+
+    dimensions: int
+    max_level: int
+    network_size: int
+    cells: int
+    nominal_slots: int
+    occupancy: float
+
+    @property
+    def sparse(self) -> bool:
+        """True when most lowest-level cells must be empty (<1 node/cell)."""
+        return self.occupancy < 1.0
+
+
+def summarize_geometry(
+    network_size: int, dimensions: int, max_level: int
+) -> GeometrySummary:
+    """Build the closed-form summary for a configuration."""
+    return GeometrySummary(
+        dimensions=dimensions,
+        max_level=max_level,
+        network_size=network_size,
+        cells=num_cells(dimensions, max_level),
+        nominal_slots=nominal_neighbor_slots(dimensions, max_level),
+        occupancy=expected_cell_occupancy(network_size, dimensions, max_level),
+    )

@@ -1,0 +1,67 @@
+"""Node descriptors.
+
+A descriptor is the unit of information exchanged by the gossip layers and
+stored in routing tables: a node's address together with its attribute
+values ("for each neighbor the following information is stored: n.address
+... links are associated with the attribute values of the node they
+represent", Sections 4.3 and 5).
+
+Descriptors are immutable values; a node whose attributes change publishes a
+*new* descriptor (the overlay then reclassifies it, no registry update is
+needed — the core argument of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.core.attributes import AttributeSchema, AttributeValue
+
+#: Node addresses are opaque integers (an IP/port stand-in).
+Address = int
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Immutable snapshot of a node's identity and attribute values."""
+
+    address: Address
+    values: Tuple[float, ...]
+    coordinates: Tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        address: Address,
+        schema: AttributeSchema,
+        values: Mapping[str, AttributeValue],
+    ) -> "NodeDescriptor":
+        """Create a descriptor from raw attribute values using *schema*."""
+        numeric = schema.encode_values(values)
+        return cls(
+            address=address,
+            values=numeric,
+            coordinates=schema.coordinates(numeric),
+        )
+
+    @classmethod
+    def from_numeric(
+        cls,
+        address: Address,
+        schema: AttributeSchema,
+        numeric_values: Tuple[float, ...],
+    ) -> "NodeDescriptor":
+        """Create a descriptor from an already-encoded value vector."""
+        return cls(
+            address=address,
+            values=tuple(numeric_values),
+            coordinates=schema.coordinates(numeric_values),
+        )
+
+    def decoded(self, schema: AttributeSchema) -> Mapping[str, AttributeValue]:
+        """Return the raw ``{name: value}`` view of this descriptor."""
+        return {
+            definition.name: definition.decode(value)
+            for definition, value in zip(schema.definitions, self.values)
+        }

@@ -1,0 +1,53 @@
+"""Wire messages of the query-routing protocol (Figure 4(a) of the paper).
+
+Messages are immutable: every forwarding step constructs a fresh
+:class:`QueryMessage` with the updated ``level`` and ``dimensions`` fields.
+(The paper's pseudo-code mutates ``q`` in place; value semantics express the
+same protocol without aliasing hazards inside a single-process simulator.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.query import Query
+from repro.util.intervals import Interval
+
+#: Query identifiers must be globally unique; we use (origin address, counter).
+QueryId = Tuple[Address, int]
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """QUERY: id, forwarder address, ranges, sigma, level, dimensions.
+
+    ``sender`` is "the address of the last forwarder of the query" — the
+    parent in the depth-first dissemination tree, to which the receiver will
+    eventually reply. ``index_ranges`` is the projection of the query onto
+    cell-index space, carried along so every hop evaluates overlap tests
+    against the exact same region Q.
+    """
+
+    query_id: QueryId
+    sender: Address
+    query: Query
+    index_ranges: Tuple[Interval, ...]
+    sigma: Optional[int]
+    level: int
+    dimensions: FrozenSet[int]
+    #: Remaining timeout budget T(q) in seconds. Each hop arms its
+    #: per-neighbor failure timer with its own budget and hands children a
+    #: geometrically smaller one, so a child always gives up (and reports
+    #: its partial results) before its parent gives up on the child.
+    budget: float = 30.0
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """REPLY: id, the matching descriptors collected, and the reply sender."""
+
+    query_id: QueryId
+    sender: Address
+    matching: Tuple[NodeDescriptor, ...]

@@ -1,0 +1,509 @@
+"""The resource node: autonomous self-selection protocol of Figure 5.
+
+Each compute node represents itself in the overlay. The node stores, per
+in-flight query (Figure 4(b)):
+
+* ``pending`` — the query state, with a timeout ``T(q)`` per outstanding
+  forward (an expired timeout marks the neighbor failed and re-forwards),
+* ``matching`` — the candidate descriptors collected so far,
+* ``waiting`` — the neighbors the query was forwarded to that have not
+  replied yet.
+
+Control flow follows the paper's pseudo-code line by line:
+
+* ``receive_query``: record state, match self, forward unless σ is met.
+* ``forward``: scan levels from the current one downward; at each level scan
+  the remaining dimensions in order; on the first neighboring cell that
+  overlaps Q, remove that dimension from the query (preventing backward
+  propagation) and forward to the selected neighbor, then stop. When the
+  level is exhausted, descend one level and reset the dimension set. At
+  level 0, fan the query out to every *matching* member of the node's C0
+  cell with ``level = -1`` (a pure match-report request). If nothing could
+  be forwarded, reply to the parent.
+* ``receive_reply``: merge the candidates; when every outstanding branch has
+  replied, either resume forwarding (σ not yet met and levels remain) or
+  reply to the parent / complete at the origin.
+
+One deliberate deviation from the pseudo-code as printed: after the level-0
+fan-out we set the local level to ``-1`` so the fan-out happens at most once
+and, when *no* C0 member matched, the code falls through to the
+empty-``waiting`` check and replies instead of hanging (the printed code
+``return``\\ s unconditionally after the loop, which would leave the parent
+waiting forever in that corner case).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.attributes import AttributeSchema
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.messages import QueryId, QueryMessage, ReplyMessage
+from repro.core.observer import ProtocolObserver
+from repro.core.query import Query
+from repro.core.routing import RoutingTable
+from repro.core.transport import TimerHandle, Transport
+from repro.util.intervals import Interval
+
+CompletionCallback = Callable[[QueryId, List[NodeDescriptor]], None]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Tunable knobs of the node protocol."""
+
+    #: Seconds to wait for a reply before presuming the neighbor failed.
+    query_timeout: float = 30.0
+    #: Fraction of the remaining timeout budget handed to each child, so
+    #: failure timers deep in the dissemination tree fire before shallow
+    #: ones and partial results propagate back instead of being lost.
+    budget_decay: float = 0.75
+    #: Floor for the decayed timeout budget.
+    min_timeout: float = 0.5
+    #: Re-forward to an alternate neighbor after a timeout (Section 4.3).
+    #: The paper's churn experiments disable this ("the message is dropped")
+    #: to avoid biasing delivery measurements.
+    retry_on_timeout: bool = True
+    #: Fallback descriptors kept per neighboring-cell slot.
+    alternates_per_slot: int = 3
+    #: Cap on the C0 member list (None = unbounded, as the paper assumes).
+    zero_capacity: Optional[int] = None
+    #: When a query hits a broken link (an overlapping neighboring cell
+    #: with no usable inhabitant), wait this many seconds for the gossip
+    #: layer to repair the slot and retry, instead of dropping the branch.
+    #: This is the Section 6.6 alternative the paper describes ("delay the
+    #: query until the overlay has been restored"): delivery approaches 1
+    #: under churn at the cost of latency. ``None`` (default) drops, as in
+    #: the paper's measurements.
+    defer_broken_links: Optional[float] = None
+    #: Remember this many completed/seen query ids for duplicate detection.
+    seen_history: int = 4096
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one entry of the ``waiting`` table."""
+
+    timer: Optional[TimerHandle]
+    slot: Optional[Tuple[int, int]]
+    sent_level: int
+    sent_dimensions: frozenset
+
+
+@dataclass
+class _PendingQuery:
+    """Local state for one query (the three tables of Figure 4(b))."""
+
+    query: Query
+    index_ranges: Tuple[Interval, ...]
+    sigma: Optional[int]
+    level: int
+    dimensions: Set[int]
+    parent: Optional[Address]
+    budget: float = 30.0
+    matching: Dict[Address, NodeDescriptor] = field(default_factory=dict)
+    waiting: Dict[Address, _Outstanding] = field(default_factory=dict)
+    failed: Set[Address] = field(default_factory=set)
+    on_complete: Optional[CompletionCallback] = None
+    completed: bool = False
+    #: Branches parked on a broken link awaiting gossip repair.
+    deferred: int = 0
+
+    def idle(self) -> bool:
+        """No outstanding forwards and no parked branches."""
+        return not self.waiting and self.deferred == 0
+
+    def sigma_met(self) -> bool:
+        """True once enough candidates have been collected."""
+        return self.sigma is not None and len(self.matching) >= self.sigma
+
+
+class ResourceNode:
+    """Protocol logic of a single overlay node (transport-agnostic)."""
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        schema: AttributeSchema,
+        transport: Transport,
+        config: Optional[NodeConfig] = None,
+        observer: Optional[ProtocolObserver] = None,
+    ) -> None:
+        self.schema = schema
+        self.transport = transport
+        self.config = config or NodeConfig()
+        self.observer = observer or ProtocolObserver()
+        self.descriptor = descriptor
+        self.routing = RoutingTable(
+            descriptor,
+            schema.dimensions,
+            schema.max_level,
+            alternates_per_slot=self.config.alternates_per_slot,
+            zero_capacity=self.config.zero_capacity,
+        )
+        self.pending: Dict[QueryId, _PendingQuery] = {}
+        self._seen: "OrderedDict[QueryId, None]" = OrderedDict()
+        self._query_counter = itertools.count()
+        #: Live, rapidly-changing local state checked against the dynamic
+        #: constraints of queries (footnote 1 of the paper). Not gossiped,
+        #: not a routing dimension — always fresh by construction.
+        self.dynamic_values: Dict[str, float] = {}
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """This node's address."""
+        return self.descriptor.address
+
+    def update_attributes(self, descriptor: NodeDescriptor) -> None:
+        """Adopt a new self-descriptor (the node's attributes changed).
+
+        No registry must be informed — the node simply reclassifies its own
+        links around the new coordinates; gossip re-advertises the new
+        descriptor from then on.
+        """
+        if descriptor.address != self.descriptor.address:
+            raise ValueError("update_attributes must keep the address")
+        self.descriptor = descriptor
+        self.routing.rebuild(descriptor)
+
+    def set_dynamic_value(self, name: str, value: Optional[float]) -> None:
+        """Publish (or clear, with ``None``) a dynamic attribute locally."""
+        if value is None:
+            self.dynamic_values.pop(name, None)
+        else:
+            self.dynamic_values[name] = float(value)
+
+    def _self_matches(self, query: Query) -> bool:
+        """Full self-check: static attributes plus live dynamic state."""
+        return query.matches(self.descriptor.values) and query.matches_dynamic(
+            self.dynamic_values
+        )
+
+    # -- user entry point ---------------------------------------------------------
+
+    def issue_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> QueryId:
+        """Start a query at this node (``create QUERY`` in Figure 5).
+
+        Any node can originate a query; there is no designated entry point.
+        *sigma* bounds the number of candidates (None = find all).
+        *on_complete* is invoked with ``(query_id, descriptors)`` when the
+        depth-first dissemination finishes.
+        """
+        query_id: QueryId = (self.address, next(self._query_counter))
+        state = _PendingQuery(
+            query=query,
+            index_ranges=query.index_ranges(),
+            sigma=sigma,
+            level=self.schema.max_level,
+            dimensions=set(range(self.schema.dimensions)),
+            parent=None,
+            budget=self.config.query_timeout,
+            on_complete=on_complete,
+        )
+        self.pending[query_id] = state
+        self._remember(query_id)
+        matched = self._self_matches(query)
+        self.observer.query_received(self.address, query_id, matched)
+        if matched:
+            state.matching[self.address] = self.descriptor
+        if state.sigma_met():
+            self._complete(query_id, state)
+        else:
+            self._forward(query_id, state)
+        return query_id
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, sender: Address, message: object) -> None:
+        """Dispatch an incoming message (transport callback)."""
+        if isinstance(message, QueryMessage):
+            self.receive_query(message)
+        elif isinstance(message, ReplyMessage):
+            self.receive_reply(message)
+
+    def receive_query(self, message: QueryMessage) -> None:
+        """Handle a QUERY message (Figure 5, ``receive_query``)."""
+        query_id = message.query_id
+        if query_id in self.pending or query_id in self._seen:
+            # Stale links under churn can route a query here twice; the
+            # paper observed zero duplicates with a converged overlay, and
+            # our property tests assert the same. Reply empty so the parent
+            # does not block, and record the anomaly.
+            self.observer.duplicate_query(self.address, query_id)
+            self._send_reply(message.sender, query_id, ())
+            return
+        state = _PendingQuery(
+            query=message.query,
+            index_ranges=message.index_ranges,
+            sigma=message.sigma,
+            level=message.level,
+            dimensions=set(message.dimensions),
+            parent=message.sender,
+            budget=message.budget,
+        )
+        self.pending[query_id] = state
+        self._remember(query_id)
+        matched = self._self_matches(message.query)
+        self.observer.query_received(self.address, query_id, matched)
+        if matched:
+            state.matching[self.address] = self.descriptor
+        if state.sigma_met():
+            self._complete(query_id, state)
+        else:
+            self._forward(query_id, state)
+
+    def receive_reply(self, message: ReplyMessage) -> None:
+        """Handle a REPLY message (Figure 5, ``receive_reply``)."""
+        query_id = message.query_id
+        state = self.pending.get(query_id)
+        if state is None or state.completed:
+            return  # stale reply (query already answered or timed out away)
+        for descriptor in message.matching:
+            state.matching.setdefault(descriptor.address, descriptor)
+        outstanding = state.waiting.pop(message.sender, None)
+        if outstanding is not None and outstanding.timer is not None:
+            self.transport.cancel(outstanding.timer)
+        if not state.idle():
+            return
+        if not state.sigma_met() and state.level >= 0:
+            self._forward(query_id, state)
+        else:
+            self._complete(query_id, state)
+
+    # -- forwarding (Figure 5, ``forward``) ----------------------------------------
+
+    def _forward(self, query_id: QueryId, state: _PendingQuery) -> None:
+        while state.level > 0:
+            if self._forward_at_level(query_id, state):
+                return
+            state.level -= 1
+            state.dimensions = set(range(self.schema.dimensions))
+        if state.level == 0:
+            state.level = -1  # the C0 fan-out happens exactly once
+            self._fan_out_zero(query_id, state)
+            if not state.idle():
+                return
+        if state.idle():
+            self._complete(query_id, state)
+
+    def _forward_at_level(self, query_id: QueryId, state: _PendingQuery) -> bool:
+        """Try to forward along one dimension at the current level.
+
+        Returns True if a message was sent (the scan resumes on reply).
+        """
+        for dim in sorted(state.dimensions):
+            region = self.routing.region(state.level, dim)
+            if not region.overlaps(state.index_ranges):
+                continue
+            # The neighboring cell overlaps Q. Whether or not we know an
+            # inhabitant, this (level, dim) branch is now considered
+            # explored: remove the dimension so the subtree rooted at the
+            # neighbor cannot propagate back (Figure 5, forward line 4).
+            state.dimensions.discard(dim)
+            neighbor = self._usable_neighbor(state, state.level, dim)
+            if neighbor is None:
+                # Empty cell (no link must be maintained) — or a broken
+                # link under churn, in which case the region is lost for
+                # this query; the paper's churn runs drop it the same way.
+                # (An unfilled slot is locally indistinguishable from an
+                # empty cell, so the defer-on-broken-link option applies
+                # only where breakage is *observable*: the timeout path.)
+                self.observer.query_dropped(self.address, query_id)
+                continue
+            self._send_query(
+                query_id, state, neighbor, state.level, frozenset(state.dimensions),
+                slot=(state.level, dim),
+            )
+            return True
+        return False
+
+    def _fan_out_zero(self, query_id: QueryId, state: _PendingQuery) -> None:
+        """Fan the query out to the matching members of the own C0 cell."""
+        for neighbor in self.routing.zero_neighbors():
+            if neighbor.address in state.matching:
+                continue
+            if neighbor.address in state.failed:
+                continue
+            if not state.query.matches(neighbor.values):
+                continue
+            self._send_query(
+                query_id, state, neighbor, -1, frozenset(), slot=None
+            )
+
+    def _usable_neighbor(
+        self, state: _PendingQuery, level: int, dim: int
+    ) -> Optional[NodeDescriptor]:
+        neighbor = self.routing.neighbor(level, dim)
+        if neighbor is None or neighbor.address in state.failed:
+            return self.routing.alternative(level, dim, state.failed)
+        return neighbor
+
+    def _send_query(
+        self,
+        query_id: QueryId,
+        state: _PendingQuery,
+        neighbor: NodeDescriptor,
+        level: int,
+        dimensions: frozenset,
+        slot: Optional[Tuple[int, int]],
+    ) -> None:
+        message = QueryMessage(
+            query_id=query_id,
+            sender=self.address,
+            query=state.query,
+            index_ranges=state.index_ranges,
+            sigma=state.sigma,
+            level=level,
+            dimensions=dimensions,
+            budget=max(
+                self.config.min_timeout,
+                state.budget * self.config.budget_decay,
+            ),
+        )
+        timer = self.transport.call_later(
+            state.budget,
+            lambda: self._on_timeout(query_id, neighbor.address),
+        )
+        state.waiting[neighbor.address] = _Outstanding(
+            timer=timer, slot=slot, sent_level=level, sent_dimensions=dimensions
+        )
+        self.observer.query_sent(self.address, neighbor.address, query_id)
+        self.transport.send(self.address, neighbor.address, message)
+
+    # -- timeouts --------------------------------------------------------------------
+
+    def _on_timeout(self, query_id: QueryId, neighbor: Address) -> None:
+        state = self.pending.get(query_id)
+        if state is None or state.completed:
+            return
+        outstanding = state.waiting.pop(neighbor, None)
+        if outstanding is None:
+            return
+        state.failed.add(neighbor)
+        self.observer.neighbor_timeout(self.address, neighbor, query_id)
+        self.routing.remove(neighbor)
+        if self.config.retry_on_timeout and outstanding.slot is not None:
+            level, dim = outstanding.slot
+            alternate = self.routing.alternative(level, dim, state.failed)
+            if alternate is not None:
+                self._send_query(
+                    query_id,
+                    state,
+                    alternate,
+                    outstanding.sent_level,
+                    outstanding.sent_dimensions,
+                    slot=outstanding.slot,
+                )
+                return
+        if (
+            self.config.defer_broken_links is not None
+            and outstanding.slot is not None
+        ):
+            # A link we used just broke and no alternate is known: park the
+            # branch and let the gossip layer repair the slot (Section 6.6's
+            # "delay the query until the overlay has been restored").
+            self._defer_branch(
+                query_id,
+                state,
+                outstanding.slot,
+                outstanding.sent_level,
+                outstanding.sent_dimensions,
+            )
+            return
+        if not state.idle():
+            return
+        if not state.sigma_met() and state.level >= 0:
+            self._forward(query_id, state)
+        else:
+            self._complete(query_id, state)
+
+    # -- deferred branches (broken-link repair window) -------------------------------
+
+    def _defer_branch(
+        self,
+        query_id: QueryId,
+        state: _PendingQuery,
+        slot: Tuple[int, int],
+        sent_level: int,
+        sent_dimensions: frozenset,
+    ) -> None:
+        state.deferred += 1
+        self.transport.call_later(
+            self.config.defer_broken_links,
+            lambda: self._retry_deferred(
+                query_id, slot, sent_level, sent_dimensions
+            ),
+        )
+
+    def _retry_deferred(
+        self,
+        query_id: QueryId,
+        slot: Tuple[int, int],
+        sent_level: int,
+        sent_dimensions: frozenset,
+    ) -> None:
+        state = self.pending.get(query_id)
+        if state is None or state.completed:
+            return
+        state.deferred -= 1
+        level, dim = slot
+        neighbor = self.routing.alternative(level, dim, state.failed)
+        if neighbor is not None and not state.sigma_met():
+            self._send_query(
+                query_id, state, neighbor, sent_level, sent_dimensions,
+                slot=slot,
+            )
+            return
+        if neighbor is None:
+            self.observer.query_dropped(self.address, query_id)
+        if not state.idle():
+            return
+        if not state.sigma_met() and state.level >= 0:
+            self._forward(query_id, state)
+        else:
+            self._complete(query_id, state)
+
+    # -- completion --------------------------------------------------------------------
+
+    def _complete(self, query_id: QueryId, state: _PendingQuery) -> None:
+        state.completed = True
+        for outstanding in state.waiting.values():
+            if outstanding.timer is not None:
+                self.transport.cancel(outstanding.timer)
+        state.waiting.clear()
+        self.pending.pop(query_id, None)
+        descriptors = list(state.matching.values())
+        if state.parent is None:
+            self.observer.query_completed(self.address, query_id, descriptors)
+            if state.on_complete is not None:
+                state.on_complete(query_id, descriptors)
+        else:
+            self._send_reply(state.parent, query_id, tuple(descriptors))
+
+    def _send_reply(
+        self,
+        parent: Address,
+        query_id: QueryId,
+        matching: Tuple[NodeDescriptor, ...],
+    ) -> None:
+        self.observer.reply_sent(self.address, parent, query_id)
+        self.transport.send(
+            self.address,
+            parent,
+            ReplyMessage(query_id=query_id, sender=self.address, matching=matching),
+        )
+
+    def _remember(self, query_id: QueryId) -> None:
+        self._seen[query_id] = None
+        while len(self._seen) > self.config.seen_history:
+            self._seen.popitem(last=False)

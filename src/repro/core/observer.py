@@ -1,0 +1,53 @@
+"""Observation hooks for protocol instrumentation.
+
+The node protocol reports every externally meaningful event to a
+:class:`ProtocolObserver`. Metric collectors (routing overhead, delivery,
+per-node load — see :mod:`repro.metrics`) subclass this instead of patching
+protocol internals, keeping measurement strictly separated from behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.descriptors import Address, NodeDescriptor
+    from repro.core.messages import QueryId
+
+
+class ProtocolObserver:
+    """No-op base class; override the events you care about."""
+
+    def query_sent(
+        self, sender: "Address", receiver: "Address", query_id: "QueryId"
+    ) -> None:
+        """A QUERY message left *sender* toward *receiver*."""
+
+    def query_received(
+        self, node: "Address", query_id: "QueryId", matched: bool
+    ) -> None:
+        """A node received a QUERY; *matched* tells if its attributes match."""
+
+    def reply_sent(
+        self, sender: "Address", receiver: "Address", query_id: "QueryId"
+    ) -> None:
+        """A REPLY message left *sender* toward *receiver*."""
+
+    def query_completed(
+        self,
+        origin: "Address",
+        query_id: "QueryId",
+        matching: Sequence["NodeDescriptor"],
+    ) -> None:
+        """The originating node assembled the final candidate set."""
+
+    def duplicate_query(self, node: "Address", query_id: "QueryId") -> None:
+        """A node received the same QUERY twice (stale links under churn)."""
+
+    def neighbor_timeout(
+        self, node: "Address", neighbor: "Address", query_id: "QueryId"
+    ) -> None:
+        """A forwarded QUERY timed out; the neighbor is presumed failed."""
+
+    def query_dropped(self, node: "Address", query_id: "QueryId") -> None:
+        """A QUERY could not be propagated further due to a broken link."""

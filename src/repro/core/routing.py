@@ -1,0 +1,247 @@
+"""Per-node routing state: neighboring-cell links and the C0 member list.
+
+Section 4.1: each node keeps (i) ``neighborsZero`` — links to every other
+node in its own lowest-level cell ``C0(X)`` — and (ii) for every level
+``l >= 1`` and dimension ``k``, one link ``n(l,k)(X)`` to some node in the
+neighboring cell ``N(l,k)(X)``, when that cell is non-empty.
+
+Beyond the single selected neighbor per slot, the table retains a small set
+of *alternates* per slot (other known inhabitants of the same cell). These
+serve two purposes: fail-over when a forwarded query times out (Section 4.3,
+the timeout T(q)), and candidate material for the gossip selection function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.cells import (
+    Region,
+    Slot,
+    ZERO_SLOT,
+    iter_slots,
+    neighboring_region,
+    slot_of,
+)
+from repro.core.descriptors import Address, NodeDescriptor
+
+
+class RoutingTable:
+    """Cell-classified link state of one node.
+
+    Parameters
+    ----------
+    owner:
+        Descriptor of the node owning this table.
+    dimensions, max_level:
+        Geometry of the attribute space.
+    alternates_per_slot:
+        How many fallback descriptors to retain per neighboring-cell slot.
+    zero_capacity:
+        Optional cap on the C0 member list; ``None`` (the default) keeps
+        every known C0 member, as the paper requires for the final fan-out.
+    """
+
+    def __init__(
+        self,
+        owner: NodeDescriptor,
+        dimensions: int,
+        max_level: int,
+        alternates_per_slot: int = 3,
+        zero_capacity: Optional[int] = None,
+    ) -> None:
+        self.owner = owner
+        self.dimensions = dimensions
+        self.max_level = max_level
+        self.alternates_per_slot = alternates_per_slot
+        self.zero_capacity = zero_capacity
+        self._primary: Dict[Tuple[int, int], NodeDescriptor] = {}
+        self._alternates: Dict[Tuple[int, int], Dict[Address, NodeDescriptor]] = {}
+        self._zero: Dict[Address, NodeDescriptor] = {}
+        # Region geometry is computed on demand: most nodes in a large
+        # deployment never forward a query, and eagerly materializing
+        # d * max_level Region objects per node dominates memory at scale.
+        self._regions: Dict[Tuple[int, int], Region] = {}
+
+    # -- classification --------------------------------------------------------
+
+    def classify(self, descriptor: NodeDescriptor) -> Slot:
+        """Which slot (``ZERO_SLOT`` or ``(level, dim)``) *descriptor* fills."""
+        return slot_of(self.owner.coordinates, descriptor.coordinates, self.max_level)
+
+    def region(self, level: int, dim: int) -> Region:
+        """The region of the neighboring cell ``N(level, dim)(owner)``."""
+        region = self._regions.get((level, dim))
+        if region is None:
+            region = neighboring_region(self.owner.coordinates, level, dim)
+            self._regions[(level, dim)] = region
+        return region
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, descriptor: NodeDescriptor) -> bool:
+        """Insert or refresh a link; returns True if the table changed.
+
+        Self-descriptors are ignored. A descriptor replaces the primary for
+        its slot only when the slot is empty; otherwise it is kept as an
+        alternate (evicting an arbitrary older alternate when full).
+        """
+        if descriptor.address == self.owner.address:
+            return False
+        slot = self.classify(descriptor)
+        # A known address whose new attributes place it in a *different*
+        # slot (the node's resources changed) must not linger in the old
+        # one — purge every stale copy before inserting.
+        current = self._locate(descriptor.address)
+        if current is not None and current != slot:
+            self.remove(descriptor.address)
+        if slot == ZERO_SLOT:
+            if descriptor.address in self._zero:
+                if self._zero[descriptor.address] == descriptor:
+                    return False
+                self._zero[descriptor.address] = descriptor
+                return True
+            if (
+                self.zero_capacity is not None
+                and len(self._zero) >= self.zero_capacity
+            ):
+                return False
+            self._zero[descriptor.address] = descriptor
+            return True
+        level, dim = slot  # type: ignore[misc]
+        primary = self._primary.get((level, dim))
+        if primary is None:
+            self._primary[(level, dim)] = descriptor
+            return True
+        if primary.address == descriptor.address:
+            if primary != descriptor:
+                self._primary[(level, dim)] = descriptor
+                return True
+            return False
+        alternates = self._alternates.setdefault((level, dim), {})
+        if descriptor.address in alternates:
+            if alternates[descriptor.address] == descriptor:
+                return False
+            alternates[descriptor.address] = descriptor
+            return True
+        if len(alternates) >= self.alternates_per_slot:
+            return False
+        alternates[descriptor.address] = descriptor
+        return True
+
+    def _locate(self, address: Address) -> Optional[Slot]:
+        """The slot currently holding *address*, or None if unknown."""
+        if address in self._zero:
+            return ZERO_SLOT
+        for slot, descriptor in self._primary.items():
+            if descriptor.address == address:
+                return slot
+        for slot, alternates in self._alternates.items():
+            if address in alternates:
+                return slot
+        return None
+
+    def remove(self, address: Address) -> None:
+        """Drop every link to *address*, promoting an alternate if needed."""
+        self._zero.pop(address, None)
+        for slot in list(self._primary):
+            if self._primary[slot].address == address:
+                del self._primary[slot]
+                alternates = self._alternates.get(slot)
+                if alternates:
+                    _, promoted = alternates.popitem()
+                    self._primary[slot] = promoted
+        for alternates in self._alternates.values():
+            alternates.pop(address, None)
+
+    def rebuild(self, owner: NodeDescriptor) -> List[NodeDescriptor]:
+        """Re-seat the table around a new *owner* descriptor.
+
+        Called when the node's own attributes change: every previously known
+        descriptor is reclassified against the new coordinates. Returns the
+        descriptors that were reinserted (useful for reseeding gossip).
+        """
+        known = list(self.descriptors())
+        self.owner = owner
+        self._primary.clear()
+        self._alternates.clear()
+        self._zero.clear()
+        self._regions.clear()
+        for descriptor in known:
+            self.add(descriptor)
+        return known
+
+    # -- lookup -----------------------------------------------------------------
+
+    def neighbor(self, level: int, dim: int) -> Optional[NodeDescriptor]:
+        """The selected neighbor ``n(level, dim)``, or None (empty cell)."""
+        return self._primary.get((level, dim))
+
+    def alternative(
+        self, level: int, dim: int, exclude: Set[Address]
+    ) -> Optional[NodeDescriptor]:
+        """Another known inhabitant of ``N(level, dim)`` not in *exclude*."""
+        primary = self._primary.get((level, dim))
+        if primary is not None and primary.address not in exclude:
+            return primary
+        for descriptor in self._alternates.get((level, dim), {}).values():
+            if descriptor.address not in exclude:
+                return descriptor
+        return None
+
+    def zero_neighbors(self) -> Iterator[NodeDescriptor]:
+        """Iterate over the known members of the owner's C0 cell."""
+        return iter(tuple(self._zero.values()))
+
+    def descriptors(self) -> Iterator[NodeDescriptor]:
+        """Iterate over every descriptor in the table (all link kinds)."""
+        seen: Set[Address] = set()
+        for descriptor in list(self._primary.values()):
+            if descriptor.address not in seen:
+                seen.add(descriptor.address)
+                yield descriptor
+        for alternates in list(self._alternates.values()):
+            for descriptor in list(alternates.values()):
+                if descriptor.address not in seen:
+                    seen.add(descriptor.address)
+                    yield descriptor
+        for descriptor in list(self._zero.values()):
+            if descriptor.address not in seen:
+                seen.add(descriptor.address)
+                yield descriptor
+
+    def filled_slots(self) -> Set[Tuple[int, int]]:
+        """The neighboring-cell slots that currently have a primary link."""
+        return set(self._primary)
+
+    def empty_slots(self) -> Iterator[Tuple[int, int]]:
+        """Neighboring-cell slots with no known inhabitant."""
+        for slot in iter_slots(self.dimensions, self.max_level):
+            if slot not in self._primary:
+                yield slot
+
+    def link_count(self) -> int:
+        """Total number of distinct links, including fallback alternates."""
+        return sum(1 for _ in self.descriptors())
+
+    def primary_link_count(self) -> int:
+        """Selected links only: one per non-empty slot plus the C0 members.
+
+        This is the link count the paper measures in Fig. 10 — the
+        alternates are an implementation extra (fail-over cache), not part
+        of the protocol's nominal link state.
+        """
+        return len(self._primary) + len(self._zero)
+
+    def zero_count(self) -> int:
+        """Number of C0 links."""
+        return len(self._zero)
+
+    def addresses(self) -> Set[Address]:
+        """All addresses present in the table."""
+        return {descriptor.address for descriptor in self.descriptors()}
+
+    def bulk_load(self, descriptors: Iterable[NodeDescriptor]) -> None:
+        """Insert many descriptors (bootstrap helper)."""
+        for descriptor in descriptors:
+            self.add(descriptor)

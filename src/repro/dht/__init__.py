@@ -1,0 +1,15 @@
+"""Chord-style DHT substrate and the SWORD resource-discovery baseline."""
+
+from repro.dht.chord import ChordNode, ChordRing
+from repro.dht.hashing import DEFAULT_BITS, distance, hash_key, in_half_open
+from repro.dht.sword import SwordIndex
+
+__all__ = [
+    "ChordNode",
+    "ChordRing",
+    "DEFAULT_BITS",
+    "distance",
+    "hash_key",
+    "in_half_open",
+    "SwordIndex",
+]

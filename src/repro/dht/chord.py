@@ -1,0 +1,176 @@
+"""A Chord-style structured overlay with message accounting.
+
+This is the delegation-based substrate the paper compares against in
+Section 6.4 (they use Bamboo; the indexing pattern, and hence the load
+imbalance under skew, is identical on any DHT). Routing is the classic
+iterative greedy finger traversal: at every hop the *contacted* node does
+work, and that work is what the load-distribution experiment measures.
+
+The ring is built statically with exact successor lists and finger tables —
+equivalent to a converged, churn-free DHT, which is the favourable setting
+for the baseline (its Fig. 9(b) load imbalance is *not* an artifact of
+churn).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dht.hashing import DEFAULT_BITS, distance, hash_key, in_half_open
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class ChordNode:
+    """One DHT participant: identifier, finger table, local storage."""
+
+    address: int
+    node_id: int
+    fingers: List[int] = field(default_factory=list)       # addresses
+    successors: List[int] = field(default_factory=list)    # addresses
+    store: Dict[int, List[object]] = field(default_factory=dict)
+
+    def put_local(self, key: int, value: object) -> None:
+        """Store a value under *key* at this node."""
+        self.store.setdefault(key, []).append(value)
+
+    def get_local(self, key: int) -> List[object]:
+        """Fetch the values stored under *key* at this node."""
+        return list(self.store.get(key, ()))
+
+
+class ChordRing:
+    """A converged Chord ring over a fixed member set."""
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        bits: int = DEFAULT_BITS,
+        successor_count: int = 4,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not addresses:
+            raise ConfigurationError("a ring needs at least one node")
+        self.bits = bits
+        self.rng = rng or random.Random(0)
+        self.nodes: Dict[int, ChordNode] = {}
+        used_ids = set()
+        for address in addresses:
+            node_id = hash_key(f"node:{address}", bits)
+            while node_id in used_ids:  # vanishingly rare collision
+                node_id = (node_id + 1) % (1 << bits)
+            used_ids.add(node_id)
+            self.nodes[address] = ChordNode(address=address, node_id=node_id)
+        self._ring: List[Tuple[int, int]] = sorted(
+            (node.node_id, node.address) for node in self.nodes.values()
+        )
+        self._ids = [node_id for node_id, _ in self._ring]
+        self._build_tables(successor_count)
+        #: Messages processed per node address (the Fig. 9(b) measure).
+        self.load: Counter = Counter()
+        self.lookups = 0
+        self.total_hops = 0
+
+    # -- construction -------------------------------------------------------------
+
+    def _successor_of(self, point: int) -> int:
+        """Address of the first node at or clockwise after *point*."""
+        index = bisect_left(self._ids, point % (1 << self.bits))
+        if index == len(self._ids):
+            index = 0
+        return self._ring[index][1]
+
+    def _build_tables(self, successor_count: int) -> None:
+        size = len(self._ring)
+        for position, (node_id, address) in enumerate(self._ring):
+            node = self.nodes[address]
+            node.successors = [
+                self._ring[(position + offset) % size][1]
+                for offset in range(1, min(successor_count, size) + 1)
+            ]
+            node.fingers = [
+                self._successor_of((node_id + (1 << k)) % (1 << self.bits))
+                for k in range(self.bits)
+            ]
+
+    # -- routing ----------------------------------------------------------------------
+
+    def owner_of(self, key: int) -> int:
+        """Address of the node responsible for *key* (oracle view)."""
+        return self._successor_of(key)
+
+    def lookup(self, key: int, origin: int) -> Tuple[int, int]:
+        """Iteratively route *key* from *origin*; returns (owner, hops).
+
+        Every contacted node's load counter is incremented — including the
+        final owner, which serves the request.
+        """
+        key %= 1 << self.bits
+        current = origin
+        hops = 0
+        self.lookups += 1
+        for _ in range(len(self.nodes) + self.bits):
+            node = self.nodes[current]
+            if in_half_open(
+                self._predecessor_id(current), node.node_id, key, self.bits
+            ):
+                self.load[current] += 1  # the owner serves the request
+                self.total_hops += hops
+                return current, hops
+            nxt = self._closest_preceding(node, key)
+            if nxt == current:
+                nxt = node.successors[0]
+            current = nxt
+            hops += 1
+            self.load[current] += 1  # the contacted node does work
+        raise RuntimeError("lookup did not converge; corrupt ring state")
+
+    def _predecessor_id(self, address: int) -> int:
+        node_id = self.nodes[address].node_id
+        index = self._ids.index(node_id)
+        return self._ring[index - 1][0]
+
+    def _closest_preceding(self, node: ChordNode, key: int) -> int:
+        best = node.address
+        best_distance = distance(node.node_id, key, self.bits)
+        for finger in node.fingers:
+            finger_id = self.nodes[finger].node_id
+            gap = distance(finger_id, key, self.bits)
+            if 0 < gap < best_distance:
+                best = finger
+                best_distance = gap
+        return best
+
+    # -- storage -----------------------------------------------------------------------
+
+    def put(self, key: int, value: object, origin: int) -> int:
+        """Route a PUT from *origin*; returns the storing node's address."""
+        owner, _ = self.lookup(key, origin)
+        self.nodes[owner].put_local(key, value)
+        return owner
+
+    def get(self, key: int, origin: int) -> List[object]:
+        """Route a GET from *origin*; returns the stored values."""
+        owner, _ = self.lookup(key, origin)
+        return self.nodes[owner].get_local(key)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def addresses(self) -> List[int]:
+        """All member addresses."""
+        return list(self.nodes)
+
+    def mean_hops(self) -> float:
+        """Average lookup path length (should be O(log N))."""
+        return self.total_hops / self.lookups if self.lookups else 0.0
+
+    def reset_load(self) -> None:
+        """Clear the message-accounting counters."""
+        self.load.clear()
+        self.lookups = 0
+        self.total_hops = 0

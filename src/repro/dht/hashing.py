@@ -1,0 +1,40 @@
+"""Identifier-space helpers for the DHT substrate.
+
+A flat 2**m identifier circle (Chord-style). Keys and node identifiers are
+SHA-1 hashes truncated to m bits; all interval arithmetic is circular.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+#: Default identifier width in bits.
+DEFAULT_BITS = 32
+
+
+def hash_key(key: Union[str, bytes, int], bits: int = DEFAULT_BITS) -> int:
+    """Map an arbitrary key onto the identifier circle."""
+    if isinstance(key, int):
+        key = str(key)
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    digest = hashlib.sha1(key).digest()
+    return int.from_bytes(digest[: (bits + 7) // 8], "big") % (1 << bits)
+
+
+def in_half_open(start: int, end: int, point: int, bits: int = DEFAULT_BITS) -> bool:
+    """True if *point* lies in the circular half-open interval (start, end]."""
+    start %= 1 << bits
+    end %= 1 << bits
+    point %= 1 << bits
+    if start < end:
+        return start < point <= end
+    if start > end:
+        return point > start or point <= end
+    return True  # the full circle
+
+
+def distance(start: int, end: int, bits: int = DEFAULT_BITS) -> int:
+    """Clockwise distance from *start* to *end* on the circle."""
+    return (end - start) % (1 << bits)

@@ -1,0 +1,65 @@
+"""Figure 7 — routing overhead vs. query selectivity.
+
+Three series per testbed (PeerSim in 7(a), DAS in 7(b)):
+
+* *best case, σ=∞*: queries aligned to a single (dyadic) cell — overhead
+  stays negligible at every selectivity;
+* *worst case, σ=∞*: queries straddling every dimension and level —
+  overhead peaks at low-to-mid selectivity (the paper reports 257 messages
+  at f = 0.125 against 12,500 matches) and falls as f → 1 because fewer
+  nodes fail to match;
+* *worst case, σ=50*: the threshold truncates the depth-first search, so
+  overhead collapses to near zero everywhere.
+
+The paper also observes the worst-case overhead is nearly independent of N
+(compare 7(a) at 100,000 with 7(b) at 1,000): it depends on the geometry
+(d, max(l)), not the population.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import PAPER_PEERSIM, ExperimentConfig
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.workloads.queries import best_case_query, worst_case_query
+
+DEFAULT_SELECTIVITIES = (0.05, 0.125, 0.25, 0.5, 0.75, 1.0)
+
+#: The three series of the figure: (label, query kind, sigma).
+SERIES = (
+    ("best_sigma_inf", "best", None),
+    ("worst_sigma_inf", "worst", None),
+    ("worst_sigma_50", "worst", 50),
+)
+
+
+def run(
+    selectivities: Sequence[float] = DEFAULT_SELECTIVITIES,
+    queries_per_point: int = 15,
+    config: Optional[ExperimentConfig] = None,
+) -> List[Dict[str, float]]:
+    """Run the sweep; one row per selectivity with a column per series."""
+    cfg = config or PAPER_PEERSIM
+    schema = cfg.schema()
+    deployment, metrics = build_deployment(cfg)
+    rows: List[Dict[str, float]] = []
+    for selectivity in selectivities:
+        row: Dict[str, float] = {"selectivity": selectivity}
+        for label, kind, sigma in SERIES:
+            factory = best_case_query if kind == "best" else worst_case_query
+            outcomes = measure_queries(
+                deployment,
+                metrics,
+                lambda rng, f=selectivity: factory(schema, f, rng),
+                count=queries_per_point,
+                sigma=sigma,
+                seed=cfg.seed + int(selectivity * 1000),
+            )
+            row[label] = mean_overhead(outcomes)
+        rows.append(row)
+    return rows

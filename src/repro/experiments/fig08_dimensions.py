@@ -1,0 +1,45 @@
+"""Figure 8 — routing overhead vs. number of dimensions.
+
+The paper sweeps d from 2 to 20 (f = 0.125, σ = 50) in both the PeerSim and
+DAS setups and finds the overhead "remains very low" and roughly constant —
+the property that distinguishes the cell overlay from Voronoi- and
+CAN-style designs whose cost explodes with dimensionality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import PAPER_PEERSIM, ExperimentConfig
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.workloads.queries import aligned_selectivity_query
+
+DEFAULT_DIMENSIONS = (2, 4, 6, 8, 10, 14, 20)
+
+
+def run(
+    dimensions: Sequence[int] = DEFAULT_DIMENSIONS,
+    queries_per_point: int = 25,
+    config: Optional[ExperimentConfig] = None,
+) -> List[Dict[str, float]]:
+    """Run the sweep; returns rows of ``{dimensions, overhead}``."""
+    base = config or PAPER_PEERSIM
+    rows: List[Dict[str, float]] = []
+    for d in dimensions:
+        cfg = base.scaled(base.network_size, dimensions=d)
+        schema = cfg.schema()
+        deployment, metrics = build_deployment(cfg)
+        outcomes = measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+            count=queries_per_point,
+            sigma=cfg.sigma,
+            seed=cfg.seed + d,
+        )
+        rows.append({"dimensions": d, "overhead": mean_overhead(outcomes)})
+    return rows

@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    header = [column for column in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([_format_cell(row.get(column)) for column in columns])
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_histogram(
+    percentages: Sequence[float],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a percentage histogram as horizontal ASCII bars."""
+    lines = [title] if title else []
+    peak = max(percentages) if percentages else 1.0
+    for label, value in zip(labels, percentages):
+        bar = "#" * int(round(width * value / peak)) if peak else ""
+        lines.append(f"{label:>12}  {value:6.2f}%  {bar}")
+    return "\n".join(lines)

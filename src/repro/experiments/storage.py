@@ -1,0 +1,57 @@
+"""Persistence for experiment results.
+
+Experiment modules return plain row dictionaries; this module writes them
+to versioned JSON files (one per experiment run) so long sweeps can be
+re-rendered, diffed against the paper, or plotted later without re-running
+the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+FORMAT_VERSION = 1
+
+
+def save_rows(
+    path: Union[str, Path],
+    experiment: str,
+    rows: Sequence[Dict[str, Any]],
+    parameters: Optional[Dict[str, Any]] = None,
+    timestamp: Optional[float] = None,
+) -> Path:
+    """Write experiment rows (plus metadata) to *path* as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format_version": FORMAT_VERSION,
+        "experiment": experiment,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "parameters": dict(parameters or {}),
+        "rows": [dict(row) for row in rows],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_rows(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a result document written by :func:`save_rows`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r} in {path}"
+        )
+    return document
+
+
+def list_results(directory: Union[str, Path]) -> List[Path]:
+    """All result files under *directory*, newest first."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    files = [p for p in directory.glob("*.json") if p.is_file()]
+    return sorted(files, key=lambda p: p.stat().st_mtime, reverse=True)

@@ -1,0 +1,63 @@
+"""Table 1 — default simulation parameters, and its verification.
+
+Besides reprinting the table, :func:`verify_defaults` checks that the
+library's default objects actually embody these values, so the table in
+EXPERIMENTS.md can never silently drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.node import NodeConfig
+from repro.experiments.config import (
+    PAPER_DAS,
+    PAPER_PEERSIM,
+    ExperimentConfig,
+)
+from repro.gossip.maintenance import GossipConfig
+
+TABLE1_ROWS: List[Dict[str, object]] = [
+    {"parameter": "Network size (N)", "value": "100,000 (PeerSim) / 1,000 (DAS)"},
+    {"parameter": "Query selectivity (f)", "value": "0.125"},
+    {"parameter": "Max. no. requested nodes (sigma)", "value": "50"},
+    {"parameter": "Dimensions (d)", "value": "5"},
+    {"parameter": "Nesting depth (max(l))", "value": "3"},
+    {"parameter": "Gossip period", "value": "10 seconds"},
+    {"parameter": "Gossip cache size", "value": "20"},
+]
+
+
+def verify_defaults() -> List[str]:
+    """Cross-check Table 1 against the library defaults; returns violations."""
+    problems: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    check(PAPER_PEERSIM.network_size == 100_000, "PeerSim N != 100,000")
+    check(PAPER_DAS.network_size == 1_000, "DAS N != 1,000")
+    check(PAPER_PEERSIM.selectivity == 0.125, "f != 0.125")
+    check(PAPER_PEERSIM.sigma == 50, "sigma != 50")
+    check(PAPER_PEERSIM.dimensions == 5, "d != 5")
+    check(PAPER_PEERSIM.max_level == 3, "max(l) != 3")
+    check(GossipConfig().period == 10.0, "gossip period != 10 s")
+    check(GossipConfig().cache_size == 20, "gossip cache != 20")
+    check(
+        PAPER_PEERSIM.schema().dimensions == 5,
+        "schema dimensionality mismatch",
+    )
+    check(
+        PAPER_PEERSIM.schema().cells_per_dimension == 8,
+        "nesting depth mismatch in schema",
+    )
+    check(
+        isinstance(PAPER_PEERSIM.node_config(), NodeConfig),
+        "node_config not constructible",
+    )
+    check(
+        isinstance(ExperimentConfig().gossip_config(), GossipConfig),
+        "gossip_config not constructible",
+    )
+    return problems

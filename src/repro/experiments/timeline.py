@@ -1,0 +1,79 @@
+"""Delivery-over-time measurement shared by the churn/failure figures.
+
+Sections 6.6/6.7 measure *delivery* — the fraction of matching nodes that
+actually receive each query — by issuing one threshold-less query every few
+seconds while the membership scenario (churn, massive failure, PlanetLab
+kills) unfolds. Queries are issued fire-and-forget; delivery is computed
+from the reception records, so a query whose collection phase is disrupted
+still reports how far it spread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.util.rng import derive_rng
+from repro.workloads.queries import aligned_selectivity_query
+
+
+def delivery_timeline(
+    deployment: Deployment,
+    metrics: MetricsCollector,
+    start: float,
+    duration: float,
+    query_interval: float = 30.0,
+    selectivity: float = 0.125,
+    grace: float = 60.0,
+    seed: int = 5,
+) -> List[Dict[str, float]]:
+    """Issue periodic queries from *start* for *duration* seconds.
+
+    Returns rows of ``{time, delivery, expected}`` — one per issued query,
+    with delivery evaluated against the nodes that matched *and were alive*
+    at issue time (the paper's ground truth).
+    """
+    rng = derive_rng(seed, "timeline")
+    schema = deployment.schema
+    pending: List[Dict[str, object]] = []
+    time = start
+    end = start + duration
+    while time < end:
+        deployment.simulator.run(until=time)
+        alive = deployment.alive_hosts()
+        if not alive:
+            break
+        query = aligned_selectivity_query(schema, selectivity, rng)
+        expected = {
+            descriptor.address
+            for descriptor in deployment.matching_descriptors(query)
+        }
+        origin = rng.choice(alive)
+        query_id = origin.issue_query(query)  # no threshold: measure spread
+        pending.append(
+            {"time": time, "query_id": query_id, "expected": expected}
+        )
+        time += query_interval
+    deployment.simulator.run(until=end + grace)
+    rows: List[Dict[str, float]] = []
+    for item in pending:
+        record = metrics.records.get(item["query_id"])
+        expected = item["expected"]
+        delivery = record.delivery(expected) if record is not None else 0.0
+        rows.append(
+            {
+                "time": item["time"],
+                "delivery": delivery,
+                "expected": len(expected),
+            }
+        )
+    return rows
+
+
+def mean_delivery_after(
+    rows: List[Dict[str, float]], time: float
+) -> Optional[float]:
+    """Average delivery of the queries issued at or after *time*."""
+    tail = [row["delivery"] for row in rows if row["time"] >= time]
+    return sum(tail) / len(tail) if tail else None

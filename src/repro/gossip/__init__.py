@@ -1,0 +1,25 @@
+"""Gossip-based overlay maintenance: CYCLON + Vicinity-style top layer."""
+
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+from repro.gossip.messages import (
+    CyclonReply,
+    CyclonRequest,
+    VicinityReply,
+    VicinityRequest,
+)
+from repro.gossip.vicinity import VicinityProtocol
+from repro.gossip.view import PartialView, ViewEntry
+
+__all__ = [
+    "CyclonProtocol",
+    "GossipConfig",
+    "TwoLayerMaintenance",
+    "CyclonReply",
+    "CyclonRequest",
+    "VicinityReply",
+    "VicinityRequest",
+    "VicinityProtocol",
+    "PartialView",
+    "ViewEntry",
+]

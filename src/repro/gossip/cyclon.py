@@ -1,0 +1,124 @@
+"""CYCLON: inexpensive membership management (random peer sampling).
+
+Voulgaris, Gavidia, van Steen (JNSM 2005), as used by the paper's bottom
+gossip layer (Section 5): every node keeps a small cache of ``Kc`` random
+links; each cycle it contacts the *oldest* entry, trades a few links, and
+thereby keeps the overlay a well-mixed random graph from which failed nodes
+are rapidly flushed (the oldest entry is removed on contact and only
+reinstated if the peer actually answers — here the peer's answer itself is
+evidence of liveness).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.gossip.messages import CyclonReply, CyclonRequest
+from repro.gossip.view import PartialView, ViewEntry
+
+#: Callback invoked with freshly learned entries (feeds the top layer).
+DescriptorSink = Callable[[Sequence[ViewEntry]], None]
+SendFunction = Callable[[Address, object], None]
+
+
+class CyclonProtocol:
+    """One node's CYCLON state machine (transport-agnostic).
+
+    The owner drives it by calling :meth:`initiate_shuffle` once per gossip
+    cycle and routing incoming :class:`CyclonRequest`/:class:`CyclonReply`
+    messages to :meth:`handle_request`/:meth:`handle_reply`.
+    """
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        send: SendFunction,
+        rng: random.Random,
+        cache_size: int = 20,
+        shuffle_length: int = 8,
+        sink: Optional[DescriptorSink] = None,
+    ) -> None:
+        self.descriptor = descriptor
+        self.send = send
+        self.rng = rng
+        self.view = PartialView(cache_size)
+        self.shuffle_length = min(shuffle_length, cache_size)
+        self.sink = sink
+        self._outstanding: Optional[Address] = None
+        self._outstanding_sent: List[Address] = []
+
+    @property
+    def address(self) -> Address:
+        """Owner's address."""
+        return self.descriptor.address
+
+    def update_descriptor(self, descriptor: NodeDescriptor) -> None:
+        """Adopt a new self-descriptor (attributes changed)."""
+        self.descriptor = descriptor
+
+    def seed(self, descriptors: Sequence[NodeDescriptor]) -> None:
+        """Bootstrap the view with initial contacts (join procedure)."""
+        for descriptor in descriptors:
+            if descriptor.address != self.address:
+                self.view.add(ViewEntry(descriptor, age=0))
+
+    # -- cycle ------------------------------------------------------------------
+
+    def initiate_shuffle(self) -> Optional[Address]:
+        """Run one active cycle; returns the contacted peer (or None).
+
+        Steps (CYCLON enhanced shuffle): age the view, pick the oldest
+        entry Q, remove it, send Q a subset of size ``shuffle_length``
+        containing a fresh self-descriptor.
+        """
+        self.view.increase_ages()
+        target = self.view.oldest()
+        if target is None:
+            return None
+        self.view.remove(target.address)
+        sample = self.view.sample(
+            self.rng, self.shuffle_length - 1, exclude=(target.address,)
+        )
+        entries = [ViewEntry(self.descriptor, age=0)] + sample
+        self._outstanding = target.address
+        self._outstanding_sent = [entry.address for entry in sample]
+        self.send(target.address, CyclonRequest(entries=tuple(entries)))
+        return target.address
+
+    def handle_request(self, sender: Address, message: CyclonRequest) -> None:
+        """Passive side of a shuffle: answer with our own subset, merge."""
+        sample = self.view.sample(self.rng, self.shuffle_length, exclude=(sender,))
+        self.send(sender, CyclonReply(entries=tuple(sample)))
+        self._merge(message.entries, sent=[entry.address for entry in sample])
+
+    def handle_reply(self, sender: Address, message: CyclonReply) -> None:
+        """Active side completion: merge the peer's subset."""
+        if self._outstanding == sender:
+            self._outstanding = None
+        self._merge(message.entries, sent=self._outstanding_sent)
+        self._outstanding_sent = []
+
+    def shuffle_timed_out(self, peer: Address) -> None:
+        """The contacted peer never answered: treat it as dead.
+
+        The entry was already removed when the shuffle started, so nothing
+        else is required — this hook exists for symmetry and metrics.
+        """
+        if self._outstanding == peer:
+            self._outstanding = None
+            self._outstanding_sent = []
+
+    # -- internals ------------------------------------------------------------------
+
+    def _merge(self, received: Sequence[ViewEntry], sent: Sequence[Address]) -> None:
+        self.view.merge(received, sent=sent, self_address=self.address)
+        if self.sink is not None:
+            self.sink(
+                [entry for entry in received if entry.address != self.address]
+            )
+
+    def known_descriptors(self) -> List[NodeDescriptor]:
+        """Descriptors currently in the random view."""
+        return [entry.descriptor for entry in self.view]

@@ -1,0 +1,39 @@
+"""Wire messages of the two gossip layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gossip.view import ViewEntry
+
+
+@dataclass(frozen=True)
+class CyclonRequest:
+    """A CYCLON shuffle initiation carrying the initiator's exchange set."""
+
+    entries: Tuple[ViewEntry, ...]
+
+
+@dataclass(frozen=True)
+class CyclonReply:
+    """The shuffle answer carrying the responder's exchange set."""
+
+    entries: Tuple[ViewEntry, ...]
+
+
+@dataclass(frozen=True)
+class VicinityRequest:
+    """A semantic-layer exchange initiation (Vicinity-style)."""
+
+    entries: Tuple[ViewEntry, ...]
+
+
+@dataclass(frozen=True)
+class VicinityReply:
+    """The semantic-layer exchange answer."""
+
+    entries: Tuple[ViewEntry, ...]
+
+
+GossipMessage = (CyclonRequest, CyclonReply, VicinityRequest, VicinityReply)

@@ -1,0 +1,159 @@
+"""Partial views for gossip protocols.
+
+A *partial view* is a small, bounded set of node descriptors annotated with
+an *age* (number of gossip cycles since the descriptor was created by its
+owner). Ages drive both peer selection (CYCLON contacts its oldest entry)
+and garbage collection (older information loses to fresher information on
+merge), which is what flushes dead nodes out of the system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.descriptors import Address, NodeDescriptor
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """A descriptor plus its gossip age."""
+
+    descriptor: NodeDescriptor
+    age: int = 0
+
+    @property
+    def address(self) -> Address:
+        """Address of the described node."""
+        return self.descriptor.address
+
+    def aged(self, increment: int = 1) -> "ViewEntry":
+        """Return a copy with the age increased by *increment*."""
+        return replace(self, age=self.age + increment)
+
+
+class PartialView:
+    """A bounded, age-annotated set of descriptors (one entry per address)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("view capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[Address, ViewEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._entries
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(list(self._entries.values()))
+
+    def entries(self) -> List[ViewEntry]:
+        """All entries as a list (stable only within a call)."""
+        return list(self._entries.values())
+
+    def addresses(self) -> List[Address]:
+        """All addresses in the view."""
+        return list(self._entries.keys())
+
+    def get(self, address: Address) -> Optional[ViewEntry]:
+        """The entry for *address*, or None."""
+        return self._entries.get(address)
+
+    def increase_ages(self) -> None:
+        """Age every entry by one cycle (start of a gossip cycle)."""
+        self._entries = {
+            address: entry.aged() for address, entry in self._entries.items()
+        }
+
+    def oldest(self) -> Optional[ViewEntry]:
+        """The entry with the highest age (CYCLON's gossip target)."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda entry: entry.age)
+
+    def random_entry(self, rng: random.Random) -> Optional[ViewEntry]:
+        """A uniformly random entry, or None if empty."""
+        if not self._entries:
+            return None
+        return rng.choice(list(self._entries.values()))
+
+    def sample(
+        self,
+        rng: random.Random,
+        count: int,
+        exclude: Sequence[Address] = (),
+    ) -> List[ViewEntry]:
+        """Up to *count* random entries, excluding the given addresses."""
+        excluded = set(exclude)
+        pool = [
+            entry
+            for entry in self._entries.values()
+            if entry.address not in excluded
+        ]
+        if len(pool) <= count:
+            return pool
+        return rng.sample(pool, count)
+
+    def remove(self, address: Address) -> None:
+        """Drop the entry for *address* if present."""
+        self._entries.pop(address, None)
+
+    def add(self, entry: ViewEntry) -> bool:
+        """Insert or refresh an entry; keeps the freshest per address.
+
+        Returns True if the view changed. When full and the address is new,
+        the entry is rejected (use :meth:`merge` for replacement policies).
+        """
+        existing = self._entries.get(entry.address)
+        if existing is not None:
+            if entry.age < existing.age or entry.descriptor != existing.descriptor:
+                self._entries[entry.address] = entry
+                return True
+            return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries[entry.address] = entry
+        return True
+
+    def merge(
+        self,
+        received: Iterable[ViewEntry],
+        sent: Sequence[Address] = (),
+        self_address: Optional[Address] = None,
+    ) -> None:
+        """CYCLON merge rule.
+
+        Insert received entries, discarding our own address; keep the
+        freshest entry per address. When the view overflows, first evict
+        entries that were *sent* in the exchange (they live on at the peer),
+        then the oldest remaining entries.
+        """
+        for entry in received:
+            if self_address is not None and entry.address == self_address:
+                continue
+            existing = self._entries.get(entry.address)
+            if existing is None or entry.age < existing.age:
+                self._entries[entry.address] = entry
+        overflow = len(self._entries) - self.capacity
+        if overflow <= 0:
+            return
+        sent_candidates = [
+            address
+            for address in sent
+            if address in self._entries and overflow > 0
+        ]
+        for address in sent_candidates:
+            if overflow <= 0:
+                break
+            del self._entries[address]
+            overflow -= 1
+        if overflow > 0:
+            by_age = sorted(
+                self._entries.values(), key=lambda entry: entry.age, reverse=True
+            )
+            for entry in by_age[:overflow]:
+                del self._entries[entry.address]

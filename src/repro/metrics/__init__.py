@@ -1,0 +1,36 @@
+"""Measurement: the paper's efficiency and correctness metrics."""
+
+from repro.metrics.collectors import MetricsCollector, QueryRecord
+from repro.metrics.traffic import (
+    GossipTrafficReport,
+    entry_wire_bytes,
+    measure_gossip_traffic,
+    message_wire_bytes,
+)
+from repro.metrics.stats import (
+    gini,
+    histogram_fixed,
+    histogram_percent_of_max,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "QueryRecord",
+    "GossipTrafficReport",
+    "entry_wire_bytes",
+    "measure_gossip_traffic",
+    "message_wire_bytes",
+    "gini",
+    "histogram_fixed",
+    "histogram_percent_of_max",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,143 @@
+"""Protocol metric collection.
+
+Implements the paper's measures (Section 6):
+
+* **routing overhead** — "the average number of hops traveled by a query
+  through nodes that did not match the query themselves";
+* **delivery** — "the fraction of matching nodes that actually receive the
+  query";
+* **per-node load** — "messages (queries and replies) dispatched by each
+  node" (Fig. 9);
+* correctness counters: duplicate receptions (must be zero on a converged
+  overlay) and drops due to broken links.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.messages import QueryId
+from repro.core.observer import ProtocolObserver
+
+
+@dataclass
+class QueryRecord:
+    """Everything observed about a single query."""
+
+    query_id: QueryId
+    received_by: Set[Address] = field(default_factory=set)
+    matched_receivers: Set[Address] = field(default_factory=set)
+    queries_sent: int = 0
+    replies_sent: int = 0
+    duplicates: int = 0
+    drops: int = 0
+    timeouts: int = 0
+    result: Optional[List[NodeDescriptor]] = None
+
+    @property
+    def origin(self) -> Address:
+        """The originating node (encoded in the query id)."""
+        return self.query_id[0]
+
+    @property
+    def completed(self) -> bool:
+        """True once the origin assembled its final candidate set."""
+        return self.result is not None
+
+    def routing_overhead(self) -> int:
+        """Hops through nodes that did not match (excluding the origin)."""
+        non_matching = self.received_by - self.matched_receivers
+        non_matching.discard(self.origin)
+        return len(non_matching)
+
+    def delivery(self, expected: Iterable[Address]) -> float:
+        """Fraction of ground-truth matching nodes that saw the query."""
+        expected_set = set(expected)
+        if not expected_set:
+            return 1.0
+        return len(expected_set & self.received_by) / len(expected_set)
+
+
+class MetricsCollector(ProtocolObserver):
+    """Observer aggregating per-query records and per-node message load."""
+
+    def __init__(self) -> None:
+        self.records: Dict[QueryId, QueryRecord] = {}
+        self.load: Counter = Counter()
+
+    def _record(self, query_id: QueryId) -> QueryRecord:
+        record = self.records.get(query_id)
+        if record is None:
+            record = QueryRecord(query_id=query_id)
+            self.records[query_id] = record
+        return record
+
+    # -- ProtocolObserver -------------------------------------------------------
+
+    def query_sent(
+        self, sender: Address, receiver: Address, query_id: QueryId
+    ) -> None:
+        self._record(query_id).queries_sent += 1
+        self.load[sender] += 1
+
+    def query_received(
+        self, node: Address, query_id: QueryId, matched: bool
+    ) -> None:
+        record = self._record(query_id)
+        record.received_by.add(node)
+        if matched:
+            record.matched_receivers.add(node)
+
+    def reply_sent(
+        self, sender: Address, receiver: Address, query_id: QueryId
+    ) -> None:
+        self._record(query_id).replies_sent += 1
+        self.load[sender] += 1
+
+    def query_completed(
+        self,
+        origin: Address,
+        query_id: QueryId,
+        matching: Sequence[NodeDescriptor],
+    ) -> None:
+        self._record(query_id).result = list(matching)
+
+    def duplicate_query(self, node: Address, query_id: QueryId) -> None:
+        self._record(query_id).duplicates += 1
+
+    def neighbor_timeout(
+        self, node: Address, neighbor: Address, query_id: QueryId
+    ) -> None:
+        self._record(query_id).timeouts += 1
+
+    def query_dropped(self, node: Address, query_id: QueryId) -> None:
+        self._record(query_id).drops += 1
+
+    # -- aggregates ----------------------------------------------------------------
+
+    def mean_routing_overhead(self) -> float:
+        """Average routing overhead across all recorded queries."""
+        if not self.records:
+            return 0.0
+        total = sum(record.routing_overhead() for record in self.records.values())
+        return total / len(self.records)
+
+    def total_duplicates(self) -> int:
+        """Total duplicate receptions (zero on a converged overlay)."""
+        return sum(record.duplicates for record in self.records.values())
+
+    def load_distribution(self) -> List[int]:
+        """Messages dispatched per node, ascending."""
+        return sorted(self.load.values())
+
+    def reset_load(self) -> None:
+        """Clear per-node load counters (keep query records)."""
+        self.load.clear()
+
+    def reset(self) -> None:
+        """Clear everything."""
+        self.records.clear()
+        self.load.clear()

@@ -1,0 +1,119 @@
+"""Small statistics helpers used when rendering the paper's figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for an empty sequence)."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile with linear interpolation."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((value - center) ** 2 for value in values) / len(values))
+
+
+def histogram_percent_of_max(
+    values: Sequence[float], buckets: int = 10
+) -> List[float]:
+    """Bucket values by their percentage of the maximum (Figs. 9/10 style).
+
+    Returns, per bucket, the *percentage of nodes* whose value falls into
+    that percent-of-max band: bucket i covers ``(i*100/buckets,
+    (i+1)*100/buckets]`` percent of the maximum observed value (the first
+    bucket includes zero).
+    """
+    if not values:
+        return [0.0] * buckets
+    maximum = max(values)
+    counts = [0] * buckets
+    for value in values:
+        if maximum == 0:
+            fraction = 0.0
+        else:
+            fraction = value / maximum
+        index = min(buckets - 1, int(fraction * buckets - 1e-9))
+        counts[index] += 1
+    total = len(values)
+    return [100.0 * count / total for count in counts]
+
+
+def histogram_fixed(
+    values: Sequence[float], edges: Sequence[float]
+) -> List[float]:
+    """Percentage of values in each ``[edges[i], edges[i+1])`` band.
+
+    Values at or above the last edge land in the final band.
+    """
+    bands = len(edges) - 1
+    counts = [0] * bands
+    for value in values:
+        placed = False
+        for index in range(bands - 1):
+            if edges[index] <= value < edges[index + 1]:
+                counts[index] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    total = len(values) or 1
+    return [100.0 * count / total for count in counts]
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a load distribution (0 = perfectly balanced).
+
+    A compact scalar summary used by the load-balance benchmarks to compare
+    our protocol against the DHT baseline.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for index, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += cumulative
+    n = len(ordered)
+    return (n + 1 - 2 * weighted / total) / n
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/median/p95/max/stddev summary of a sample."""
+    return {
+        "mean": mean(values),
+        "median": median(values),
+        "p95": percentile(values, 95.0),
+        "max": max(values) if values else 0.0,
+        "stddev": stddev(values),
+    }

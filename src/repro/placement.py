@@ -1,0 +1,131 @@
+"""Decentralized job placement on top of resource selection.
+
+The paper closes: "resource selection is just the first step towards a
+complete decentralized job execution system". This module takes that step
+for the simulated cluster: a :class:`JobPlacer` selects candidate machines
+with the overlay's lookup primitive, claims execution slots on them, and
+releases the slots when jobs finish.
+
+Slot occupancy is a *dynamic attribute* (footnote 1 of the paper): it is
+never gossiped or registered anywhere — each node answers queries against
+its own live slot count — so two consecutive placements never double-book a
+machine, with no registry in the loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import SimulatedCluster
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.query import Query
+from repro.util.errors import ReproError
+
+#: Dynamic attribute advertising how many execution slots a node has free.
+FREE_SLOTS = "free_slots"
+
+
+class PlacementError(ReproError):
+    """Raised when a job cannot be placed on enough machines."""
+
+
+@dataclass
+class Job:
+    """A placed job: which machines run it and how many slots it holds."""
+
+    job_id: int
+    query: Query
+    machines: List[NodeDescriptor] = field(default_factory=list)
+    released: bool = False
+
+    @property
+    def width(self) -> int:
+        """Number of machines the job occupies."""
+        return len(self.machines)
+
+
+class JobPlacer:
+    """Places jobs on a :class:`SimulatedCluster` using self-selection."""
+
+    def __init__(
+        self, cluster: SimulatedCluster, slots_per_node: int = 2
+    ) -> None:
+        self.cluster = cluster
+        self.slots_per_node = slots_per_node
+        self._job_ids = itertools.count(1)
+        self.jobs: Dict[int, Job] = {}
+        for host in cluster.deployment.alive_hosts():
+            host.node.set_dynamic_value(FREE_SLOTS, float(slots_per_node))
+
+    # -- slot accounting ------------------------------------------------------
+
+    def free_slots(self, address: Address) -> int:
+        """Free execution slots on one machine."""
+        node = self.cluster.deployment.hosts[address].node
+        return int(node.dynamic_values.get(FREE_SLOTS, 0.0))
+
+    def _claim(self, address: Address) -> None:
+        node = self.cluster.deployment.hosts[address].node
+        free = node.dynamic_values.get(FREE_SLOTS, 0.0)
+        if free < 1.0:
+            raise PlacementError(f"machine {address} has no free slot")
+        node.set_dynamic_value(FREE_SLOTS, free - 1.0)
+
+    def _release(self, address: Address) -> None:
+        host = self.cluster.deployment.hosts.get(address)
+        if host is None or not host.alive:
+            return  # the machine crashed; nothing to release
+        free = host.node.dynamic_values.get(FREE_SLOTS, 0.0)
+        host.node.set_dynamic_value(
+            FREE_SLOTS, min(float(self.slots_per_node), free + 1.0)
+        )
+
+    # -- placement --------------------------------------------------------------
+
+    def place(self, requirements: Query, machines: int) -> Job:
+        """Place a job on *machines* nodes satisfying *requirements*.
+
+        The requirements are extended with a free-slot dynamic constraint,
+        so busy machines exclude themselves during query routing. Raises
+        :class:`PlacementError` when not enough machines qualify.
+        """
+        query = requirements.with_dynamic(**{FREE_SLOTS: (1.0, None)})
+        result = self.cluster.select(query, max_nodes=machines)
+        if len(result.descriptors) < machines:
+            raise PlacementError(
+                f"needed {machines} machines, found {len(result.descriptors)}"
+            )
+        selected = result.descriptors[:machines]
+        for descriptor in selected:
+            self._claim(descriptor.address)
+        job = Job(job_id=next(self._job_ids), query=query, machines=selected)
+        self.jobs[job.job_id] = job
+        return job
+
+    def release(self, job_id: int) -> None:
+        """Finish a job: return its slots to the machines."""
+        job = self.jobs.get(job_id)
+        if job is None or job.released:
+            return
+        for descriptor in job.machines:
+            self._release(descriptor.address)
+        job.released = True
+
+    # -- introspection -------------------------------------------------------------
+
+    def running_jobs(self) -> List[Job]:
+        """Jobs currently holding slots."""
+        return [job for job in self.jobs.values() if not job.released]
+
+    def total_busy_slots(self) -> int:
+        """Slots claimed across the whole cluster."""
+        return sum(job.width for job in self.running_jobs())
+
+    def utilization(self) -> float:
+        """Fraction of all execution slots currently claimed."""
+        capacity = self.slots_per_node * len(
+            self.cluster.deployment.alive_hosts()
+        )
+        return self.total_busy_slots() / capacity if capacity else 0.0

@@ -1,0 +1,11 @@
+"""Threaded local runtime (the cluster-emulation substrate)."""
+
+from repro.runtime.local import LocalRuntime, RuntimeHost, RuntimeTransport
+from repro.runtime.scheduler import TimerScheduler
+
+__all__ = [
+    "LocalRuntime",
+    "RuntimeHost",
+    "RuntimeTransport",
+    "TimerScheduler",
+]

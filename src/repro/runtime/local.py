@@ -1,0 +1,269 @@
+"""Threaded local runtime: the cluster-emulation analogue.
+
+The paper's first implementation was "deployed on the DAS-3 cluster ...
+emulat[ing] a system with 1,000 nodes by running 20 processes per node on
+50 nodes". This runtime plays the same role on one machine: every overlay
+node is a :class:`RuntimeHost` with its own delivery thread and inbox
+queue, exchanging real (in-process) messages with real concurrency, real
+wall-clock timers and real races — the *identical* protocol objects used by
+the simulator, behind a different :class:`~repro.core.transport.Transport`.
+
+Gossip periods are configurable down to tens of milliseconds so convergence
+tests complete quickly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.attributes import AttributeSchema, AttributeValue
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.node import NodeConfig, ResourceNode
+from repro.core.observer import ProtocolObserver
+from repro.core.query import Query
+from repro.core.transport import TimerHandle, Transport
+from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+from repro.runtime.scheduler import TimerScheduler
+from repro.util.rng import derive_rng
+
+_STOP = object()
+
+
+class RuntimeTransport(Transport):
+    """Per-host transport over the runtime's queues and shared scheduler."""
+
+    def __init__(self, runtime: "LocalRuntime", address: Address) -> None:
+        self.runtime = runtime
+        self.address = address
+
+    def send(self, sender: Address, receiver: Address, message: object) -> None:
+        self.runtime.deliver(sender, receiver, message)
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def call_later(self, delay: float, callback) -> TimerHandle:
+        host = self.runtime.hosts.get(self.address)
+
+        def guarded() -> None:
+            current = self.runtime.hosts.get(self.address)
+            if current is host and current is not None and current.alive:
+                with current.lock:
+                    callback()
+
+        return self.runtime.scheduler.schedule(delay, guarded)
+
+    def cancel(self, handle: TimerHandle) -> None:
+        self.runtime.scheduler.cancel(handle)
+
+
+class RuntimeHost:
+    """One threaded overlay node."""
+
+    def __init__(
+        self,
+        runtime: "LocalRuntime",
+        descriptor: NodeDescriptor,
+        schema: AttributeSchema,
+        node_config: Optional[NodeConfig],
+        gossip_config: Optional[GossipConfig],
+        observer: Optional[ProtocolObserver],
+        seed: int,
+    ) -> None:
+        self.runtime = runtime
+        self.inbox: "queue.Queue" = queue.Queue()
+        self.lock = threading.RLock()
+        self.alive = True
+        self.transport = RuntimeTransport(runtime, descriptor.address)
+        self.node = ResourceNode(
+            descriptor, schema, self.transport,
+            config=node_config, observer=observer,
+        )
+        self.maintenance: Optional[TwoLayerMaintenance] = None
+        if gossip_config is not None:
+            self.maintenance = TwoLayerMaintenance(
+                self.node,
+                self.transport,
+                derive_rng(seed, f"runtime-host:{descriptor.address}"),
+                gossip_config,
+            )
+        self.thread = threading.Thread(
+            target=self._loop,
+            name=f"repro-host-{descriptor.address}",
+            daemon=True,
+        )
+        self.thread.start()
+
+    @property
+    def address(self) -> Address:
+        """This host's address."""
+        return self.node.address
+
+    def _loop(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is _STOP:
+                return
+            sender, message = item
+            if not self.alive:
+                continue
+            with self.lock:
+                if self.maintenance is not None and self.maintenance.handle_message(
+                    sender, message
+                ):
+                    continue
+                self.node.handle_message(sender, message)
+
+    def start_gossip(self, seeds: Sequence[NodeDescriptor]) -> None:
+        """Seed the views and start periodic maintenance."""
+        if self.maintenance is None:
+            raise RuntimeError("host was built without a gossip configuration")
+        with self.lock:
+            self.maintenance.seed(seeds)
+            self.maintenance.start()
+
+    def issue_query(self, query: Query, sigma=None, on_complete=None):
+        """Originate a query on this host (thread-safe)."""
+        with self.lock:
+            return self.node.issue_query(query, sigma=sigma, on_complete=on_complete)
+
+    def fail(self) -> None:
+        """Crash: stop consuming messages and gossiping."""
+        self.alive = False
+        if self.maintenance is not None:
+            with self.lock:
+                self.maintenance.stop()
+
+    def shutdown(self) -> None:
+        """Stop the delivery thread."""
+        self.fail()
+        self.inbox.put(_STOP)
+        self.thread.join(timeout=5.0)
+
+
+class LocalRuntime:
+    """A set of threaded hosts forming one overlay on this machine."""
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        seed: int = 42,
+        node_config: Optional[NodeConfig] = None,
+        gossip_config: Optional[GossipConfig] = None,
+        observer: Optional[ProtocolObserver] = None,
+    ) -> None:
+        self.schema = schema
+        self.seed = seed
+        self.node_config = node_config
+        self.gossip_config = gossip_config
+        self.observer = observer
+        self.scheduler = TimerScheduler()
+        self.scheduler.start()
+        self.hosts: Dict[Address, RuntimeHost] = {}
+        self._next_address = 0
+        self._lock = threading.Lock()
+
+    # -- membership -------------------------------------------------------------
+
+    def add_host(self, values: Mapping[str, AttributeValue]) -> RuntimeHost:
+        """Create and start one threaded host."""
+        with self._lock:
+            address = self._next_address
+            self._next_address += 1
+        descriptor = NodeDescriptor.build(address, self.schema, values)
+        host = RuntimeHost(
+            self,
+            descriptor,
+            self.schema,
+            self.node_config,
+            self.gossip_config,
+            self.observer,
+            self.seed,
+        )
+        self.hosts[address] = host
+        return host
+
+    def populate(self, sampler, count: int) -> List[RuntimeHost]:
+        """Create *count* hosts from a value sampler."""
+        rng = derive_rng(self.seed, "runtime-population")
+        return [self.add_host(sampler(rng)) for _ in range(count)]
+
+    def bootstrap(self, alternates_per_slot: int = 3) -> None:
+        """Install converged routing tables (no gossip warm-up needed)."""
+        from repro.sim.deployment import bootstrap_links
+
+        bootstrap_links(
+            list(self.hosts.values()),
+            derive_rng(self.seed, "runtime-bootstrap"),
+            alternates_per_slot=alternates_per_slot,
+        )
+
+    def start_gossip(self, seeds_per_node: int = 5) -> None:
+        """Seed every host with random contacts and start maintenance."""
+        rng = derive_rng(self.seed, "runtime-seeds")
+        descriptors = [host.node.descriptor for host in self.hosts.values()]
+        for host in self.hosts.values():
+            pool = [
+                descriptor
+                for descriptor in rng.sample(
+                    descriptors, min(len(descriptors), seeds_per_node + 1)
+                )
+                if descriptor.address != host.address
+            ][:seeds_per_node]
+            host.start_gossip(pool)
+
+    # -- transfer ----------------------------------------------------------------------
+
+    def deliver(self, sender: Address, receiver: Address, message: object) -> None:
+        """Route a message to the receiving host's inbox (lossless, FIFO)."""
+        host = self.hosts.get(receiver)
+        if host is not None and host.alive:
+            host.inbox.put((sender, message))
+
+    # -- queries -----------------------------------------------------------------------
+
+    def execute_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        origin: Optional[Address] = None,
+        timeout: float = 30.0,
+    ) -> List[NodeDescriptor]:
+        """Issue a query and block until its dissemination completes."""
+        alive = [host for host in self.hosts.values() if host.alive]
+        if not alive:
+            raise RuntimeError("no live hosts")
+        host = self.hosts[origin] if origin is not None else alive[0]
+        done = threading.Event()
+        result: List[NodeDescriptor] = []
+
+        def on_complete(query_id, descriptors) -> None:
+            result.extend(descriptors)
+            done.set()
+
+        host.issue_query(query, sigma=sigma, on_complete=on_complete)
+        done.wait(timeout=timeout)
+        return list(result)
+
+    def matching_descriptors(self, query: Query) -> List[NodeDescriptor]:
+        """Ground truth across live hosts."""
+        return [
+            host.node.descriptor
+            for host in self.hosts.values()
+            if host.alive and query.matches(host.node.descriptor.values)
+        ]
+
+    def shutdown(self) -> None:
+        """Stop every host thread and the shared scheduler."""
+        for host in self.hosts.values():
+            host.shutdown()
+        self.scheduler.stop()
+
+    def __enter__(self) -> "LocalRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,95 @@
+"""A wall-clock timer scheduler shared by all threaded-runtime hosts."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, List, Optional
+
+
+class _ScheduledCall:
+    __slots__ = ("deadline", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self, deadline: float, sequence: int, callback: Callable[[], None]
+    ) -> None:
+        self.deadline = deadline
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        return (self.deadline, self.sequence) < (other.deadline, other.sequence)
+
+
+class TimerScheduler:
+    """A single background thread firing callbacks at wall-clock deadlines.
+
+    One shared scheduler serves every host of a :class:`LocalRuntime`;
+    callbacks run on the scheduler thread, so they must be cheap and
+    thread-safe (the runtime hosts wrap them in their per-host locks).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledCall] = []
+        self._sequence = itertools.count()
+        self._condition = threading.Condition()
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-timer-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the scheduler thread and drop pending timers."""
+        with self._condition:
+            self._stopped = True
+            self._condition.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _ScheduledCall:
+        """Schedule *callback* after *delay* wall-clock seconds."""
+        call = _ScheduledCall(
+            time.monotonic() + delay, next(self._sequence), callback
+        )
+        with self._condition:
+            heapq.heappush(self._heap, call)
+            self._condition.notify_all()
+        return call
+
+    def cancel(self, call: _ScheduledCall) -> None:
+        """Cancel a scheduled call (safe to repeat)."""
+        call.cancelled = True
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                if self._stopped:
+                    return
+                now = time.monotonic()
+                if not self._heap:
+                    self._condition.wait(timeout=0.5)
+                    continue
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.deadline > now:
+                    self._condition.wait(timeout=min(0.5, head.deadline - now))
+                    continue
+                call = heapq.heappop(self._heap)
+            if not call.cancelled:
+                try:
+                    call.callback()
+                except Exception:  # noqa: BLE001 - a timer must never kill the loop
+                    pass

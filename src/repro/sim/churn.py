@@ -1,0 +1,133 @@
+"""Membership dynamics: continuous churn and massive-failure scenarios.
+
+These drive the experiments of Sections 6.6 and 6.7:
+
+* :class:`ContinuousChurn` — every ``interval`` seconds a fraction of the
+  live nodes "leave the system and re-enter it under a different identity"
+  (0.1%/0.2% per 10 s in Fig. 11; 0.2% matches observed Gnutella churn).
+* :class:`MassiveFailure` — a one-shot simultaneous crash of 50%/90% of the
+  network (Fig. 12).
+* :class:`RepeatedFailure` — the PlanetLab stress test: kill 10% of the
+  network every 20 minutes *without replacement* (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Mapping, Optional
+
+from repro.core.attributes import AttributeValue
+from repro.sim.deployment import Deployment, ValueSampler
+
+
+class ContinuousChurn:
+    """Rate-based churn: leave-and-rejoin under a new identity."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        rate: float,
+        sampler: ValueSampler,
+        interval: float = 10.0,
+        rng: Optional[random.Random] = None,
+        rejoin: bool = True,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"churn rate must be in [0, 1), got {rate}")
+        self.deployment = deployment
+        self.rate = rate
+        self.sampler = sampler
+        self.interval = interval
+        self.rng = rng or random.Random(7)
+        self.rejoin = rejoin
+        self.events = 0
+        self._running = False
+        self._carry = 0.0
+
+    def start(self) -> None:
+        """Begin churning on the deployment's simulator clock."""
+        self._running = True
+        self.deployment.simulator.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop future churn events."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        alive = self.deployment.alive_hosts()
+        exact = len(alive) * self.rate + self._carry
+        count = int(exact)
+        self._carry = exact - count
+        victims = self.rng.sample(alive, min(count, len(alive)))
+        for host in victims:
+            host.fail()
+            self.events += 1
+            if self.rejoin:
+                self.deployment.join(self.sampler(self.rng), rng=self.rng)
+        self.deployment.simulator.schedule(self.interval, self._tick)
+
+
+class MassiveFailure:
+    """Crash a fraction of the network at a single instant."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        fraction: float,
+        at_time: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"failure fraction must be in (0, 1), got {fraction}")
+        self.deployment = deployment
+        self.fraction = fraction
+        self.at_time = at_time
+        self.rng = rng or random.Random(13)
+        self.victims: List[int] = []
+
+    def arm(self) -> None:
+        """Schedule the failure on the simulator."""
+        self.deployment.simulator.schedule_at(self.at_time, self._fire)
+
+    def _fire(self) -> None:
+        self.victims = self.deployment.kill_fraction(self.fraction, self.rng)
+
+
+class RepeatedFailure:
+    """Kill a fraction of the live network periodically, no replacement."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        fraction: float = 0.10,
+        interval: float = 1200.0,
+        rounds: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.fraction = fraction
+        self.interval = interval
+        self.rounds = rounds
+        self.rng = rng or random.Random(17)
+        self.fired = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the kill schedule."""
+        self._running = True
+        self.deployment.simulator.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop future kill rounds."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self.rounds is not None and self.fired >= self.rounds:
+            return
+        self.deployment.kill_fraction(self.fraction, self.rng)
+        self.fired += 1
+        self.deployment.simulator.schedule(self.interval, self._tick)

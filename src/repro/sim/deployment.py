@@ -1,0 +1,287 @@
+"""Deployment: build, bootstrap and drive a simulated overlay.
+
+This is the workhorse behind every experiment. It assembles the simulator,
+network and hosts; populates the attribute space from a sampler; wires
+routing tables either *exactly* (:func:`bootstrap_links`, the converged
+state the gossip stack reaches after warm-up — the paper likewise lets the
+overlay converge before measuring) or through the real gossip protocols;
+and provides synchronous query execution plus membership operations used by
+the churn scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeSchema, AttributeValue
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.node import NodeConfig
+from repro.core.observer import ProtocolObserver
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.sim.engine import Simulator
+from repro.sim.host import SimHost
+from repro.sim.latency import LatencyModel
+from repro.sim.network import SimNetwork
+from repro.util.rng import derive_rng
+
+#: A sampler draws one node's raw attribute values.
+ValueSampler = Callable[[random.Random], Mapping[str, AttributeValue]]
+
+
+def bootstrap_links(
+    hosts: Sequence[SimHost],
+    rng: random.Random,
+    alternates_per_slot: int = 3,
+) -> None:
+    """Install the converged routing tables directly (no gossip warm-up).
+
+    For every node and every neighboring cell ``N(l,k)`` this picks a
+    *random* inhabitant as the selected neighbor — mirroring the randomness
+    of the gossip selection that the paper credits for load balance
+    ("each node selects its neighbors independently ... evenly distributes
+    the links across all nodes of a given cell") — plus a few alternates,
+    and links every node to all members of its C0 cell.
+    """
+    if not hosts:
+        return
+    # Any object exposing ``.node`` (SimHost, RuntimeHost) can be linked.
+    max_level = hosts[0].node.schema.max_level
+    dimensions = hosts[0].node.schema.dimensions
+    descriptors = [host.node.descriptor for host in hosts]
+
+    # C0 cells: the full coordinate vector identifies the lowest-level cell.
+    by_zero_cell: Dict[Tuple[int, ...], List[NodeDescriptor]] = defaultdict(list)
+    for descriptor in descriptors:
+        by_zero_cell[descriptor.coordinates].append(descriptor)
+
+    # Neighboring-cell buckets. A node Y lies in N(l,k)(X) iff Y's bucket
+    # key under (l,k) equals X's key with the dimension-k component flipped
+    # in its lowest bit (same C_l prefix, same halves below k, sibling half
+    # at k, free below).
+    buckets: Dict[Tuple, List[NodeDescriptor]] = defaultdict(list)
+    for descriptor in descriptors:
+        coordinates = descriptor.coordinates
+        for level in range(1, max_level + 1):
+            for dim in range(dimensions):
+                key = _bucket_key(coordinates, level, dim)
+                buckets[key].append(descriptor)
+
+    for host in hosts:
+        routing = host.node.routing
+        coordinates = host.node.descriptor.coordinates
+        for peer in by_zero_cell[coordinates]:
+            routing.add(peer)  # add() skips the self-descriptor
+        for level in range(1, max_level + 1):
+            for dim in range(dimensions):
+                key = _flipped_key(coordinates, level, dim)
+                bucket = buckets.get(key)
+                if not bucket:
+                    continue
+                picks = min(len(bucket), 1 + alternates_per_slot)
+                for descriptor in rng.sample(bucket, picks):
+                    routing.add(descriptor)
+
+
+def _bucket_key(
+    coordinates: Tuple[int, ...], level: int, dim: int
+) -> Tuple:
+    half = level - 1
+    parts = tuple(
+        index >> half if j <= dim else index >> level
+        for j, index in enumerate(coordinates)
+    )
+    return (level, dim, parts)
+
+
+def _flipped_key(
+    coordinates: Tuple[int, ...], level: int, dim: int
+) -> Tuple:
+    half = level - 1
+    parts = tuple(
+        (index >> half) ^ 1
+        if j == dim
+        else (index >> half if j < dim else index >> level)
+        for j, index in enumerate(coordinates)
+    )
+    return (level, dim, parts)
+
+
+class Deployment:
+    """A complete simulated system: engine, network, and hosts."""
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        seed: int = 42,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        node_config: Optional[NodeConfig] = None,
+        gossip_config: Optional[GossipConfig] = None,
+        observer: Optional[ProtocolObserver] = None,
+    ) -> None:
+        self.schema = schema
+        self.seed = seed
+        self.simulator = Simulator()
+        self.network = SimNetwork(
+            self.simulator,
+            latency=latency,
+            loss_rate=loss_rate,
+            rng=derive_rng(seed, "network"),
+        )
+        self.node_config = node_config or NodeConfig()
+        self.gossip_config = gossip_config
+        self.observer = observer
+        self.hosts: Dict[Address, SimHost] = {}
+        self._next_address = 0
+        self._rng = derive_rng(seed, "deployment")
+        self._population_rng = derive_rng(seed, "population")
+
+    # -- construction -------------------------------------------------------------
+
+    def add_host(
+        self, values: Mapping[str, AttributeValue]
+    ) -> SimHost:
+        """Create one host with the given raw attribute values."""
+        address = self._next_address
+        self._next_address += 1
+        descriptor = NodeDescriptor.build(address, self.schema, values)
+        host = SimHost(
+            descriptor,
+            self.schema,
+            self.network,
+            rng=derive_rng(self.seed, f"host:{address}"),
+            node_config=self.node_config,
+            gossip_config=self.gossip_config,
+            observer=self.observer,
+        )
+        self.hosts[address] = host
+        return host
+
+    def populate(self, sampler: ValueSampler, count: int) -> List[SimHost]:
+        """Create *count* hosts with values drawn from *sampler*.
+
+        The sampler stream persists across calls, so successive batches
+        draw fresh values.
+        """
+        return [
+            self.add_host(sampler(self._population_rng)) for _ in range(count)
+        ]
+
+    def bootstrap(self, alternates_per_slot: int = 3) -> None:
+        """Install converged routing tables for all current hosts."""
+        bootstrap_links(
+            list(self.hosts.values()),
+            derive_rng(self.seed, "bootstrap"),
+            alternates_per_slot=alternates_per_slot,
+        )
+
+    def start_gossip(self, seeds_per_node: int = 5) -> None:
+        """Seed every host with random contacts and start maintenance."""
+        if self.gossip_config is None:
+            raise RuntimeError("deployment was built without a gossip config")
+        rng = derive_rng(self.seed, "gossip-seeds")
+        descriptors = [host.descriptor for host in self.hosts.values()]
+        for host in self.hosts.values():
+            pool = [
+                descriptor
+                for descriptor in rng.sample(
+                    descriptors, min(len(descriptors), seeds_per_node + 1)
+                )
+                if descriptor.address != host.address
+            ][:seeds_per_node]
+            host.start_gossip(pool)
+
+    # -- membership -------------------------------------------------------------------
+
+    def alive_hosts(self) -> List[SimHost]:
+        """Hosts currently attached to the network."""
+        return [host for host in self.hosts.values() if host.alive]
+
+    def alive_descriptors(self) -> List[NodeDescriptor]:
+        """Descriptors of all live hosts."""
+        return [host.descriptor for host in self.alive_hosts()]
+
+    def kill(self, address: Address) -> None:
+        """Crash one host (it stays in ``hosts`` for post-mortem metrics)."""
+        host = self.hosts.get(address)
+        if host is not None and host.alive:
+            host.fail()
+
+    def kill_fraction(
+        self, fraction: float, rng: Optional[random.Random] = None
+    ) -> List[Address]:
+        """Crash a random *fraction* of the live hosts; returns the victims."""
+        rng = rng or self._rng
+        alive = self.alive_hosts()
+        count = int(round(len(alive) * fraction))
+        victims = rng.sample(alive, min(count, len(alive)))
+        for host in victims:
+            host.fail()
+        return [host.address for host in victims]
+
+    def join(
+        self,
+        values: Mapping[str, AttributeValue],
+        contacts: int = 5,
+        rng: Optional[random.Random] = None,
+    ) -> SimHost:
+        """Add a brand-new node that joins through the gossip layer."""
+        rng = rng or self._rng
+        host = self.add_host(values)
+        if self.gossip_config is not None:
+            alive = [
+                peer.descriptor
+                for peer in self.alive_hosts()
+                if peer.address != host.address
+            ]
+            seeds = rng.sample(alive, min(contacts, len(alive))) if alive else []
+            host.start_gossip(seeds)
+        return host
+
+    # -- queries ------------------------------------------------------------------------
+
+    def matching_descriptors(self, query: Query) -> List[NodeDescriptor]:
+        """Ground truth: live descriptors whose attributes satisfy *query*."""
+        return [
+            descriptor
+            for descriptor in self.alive_descriptors()
+            if query.matches(descriptor.values)
+        ]
+
+    def execute_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        origin: Optional[Address] = None,
+        timeout: float = 600.0,
+    ) -> List[NodeDescriptor]:
+        """Issue a query and run the simulator until it completes.
+
+        *origin* defaults to a random live host ("a query can be issued at
+        any node; there is no designated node").
+        """
+        alive = self.alive_hosts()
+        if not alive:
+            raise RuntimeError("no live hosts to issue the query from")
+        if origin is None:
+            host = self._rng.choice(alive)
+        else:
+            host = self.hosts[origin]
+        result: Dict[str, List[NodeDescriptor]] = {}
+
+        def on_complete(query_id, descriptors) -> None:
+            result["matching"] = descriptors
+
+        host.issue_query(query, sigma=sigma, on_complete=on_complete)
+        deadline = self.simulator.now + timeout
+        while "matching" not in result and self.simulator.now < deadline:
+            if not self.simulator.step():
+                break
+        return result.get("matching", [])
+
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by *seconds*."""
+        self.simulator.run(until=self.simulator.now + seconds)

@@ -1,0 +1,117 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event scheduler in the style of PeerSim's
+event-driven mode: a priority queue of timestamped callbacks with stable
+FIFO ordering for simultaneous events, cancellation, and bounded runs.
+Time is a float in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback; cancel via :meth:`Simulator.cancel`."""
+
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self, time: float, sequence: int, callback: Callable[[], None]
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+class Simulator:
+    """Event loop: schedule callbacks and run them in timestamp order."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time, next(self._sequence), callback)
+        heapq.heappush(self._events, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (safe to call more than once)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Execute the next pending event; returns False if none remain."""
+        while self._events:
+            event = heapq.heappop(self._events)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, *until* passes, or the budget ends.
+
+        With ``until`` given, the clock is left at exactly ``until`` even if
+        the queue drained earlier, so periodic measurements stay aligned.
+        """
+        executed = 0
+        while self._events:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._events[0]
+            if head.cancelled:
+                heapq.heappop(self._events)
+                continue
+            if until is not None and head.time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain; returns the number executed."""
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        return executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return sum(1 for event in self._events if not event.cancelled)

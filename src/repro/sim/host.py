@@ -1,0 +1,110 @@
+"""A simulated host: protocol node + gossip maintenance + transport glue."""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional, Sequence
+
+from repro.core.attributes import AttributeSchema, AttributeValue
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.node import CompletionCallback, NodeConfig, ResourceNode
+from repro.core.observer import ProtocolObserver
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+from repro.sim.network import SimNetwork, SimTransport
+
+
+class SimHost:
+    """One overlay participant inside the simulated network.
+
+    A host owns a :class:`ResourceNode` (the query protocol) and, when a
+    gossip configuration is supplied, a :class:`TwoLayerMaintenance` stack
+    that continuously maintains the node's routing table. Messages arriving
+    from the network are dispatched to whichever component understands them.
+    """
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        schema: AttributeSchema,
+        network: SimNetwork,
+        rng: random.Random,
+        node_config: Optional[NodeConfig] = None,
+        gossip_config: Optional[GossipConfig] = None,
+        observer: Optional[ProtocolObserver] = None,
+    ) -> None:
+        self.schema = schema
+        self.network = network
+        self.rng = rng
+        self.transport = SimTransport(network, descriptor.address)
+        self.node = ResourceNode(
+            descriptor,
+            schema,
+            self.transport,
+            config=node_config,
+            observer=observer,
+        )
+        self.maintenance: Optional[TwoLayerMaintenance] = None
+        if gossip_config is not None:
+            self.maintenance = TwoLayerMaintenance(
+                self.node, self.transport, rng, gossip_config
+            )
+        network.attach(descriptor.address, self.handle_message)
+        self.alive = True
+
+    # -- identity ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """This host's address."""
+        return self.node.address
+
+    @property
+    def descriptor(self) -> NodeDescriptor:
+        """This host's current self-descriptor."""
+        return self.node.descriptor
+
+    # -- message dispatch -------------------------------------------------------------
+
+    def handle_message(self, sender: Address, message: object) -> None:
+        """Network callback: route to gossip stack or query protocol."""
+        if self.maintenance is not None and self.maintenance.handle_message(
+            sender, message
+        ):
+            return
+        self.node.handle_message(sender, message)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start_gossip(self, seeds: Sequence[NodeDescriptor] = ()) -> None:
+        """Seed the gossip views and begin periodic maintenance."""
+        if self.maintenance is None:
+            raise RuntimeError("host was built without a gossip configuration")
+        if seeds:
+            self.maintenance.seed(seeds)
+        self.maintenance.start()
+
+    def fail(self) -> None:
+        """Ungraceful departure: vanish from the network immediately."""
+        self.alive = False
+        self.network.detach(self.address)
+        if self.maintenance is not None:
+            self.maintenance.stop()
+
+    def update_attributes(self, values: Mapping[str, AttributeValue]) -> None:
+        """Change this node's attributes in place (no registry involved)."""
+        descriptor = NodeDescriptor.build(self.address, self.schema, values)
+        self.node.update_attributes(descriptor)
+        if self.maintenance is not None:
+            self.maintenance.update_descriptor(descriptor)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def issue_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        on_complete: Optional[CompletionCallback] = None,
+    ):
+        """Originate a query at this host."""
+        return self.node.issue_query(query, sigma=sigma, on_complete=on_complete)

@@ -1,0 +1,123 @@
+"""Simulated network: message delivery with latency, loss, and failures.
+
+The network owns node liveness. Messages to a node that is dead at
+*delivery* time vanish silently — exactly how an ungraceful departure looks
+to the rest of a real system. Per-message latency comes from a pluggable
+:data:`~repro.sim.latency.LatencyModel`; optional uniform message loss
+models an unreliable wide-area substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.core.descriptors import Address
+from repro.core.transport import TimerHandle, Transport
+from repro.sim.engine import Event, Simulator
+from repro.sim.latency import LatencyModel, constant_latency
+
+MessageHandler = Callable[[Address, Any], None]
+
+
+class SimNetwork:
+    """Message fabric connecting simulated hosts."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.simulator = simulator
+        self.latency = latency or constant_latency()
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self._handlers: Dict[Address, MessageHandler] = {}
+        self._alive: Set[Address] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        #: Messages sent, keyed by message class name (traffic accounting).
+        self.type_counts: Counter = Counter()
+        #: Per-sender message counts by class name.
+        self.sent_by: Counter = Counter()
+
+    # -- membership ----------------------------------------------------------------
+
+    def attach(self, address: Address, handler: MessageHandler) -> None:
+        """Register a live host and its message handler."""
+        self._handlers[address] = handler
+        self._alive.add(address)
+
+    def detach(self, address: Address) -> None:
+        """Remove a host (crash): all traffic to it is silently dropped."""
+        self._alive.discard(address)
+        self._handlers.pop(address, None)
+
+    def is_alive(self, address: Address) -> bool:
+        """True if *address* is currently attached."""
+        return address in self._alive
+
+    @property
+    def alive_addresses(self) -> Set[Address]:
+        """Snapshot of the currently live addresses."""
+        return set(self._alive)
+
+    # -- transfer ---------------------------------------------------------------------
+
+    def send(self, sender: Address, receiver: Address, message: Any) -> None:
+        """Queue *message* for delivery after the modeled latency."""
+        self.messages_sent += 1
+        self.type_counts[type(message).__name__] += 1
+        self.sent_by[sender] += 1
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return
+        delay = self.latency(sender, receiver, self.rng)
+        self.simulator.schedule(
+            delay, lambda: self._deliver(sender, receiver, message)
+        )
+
+    def _deliver(self, sender: Address, receiver: Address, message: Any) -> None:
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            self.messages_lost += 1
+            return
+        self.messages_delivered += 1
+        handler(sender, message)
+
+
+class SimTransport(Transport):
+    """Per-node :class:`Transport` view over the shared network.
+
+    Timer callbacks are suppressed once the owning node has been detached,
+    so a crashed node's pending timeouts cannot resurrect protocol activity.
+    """
+
+    def __init__(self, network: SimNetwork, address: Address) -> None:
+        self.network = network
+        self.address = address
+
+    def send(self, sender: Address, receiver: Address, message: Any) -> None:
+        self.network.send(sender, receiver, message)
+
+    def now(self) -> float:
+        return self.network.simulator.now
+
+    def call_later(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        def guarded() -> None:
+            if self.network.is_alive(self.address):
+                callback()
+
+        return self.network.simulator.schedule(delay, guarded)
+
+    def cancel(self, handle: TimerHandle) -> None:
+        if isinstance(handle, Event):
+            self.network.simulator.cancel(handle)

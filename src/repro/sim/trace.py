@@ -1,0 +1,118 @@
+"""Bounded event tracing for simulated runs.
+
+A :class:`TraceRecorder` taps a deployment's network and membership events
+into a bounded ring buffer of timestamped records, for post-mortem
+debugging of protocol behavior ("which messages touched node 17 between
+t=100 and t=130?"). Recording is opt-in and the buffer is bounded, so
+traces never dominate memory in long runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.core.descriptors import Address
+from repro.sim.deployment import Deployment
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str          # "send" | "kill" | "join"
+    sender: Optional[Address]
+    receiver: Optional[Address]
+    message_type: Optional[str]
+
+    def involves(self, address: Address) -> bool:
+        """True if *address* is either endpoint."""
+        return address in (self.sender, self.receiver)
+
+
+class TraceRecorder:
+    """Records network sends (and membership changes) of a deployment."""
+
+    def __init__(self, deployment: Deployment, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.deployment = deployment
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._original_send: Optional[Callable] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin recording (wraps the network's send)."""
+        if self._original_send is not None:
+            return
+        network = self.deployment.network
+        self._original_send = network.send
+
+        def recording_send(sender: Address, receiver: Address, message: Any):
+            if len(self.events) == self.events.maxlen:
+                self.dropped += 1
+            self.events.append(
+                TraceEvent(
+                    time=self.deployment.simulator.now,
+                    kind="send",
+                    sender=sender,
+                    receiver=receiver,
+                    message_type=type(message).__name__,
+                )
+            )
+            self._original_send(sender, receiver, message)
+
+        network.send = recording_send  # type: ignore[method-assign]
+
+    def stop(self) -> None:
+        """Stop recording and restore the network."""
+        if self._original_send is not None:
+            # The wrapper lives in the instance __dict__; deleting it
+            # re-exposes the class's own send method.
+            del self.deployment.network.__dict__["send"]
+            self._original_send = None
+
+    def __enter__(self) -> "TraceRecorder":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def filter(
+        self,
+        address: Optional[Address] = None,
+        kind: Optional[str] = None,
+        message_type: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Events matching all given criteria, in time order."""
+        out = []
+        for event in self.events:
+            if address is not None and not event.involves(address):
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if message_type is not None and event.message_type != message_type:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            out.append(event)
+        return out
+
+    def message_type_counts(self) -> dict:
+        """Histogram of recorded message types."""
+        counts: dict = {}
+        for event in self.events:
+            if event.kind == "send":
+                counts[event.message_type] = counts.get(event.message_type, 0) + 1
+        return counts

@@ -1,0 +1,46 @@
+"""Closed integer-interval helpers used by the cell geometry.
+
+Intervals are represented as ``(low, high)`` tuples with *inclusive* bounds.
+An interval with ``low > high`` is empty. All cell regions in the overlay are
+axis-aligned products of such intervals over the per-dimension cell indices,
+so these few operations carry the entire geometric load of the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+Interval = Tuple[int, int]
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Return True if closed intervals *a* and *b* share at least one point."""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    """Return the intersection of two closed intervals, or None if disjoint."""
+    low = max(a[0], b[0])
+    high = min(a[1], b[1])
+    if low > high:
+        return None
+    return (low, high)
+
+
+def interval_contains(interval: Interval, point: int) -> bool:
+    """Return True if *point* lies inside the closed *interval*."""
+    return interval[0] <= point <= interval[1]
+
+
+def interval_length(interval: Interval) -> int:
+    """Return the number of integer points in the closed *interval*."""
+    return max(0, interval[1] - interval[0] + 1)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp *value* into the closed interval ``[low, high]``."""
+    if value < low:
+        return low
+    if value > high:
+        return high
+    return value

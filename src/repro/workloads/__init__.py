@@ -1,0 +1,31 @@
+"""Node populations and query workloads used by the evaluation."""
+
+from repro.workloads.distributions import (
+    clustered_sampler,
+    normal_sampler,
+    uniform_sampler,
+)
+from repro.workloads.queries import (
+    best_case_query,
+    empirical_box_query,
+    random_box_query,
+    worst_case_query,
+)
+from repro.workloads.xtremlab import (
+    generate_hosts,
+    xtremlab_sampler,
+    xtremlab_schema,
+)
+
+__all__ = [
+    "clustered_sampler",
+    "normal_sampler",
+    "uniform_sampler",
+    "best_case_query",
+    "empirical_box_query",
+    "random_box_query",
+    "worst_case_query",
+    "generate_hosts",
+    "xtremlab_sampler",
+    "xtremlab_schema",
+]

@@ -1,0 +1,118 @@
+"""Unit tests for the Astrolabe-style aggregation baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.astrolabe import AstrolabeTree
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.query import Query
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+def uniform_population(schema, count, seed=1):
+    rng = random.Random(seed)
+    return [
+        NodeDescriptor.build(
+            a, schema, {"x": rng.uniform(0, 80), "y": rng.uniform(0, 80)}
+        )
+        for a in range(count)
+    ]
+
+
+@pytest.fixture
+def tree(schema):
+    return AstrolabeTree(
+        schema, uniform_population(schema, 400), branching=4, leaf_size=8,
+        rng=random.Random(2),
+    )
+
+
+class TestConstruction:
+    def test_needs_nodes(self, schema):
+        with pytest.raises(ConfigurationError):
+            AstrolabeTree(schema, [])
+
+    def test_parameters_validated(self, schema):
+        population = uniform_population(schema, 10)
+        with pytest.raises(ConfigurationError):
+            AstrolabeTree(schema, population, branching=1)
+
+    def test_root_counts_everyone(self, tree):
+        assert tree.root.count == 400
+
+    def test_refresh_costs_one_message_per_edge(self, schema):
+        population = uniform_population(schema, 100)
+        tree = AstrolabeTree(schema, population, branching=4, leaf_size=10)
+        # Edges = zones - 1; the constructor runs one refresh.
+        assert tree.refresh_messages == tree.zone_count() - 1
+        before = tree.refresh_messages
+        tree.refresh()
+        assert tree.refresh_messages == 2 * before
+
+
+class TestEstimation:
+    def test_full_query_counts_exactly(self, schema, tree):
+        assert tree.estimate_count(Query.where(schema)) == 400
+
+    def test_marginal_query_is_exact(self, schema, tree):
+        """Single-attribute ranges are exact (no independence error)."""
+        query = Query.where(schema, x=(40, None))
+        truth = len(tree.enumerate_matching(query))
+        assert abs(tree.estimate_count(query) - truth) < 1.0
+
+    def test_uniform_multiattribute_estimate_close(self, schema, tree):
+        query = Query.where(schema, x=(40, None), y=(40, None))
+        truth = len(tree.enumerate_matching(query))
+        estimate = tree.estimate_count(query)
+        assert truth * 0.6 < estimate < truth * 1.6
+
+    def test_correlated_population_breaks_estimates(self, schema):
+        """The paper's 'approximate': correlations are summarized away."""
+        # Nodes live on the diagonal: x ~ y.
+        population = [
+            NodeDescriptor.build(a, schema, {"x": v, "y": v})
+            for a, v in enumerate(range(0, 80))
+        ]
+        tree = AstrolabeTree(schema, population, branching=4, leaf_size=8)
+        # Anti-diagonal box: nothing matches, but marginals say plenty.
+        query = Query.where(schema, x=(0, 39), y=(40, None))
+        assert len(tree.enumerate_matching(query)) == 0
+        assert tree.estimate_count(query) > 10
+
+
+class TestEnumeration:
+    def test_enumeration_is_exact(self, schema, tree):
+        query = Query.where(schema, x=(30, 60), y=(10, None))
+        expected = {
+            m.address
+            for zone_member in [tree]
+            for m in tree.enumerate_matching(query)
+        }
+        # Compare against brute force over the leaves.
+        brute = set()
+        stack = [tree.root]
+        while stack:
+            zone = stack.pop()
+            for member in zone.members:
+                if query.matches(member.values):
+                    brute.add(member.address)
+            stack.extend(zone.children)
+        assert expected == brute
+
+    def test_enumeration_sweeps_many_zones(self, schema, tree):
+        """Producing the list costs a tree sweep, unlike the cell overlay."""
+        tree.query_messages = 0
+        query = Query.where(schema, x=(40, None))
+        matches = tree.enumerate_matching(query)
+        # Visited zones exceed half the tree for a broad query.
+        assert tree.query_messages > tree.zone_count() / 2
+        assert len(matches) > 100

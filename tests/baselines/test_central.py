@@ -1,0 +1,80 @@
+"""Unit tests for the centralized-registry baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.central import CentralRegistry
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.query import Query
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 80)], max_level=3)
+
+
+def population(schema, count, seed=1):
+    rng = random.Random(seed)
+    return [
+        NodeDescriptor.build(a, schema, {"x": rng.uniform(0, 80)})
+        for a in range(count)
+    ]
+
+
+class TestRegistry:
+    def test_search_matches_ground_truth(self, schema):
+        registry = CentralRegistry()
+        descriptors = population(schema, 100)
+        for descriptor in descriptors:
+            registry.register(descriptor)
+        query = Query.where(schema, x=(40, None))
+        expected = {d.address for d in descriptors if query.matches(d.values)}
+        assert {d.address for d in registry.search(query)} == expected
+
+    def test_sigma_truncates(self, schema):
+        registry = CentralRegistry()
+        for descriptor in population(schema, 100):
+            registry.register(descriptor)
+        assert len(registry.search(Query.where(schema), sigma=7)) == 7
+
+    def test_reregistration_updates_record(self, schema):
+        registry = CentralRegistry()
+        old = NodeDescriptor.build(1, schema, {"x": 10.0})
+        new = NodeDescriptor.build(1, schema, {"x": 70.0})
+        registry.register(old)
+        registry.register(new)
+        assert registry.search(Query.where(schema, x=(60, None)))[0] == new
+        assert len(registry.records) == 1
+
+    def test_server_absorbs_all_load(self, schema):
+        registry = CentralRegistry(server_address=-1)
+        descriptors = population(schema, 50)
+        for descriptor in descriptors:
+            registry.register(descriptor)
+        for origin in range(50):
+            registry.search(Query.where(schema), origin=origin)
+        per_client = max(
+            count for address, count in registry.load.items() if address != -1
+        )
+        assert registry.load[-1] == 100  # 50 registrations + 50 queries
+        assert per_client <= 2
+
+    def test_refresh_all_costs_linear_messages(self, schema):
+        registry = CentralRegistry()
+        for descriptor in population(schema, 30):
+            registry.register(descriptor)
+        before = registry.load[registry.server_address]
+        registry.refresh_all()
+        assert registry.load[registry.server_address] == before + 30
+
+    def test_stale_records_expose_inconsistency(self, schema):
+        registry = CentralRegistry()
+        descriptors = population(schema, 10)
+        for descriptor in descriptors:
+            registry.register(descriptor)
+        alive = [d.address for d in descriptors[:7]]
+        assert sorted(registry.stale_records(alive)) == [7, 8, 9]
+        registry.deregister(7)
+        assert sorted(registry.stale_records(alive)) == [8, 9]

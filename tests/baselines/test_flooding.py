@@ -1,0 +1,76 @@
+"""Unit tests for the flooding baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.flooding import FloodingOverlay
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.query import Query
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 80)], max_level=3)
+
+
+def build(schema, count, degree=6, seed=1):
+    rng = random.Random(seed)
+    descriptors = [
+        NodeDescriptor.build(a, schema, {"x": rng.uniform(0, 80)})
+        for a in range(count)
+    ]
+    return descriptors, FloodingOverlay(descriptors, degree=degree,
+                                        rng=random.Random(seed + 1))
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            FloodingOverlay([])
+
+    def test_ring_plus_chords_connected(self, schema):
+        descriptors, overlay = build(schema, 50)
+        # BFS from node 0 must reach everyone.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for peer in overlay.neighbors[current]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        assert len(seen) == 50
+
+    def test_degree_roughly_met(self, schema):
+        descriptors, overlay = build(schema, 100, degree=8)
+        degrees = [len(neighbors) for neighbors in overlay.neighbors.values()]
+        assert min(degrees) >= 8
+
+
+class TestQuery:
+    def test_large_ttl_reaches_all_matches(self, schema):
+        descriptors, overlay = build(schema, 80)
+        query = Query.where(schema, x=(40, None))
+        expected = {d.address for d in descriptors if query.matches(d.values)}
+        result = overlay.query(0, query, ttl=80)
+        assert {d.address for d in result.matching} == expected
+
+    def test_small_ttl_limits_reach(self, schema):
+        descriptors, overlay = build(schema, 200, degree=4)
+        result = overlay.query(0, Query.where(schema), ttl=1)
+        assert result.reached <= 1 + len(overlay.neighbors[0])
+
+    def test_flooding_cost_scales_with_reach(self, schema):
+        descriptors, overlay = build(schema, 200)
+        result = overlay.query(0, Query.where(schema, x=(79, None)), ttl=200)
+        # Flooding pays the full network cost even for a tiny answer.
+        assert result.messages >= 200
+        assert len(result.matching) < 20
+
+    def test_unknown_origin_rejected(self, schema):
+        descriptors, overlay = build(schema, 10)
+        with pytest.raises(ConfigurationError):
+            overlay.query(999, Query.where(schema))

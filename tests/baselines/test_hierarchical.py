@@ -1,0 +1,113 @@
+"""Unit tests for the hierarchical-registry baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.hierarchical import HierarchicalRegistry
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.query import Query
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 80)], max_level=3)
+
+
+def population(schema, count, seed=1):
+    rng = random.Random(seed)
+    return [
+        NodeDescriptor.build(a, schema, {"x": rng.uniform(0, 80)})
+        for a in range(count)
+    ]
+
+
+@pytest.fixture
+def hierarchy(schema):
+    return HierarchicalRegistry(
+        population(schema, 256), branching=4, nodes_per_leaf=16
+    )
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalRegistry([])
+
+    def test_tree_shape(self, hierarchy):
+        assert len(hierarchy.leaves) == 16
+        assert hierarchy.depth() == 3  # 16 leaves / 4 / 1
+
+    def test_every_node_has_a_home(self, schema, hierarchy):
+        assert len(hierarchy._home) == 256
+
+
+class TestSearch:
+    def test_exhaustive_matches_ground_truth(self, schema, hierarchy):
+        query = Query.where(schema, x=(40, None))
+        found = {d.address for d in hierarchy.search(query)}
+        expected = {
+            address
+            for leaf in hierarchy.leaves
+            for address, record in leaf.records.items()
+            if query.matches(record.values)
+        }
+        assert found == expected
+
+    def test_sigma_resolves_locally_when_possible(self, schema, hierarchy):
+        hierarchy.load.clear()
+        found = hierarchy.search(Query.where(schema), sigma=5, entry_leaf=3)
+        assert len(found) == 5
+        # Satisfied from the entry leaf: only two registries touched.
+        assert len(hierarchy.load) <= 2
+
+    def test_sigma_ascends_when_needed(self, schema, hierarchy):
+        query = Query.where(schema, x=(75, None))  # rare machines
+        found = hierarchy.search(query, sigma=10, entry_leaf=0)
+        assert len(found) == min(
+            10,
+            sum(
+                1
+                for leaf in hierarchy.leaves
+                for record in leaf.records.values()
+                if query.matches(record.values)
+            ),
+        )
+
+
+class TestDelegationCosts:
+    def test_refresh_cost_is_n_times_depth(self, hierarchy):
+        messages = hierarchy.refresh_all()
+        assert messages == 256 * hierarchy.depth()
+
+    def test_interior_registries_carry_refresh_load(self, hierarchy):
+        hierarchy.load.clear()
+        hierarchy.refresh_all()
+        # Interior (non-leaf) servers absorb a disproportionate share:
+        # 5 interior servers vs 16 leaves carry >=1/2 of the traffic...
+        assert hierarchy.interior_load_share() > 0.5
+        # ...and the root alone sees every single record.
+        assert hierarchy.load[hierarchy.root.registry_id] == 256
+
+    def test_registry_failure_hides_subtree(self, schema, hierarchy):
+        query = Query.where(schema)
+        full = len(hierarchy.search(query))
+        victim = hierarchy.root.children[0]
+        hierarchy.fail_registry(victim.registry_id)
+        partial = len(hierarchy.search(query, entry_leaf=15))
+        assert partial < full  # an entire subtree went dark
+
+    def test_stale_record_until_refresh(self, schema, hierarchy):
+        """Critique (ii): the registry answers from its stale copy."""
+        target = next(iter(hierarchy.leaves[0].records.values()))
+        # The node's real attributes change (it no longer matches)...
+        changed = NodeDescriptor.build(target.address, schema, {"x": 0.0})
+        query = Query.where(schema, x=(max(1.0, target.values[0] - 1), None))
+        before = {d.address for d in hierarchy.search(query)}
+        # ...but until update_record runs, the hierarchy still returns it.
+        assert (target.address in before) == query.matches(target.values)
+        hierarchy.update_record(changed)
+        after = {d.address for d in hierarchy.search(query)}
+        assert target.address not in after

@@ -1,0 +1,60 @@
+"""Unit tests for the ordered-slicing baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.ordered_slicing import OrderedSlicing
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("mem", 0, 100)], max_level=3)
+
+
+def population(schema, count, seed=1):
+    rng = random.Random(seed)
+    return [
+        NodeDescriptor.build(a, schema, {"mem": rng.uniform(0, 100)})
+        for a in range(count)
+    ]
+
+
+class TestOrderedSlicing:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            OrderedSlicing([], metric_dim=0)
+
+    def test_disorder_decreases_with_rounds(self, schema):
+        slicing = OrderedSlicing(
+            population(schema, 150), metric_dim=0, rng=random.Random(2)
+        )
+        initial = slicing.disorder()
+        slicing.run(25)
+        assert slicing.disorder() < initial / 3
+
+    def test_converged_slice_is_accurate(self, schema):
+        slicing = OrderedSlicing(
+            population(schema, 150), metric_dim=0, rng=random.Random(2)
+        )
+        slicing.run(40)
+        assert slicing.slice_accuracy(0.2) >= 0.7
+
+    def test_every_query_costs_whole_network_gossip(self, schema):
+        """The paper's critique: each slicing run involves all N nodes."""
+        slicing = OrderedSlicing(
+            population(schema, 100), metric_dim=0, rng=random.Random(3)
+        )
+        slicing.run(10)
+        assert slicing.messages >= 10 * 100  # rounds x nodes x view samples
+
+    def test_top_slice_size_roughly_fraction(self, schema):
+        slicing = OrderedSlicing(
+            population(schema, 200), metric_dim=0, rng=random.Random(5)
+        )
+        slicing.run(40)
+        size = len(slicing.top_slice(0.25))
+        assert 0.15 * 200 <= size <= 0.35 * 200

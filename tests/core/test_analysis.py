@@ -1,0 +1,40 @@
+"""Tests for the closed-form geometry analysis."""
+
+from repro.core.analysis import (
+    expected_cell_occupancy,
+    expected_nonempty_slot_fraction,
+    nominal_neighbor_slots,
+    summarize_geometry,
+)
+
+
+class TestFormulas:
+    def test_paper_cell_count(self):
+        """Section 6.5: (2^d)^max(l); for d=5, max(l)=3 that is 32768."""
+        summary = summarize_geometry(100_000, 5, 3)
+        assert summary.cells == 32_768
+
+    def test_nominal_slots_linear_in_d(self):
+        assert nominal_neighbor_slots(5, 3) == 15
+        assert nominal_neighbor_slots(20, 3) == 60
+
+    def test_occupancy(self):
+        # The paper's PeerSim config: ~3 nodes per lowest-level cell.
+        occupancy = expected_cell_occupancy(100_000, 5, 3)
+        assert 3.0 < occupancy < 3.1
+
+    def test_sparse_regime_detection(self):
+        assert not summarize_geometry(100_000, 5, 3).sparse
+        # 16 dimensions: 8^16 cells; any realistic N is sparse.
+        assert summarize_geometry(100_000, 16, 3).sparse
+
+    def test_nonempty_slot_fraction_bounds(self):
+        dense = expected_nonempty_slot_fraction(100_000, 2, 3)
+        sparse = expected_nonempty_slot_fraction(1_000, 16, 3)
+        assert 0.99 < dense <= 1.0
+        assert 0.0 <= sparse < 0.01
+
+    def test_nonempty_monotone_in_n(self):
+        small = expected_nonempty_slot_fraction(100, 5, 3)
+        large = expected_nonempty_slot_fraction(10_000, 5, 3)
+        assert large > small

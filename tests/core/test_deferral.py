@@ -1,0 +1,113 @@
+"""Tests for the defer-on-broken-link option (Section 6.6 alternative).
+
+"An alternative is to delay the query until the overlay has been restored
+by the underlying gossip protocols. ... this would have allowed delivery
+close to 1. Latency would have increased though."
+
+A broken link is only locally observable as a *timeout* on a forwarded
+query; deferral therefore parks the timed-out branch and retries after a
+repair window, instead of abandoning the region.
+"""
+
+from repro.core.node import NodeConfig
+from repro.core.query import Query
+
+from test_node_protocol import build_overlay
+
+
+def deferred_config():
+    return NodeConfig(
+        query_timeout=1.0, min_timeout=0.2, defer_broken_links=2.0
+    )
+
+
+class TestDeferral:
+    def test_branch_waits_for_repair(self):
+        """A slot repaired during the defer window is still served."""
+        # Node 1 (dead) and node 2 (alive) share the far cell; node 0
+        # initially only knows node 1.
+        coords = [(0, 0), (7, 7), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords, config=deferred_config()
+        )
+        primary = nodes[0].routing.neighbor(3, 0)
+        dead = primary.address
+        alive = 3 - dead
+        nodes[0].routing.remove(alive)  # only the doomed link remains
+        transport.disconnect(dead)
+        results = {}
+        nodes[0].issue_query(
+            Query.where(schema, d0=(7, None)),
+            on_complete=lambda qid, found: results.update(found=found),
+        )
+        transport.run()
+        transport.advance(1.5)  # past the timeout: branch parks, no links
+        assert "found" not in results
+        # Gossip "repairs" the slot during the defer window.
+        nodes[0].routing.add(nodes[alive].descriptor)
+        # Retry fires at t=3; the live node's own probe of its dead C0
+        # twin times out shortly after, then the reply propagates back.
+        transport.advance(4.0)
+        assert [d.address for d in results["found"]] == [alive]
+
+    def test_unrepaired_branch_gives_up_after_window(self):
+        coords = [(0, 0), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords, config=deferred_config()
+        )
+        transport.disconnect(1)
+        results = {}
+        nodes[0].issue_query(
+            Query.where(schema, d0=(7, None)),
+            on_complete=lambda qid, found: results.update(found=found),
+        )
+        transport.run()
+        transport.advance(4.0)  # timeout + defer window, still no link
+        assert results["found"] == []
+        record = next(iter(metrics.records.values()))
+        assert record.drops == 1
+
+    def test_empty_cells_never_defer(self):
+        """Unfilled slots complete immediately — no parked latency."""
+        coords = [(0, 0), (1, 0)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords, config=deferred_config()
+        )
+        results = {}
+        nodes[0].issue_query(
+            Query.where(schema),  # overlaps many genuinely empty cells
+            on_complete=lambda qid, found: results.update(found=found),
+        )
+        transport.run()  # completes without any timer advancing
+        assert {d.address for d in results["found"]} == {0, 1}
+
+    def test_sigma_met_while_deferred_skips_retry_send(self):
+        # Origin and a C0 twin satisfy sigma; the far node is unreachable.
+        coords = [(0, 0), (0, 0), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords, config=deferred_config()
+        )
+        transport.disconnect(2)
+        results = {}
+        nodes[0].issue_query(
+            Query.where(schema),
+            sigma=2,
+            on_complete=lambda qid, found: results.update(found=found),
+        )
+        transport.run()
+        transport.advance(4.0)
+        assert len(results["found"]) >= 2
+        record = next(iter(metrics.records.values()))
+        assert 2 not in record.received_by
+
+    def test_default_config_drops_immediately_on_missing_link(self):
+        coords = [(0, 0), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        nodes[0].routing.remove(1)
+        results = {}
+        nodes[0].issue_query(
+            Query.where(schema, d0=(7, None)),
+            on_complete=lambda qid, found: results.update(found=found),
+        )
+        transport.run()
+        assert results["found"] == []  # no deferral: completes at once

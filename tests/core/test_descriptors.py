@@ -1,0 +1,49 @@
+"""Tests for node descriptors."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, categorical, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("mem", 0, 80), categorical("os", ["linux", "windows"])],
+        max_level=3,
+    )
+
+
+class TestBuild:
+    def test_build_encodes_and_places(self, schema):
+        descriptor = NodeDescriptor.build(7, schema, {"mem": 45, "os": "windows"})
+        assert descriptor.address == 7
+        assert descriptor.values == (45.0, 1.0)
+        assert descriptor.coordinates == (4, 4)
+
+    def test_build_missing_attribute(self, schema):
+        with pytest.raises(ConfigurationError):
+            NodeDescriptor.build(7, schema, {"mem": 45})
+
+    def test_from_numeric(self, schema):
+        descriptor = NodeDescriptor.from_numeric(3, schema, (10.0, 0.0))
+        assert descriptor.coordinates == (1, 0)
+
+    def test_decoded_roundtrip(self, schema):
+        original = {"mem": 45.0, "os": "windows"}
+        descriptor = NodeDescriptor.build(7, schema, original)
+        assert descriptor.decoded(schema) == original
+
+    def test_equality_and_hash(self, schema):
+        a = NodeDescriptor.build(1, schema, {"mem": 5, "os": "linux"})
+        b = NodeDescriptor.build(1, schema, {"mem": 5, "os": "linux"})
+        c = NodeDescriptor.build(1, schema, {"mem": 6, "os": "linux"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_immutable(self, schema):
+        descriptor = NodeDescriptor.build(1, schema, {"mem": 5, "os": "linux"})
+        with pytest.raises(AttributeError):
+            descriptor.address = 2

@@ -1,0 +1,86 @@
+"""Tests for dynamic attributes (footnote 1 of the paper).
+
+Rapidly-changing values (e.g. currently free disk space) are not routing
+dimensions: queries route on the static attributes and each visited node
+checks dynamic constraints against its own live state.
+"""
+
+import pytest
+
+from repro.core.query import Query, ValueRange
+from repro.util.errors import ConfigurationError
+
+from test_node_protocol import build_overlay, run_query
+
+
+class TestQueryDynamicConstraints:
+    def test_with_dynamic_builds_ranges(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0)])
+        query = Query.where(schema).with_dynamic(free_disk=(100, None))
+        assert query.dynamic_constraints == (
+            ("free_disk", ValueRange(100, None)),
+        )
+
+    def test_with_dynamic_rejects_bad_spec(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0)])
+        with pytest.raises(ConfigurationError):
+            Query.where(schema).with_dynamic(free_disk=5)
+
+    def test_matches_dynamic(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0)])
+        query = Query.where(schema).with_dynamic(load=(None, 0.5))
+        assert query.matches_dynamic({"load": 0.3})
+        assert not query.matches_dynamic({"load": 0.7})
+        assert not query.matches_dynamic({})  # unreported = non-matching
+
+    def test_snapped_preserves_dynamic(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0)])
+        query = Query.where(schema, d0=(1.2, 2.9)).with_dynamic(load=(None, 0.5))
+        assert query.snapped().dynamic_constraints == query.dynamic_constraints
+
+    def test_static_routing_ignores_dynamic(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0)])
+        plain = Query.where(schema, d0=(2, 5))
+        dynamic = plain.with_dynamic(load=(None, 0.5))
+        assert dynamic.index_ranges() == plain.index_ranges()
+
+
+class TestProtocolIntegration:
+    def test_node_filters_on_live_state(self):
+        coords = [(0, 0), (5, 5), (5, 5), (5, 5)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        # Nodes 1..3 match statically; only 1 and 3 have enough free disk.
+        nodes[1].set_dynamic_value("free_disk", 200.0)
+        nodes[2].set_dynamic_value("free_disk", 10.0)
+        nodes[3].set_dynamic_value("free_disk", 150.0)
+        query = Query.where(schema, d0=(5, 5.9)).with_dynamic(
+            free_disk=(100, None)
+        )
+        results = run_query(transport, nodes[0], query)
+        assert {d.address for d in results["found"]} == {1, 3}
+
+    def test_dynamic_change_is_instant(self):
+        """No registry refresh: the next query sees the new value at once."""
+        coords = [(0, 0), (5, 5)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        query = Query.where(schema, d0=(5, 5.9)).with_dynamic(load=(None, 0.5))
+        nodes[1].set_dynamic_value("load", 0.9)
+        assert run_query(transport, nodes[0], query)["found"] == []
+        nodes[1].set_dynamic_value("load", 0.1)
+        results = run_query(transport, nodes[0], query)
+        assert [d.address for d in results["found"]] == [1]
+
+    def test_clearing_dynamic_value(self):
+        coords = [(0, 0)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        nodes[0].set_dynamic_value("load", 0.2)
+        nodes[0].set_dynamic_value("load", None)
+        assert nodes[0].dynamic_values == {}
+
+    def test_origin_checks_its_own_dynamic_state(self):
+        coords = [(0, 0)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        nodes[0].set_dynamic_value("load", 0.9)
+        query = Query.where(schema).with_dynamic(load=(None, 0.5))
+        results = run_query(transport, nodes[0], query)
+        assert results["found"] == []

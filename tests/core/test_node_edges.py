@@ -1,0 +1,118 @@
+"""Edge-case tests for the node protocol internals."""
+
+from repro.core.messages import QueryMessage, ReplyMessage
+from repro.core.node import NodeConfig
+from repro.core.query import Query
+
+from test_node_protocol import build_overlay, run_query
+
+
+class TestTimeoutBudget:
+    def test_children_get_decayed_budget(self):
+        coords = [(0, 0), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords, config=NodeConfig(query_timeout=10.0, budget_decay=0.5)
+        )
+        sent = []
+        original_send = transport.send
+
+        def spy(sender, receiver, message):
+            if isinstance(message, QueryMessage):
+                sent.append(message)
+            original_send(sender, receiver, message)
+
+        transport.send = spy
+        nodes[0].issue_query(Query.where(schema, d0=(7, None)))
+        transport.run()
+        assert sent[0].budget == 5.0  # 10.0 * 0.5
+
+    def test_budget_floor(self):
+        coords = [(0, 0), (7, 7)]
+        schema, transport, metrics, nodes = build_overlay(
+            coords,
+            config=NodeConfig(
+                query_timeout=1.0, budget_decay=0.1, min_timeout=0.5
+            ),
+        )
+        sent = []
+        original_send = transport.send
+
+        def spy(sender, receiver, message):
+            if isinstance(message, QueryMessage):
+                sent.append(message)
+            original_send(sender, receiver, message)
+
+        transport.send = spy
+        nodes[0].issue_query(Query.where(schema, d0=(7, None)))
+        transport.run()
+        assert sent[0].budget == 0.5  # floored, not 0.1
+
+
+class TestSeenHistory:
+    def test_history_evicts_oldest(self):
+        schema, transport, metrics, nodes = build_overlay(
+            [(0, 0)], config=NodeConfig(seen_history=3)
+        )
+        for _ in range(5):
+            run_query(transport, nodes[0], Query.where(schema))
+        assert len(nodes[0]._seen) == 3
+
+    def test_duplicate_detection_within_history(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0), (7, 7)])
+        query = Query.where(schema, d0=(7, None))
+        message = QueryMessage(
+            query_id=(42, 0), sender=0, query=query,
+            index_ranges=query.index_ranges(), sigma=None,
+            level=3, dimensions=frozenset({0, 1}),
+        )
+        nodes[1].receive_query(message)
+        transport.run()  # completes and leaves pending
+        assert nodes[1].pending == {}
+        nodes[1].receive_query(message)  # replayed after completion
+        transport.run()
+        assert metrics.records[(42, 0)].duplicates == 1
+
+
+class TestDropAccounting:
+    def test_missing_link_counts_as_drop(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0), (7, 7)])
+        nodes[0].routing.remove(1)
+        results = run_query(
+            transport, nodes[0], Query.where(schema, d0=(7, None))
+        )
+        record = metrics.records[results["qid"]]
+        assert record.drops == 1
+
+
+class TestLevelMinusOne:
+    def test_fanout_target_never_forwards(self):
+        """A level=-1 message is a pure match-report request."""
+        coords = [(0, 0), (5, 5), (5, 5)]
+        schema, transport, metrics, nodes = build_overlay(coords)
+        query = Query.where(schema, d0=(5, 5.9), d1=(5, 5.9))
+        message = QueryMessage(
+            query_id=(9, 9), sender=0, query=query,
+            index_ranges=query.index_ranges(), sigma=None,
+            level=-1, dimensions=frozenset(),
+        )
+        nodes[1].receive_query(message)
+        transport.run()
+        record = metrics.records[(9, 9)]
+        # Node 1 matched and replied without contacting its C0 twin.
+        assert record.received_by == {1}
+        assert record.queries_sent == 0
+        assert record.replies_sent == 1
+
+
+class TestReplyMerging:
+    def test_descriptors_merge_by_address(self):
+        schema, transport, metrics, nodes = build_overlay([(0, 0), (7, 7)])
+        query = Query.where(schema, d0=(7, None))
+        nodes[0].issue_query(query)
+        transport.run()
+        qid = next(iter(metrics.records))
+        # A straggler duplicate reply must not resurrect the query.
+        nodes[0].receive_reply(
+            ReplyMessage(query_id=qid, sender=1, matching=())
+        )
+        assert nodes[0].pending == {}

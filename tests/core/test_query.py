@@ -1,0 +1,158 @@
+"""Unit tests for the query model."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, categorical, numeric
+from repro.core.query import CategoricalSet, Query, ValueRange
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [
+            numeric("cpu", 0, 80),
+            numeric("mem", 0, 160),
+            categorical("os", ["linux-2.6.19", "linux-2.6.20", "windows-xp"]),
+        ],
+        max_level=3,
+    )
+
+
+class TestValueRange:
+    def test_contains(self):
+        assert ValueRange(1, 5).contains(3)
+        assert ValueRange(1, 5).contains(1)
+        assert ValueRange(1, 5).contains(5)
+        assert not ValueRange(1, 5).contains(0.5)
+        assert not ValueRange(1, 5).contains(5.5)
+
+    def test_open_ends(self):
+        assert ValueRange(None, 5).contains(-100)
+        assert ValueRange(1, None).contains(1e9)
+        assert ValueRange().is_unbounded
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValueRange(5, 1)
+
+
+class TestCategoricalSet:
+    def test_contains_only_listed_ordinals(self):
+        constraint = CategoricalSet(frozenset({0, 2}))
+        assert constraint.contains(0.0)
+        assert constraint.contains(2.0)
+        assert not constraint.contains(1.0)
+        assert not constraint.contains(0.5)
+
+    def test_span(self):
+        constraint = CategoricalSet(frozenset({1, 3}))
+        assert constraint.low == 1.0
+        assert constraint.high == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalSet(frozenset())
+
+
+class TestQueryWhere:
+    def test_numeric_tuple(self, schema):
+        query = Query.where(schema, cpu=(40, None), mem=(32, 96))
+        assert query.matches(schema.encode_values(
+            {"cpu": 50, "mem": 64, "os": "linux-2.6.19"}))
+        assert not query.matches(schema.encode_values(
+            {"cpu": 30, "mem": 64, "os": "linux-2.6.19"}))
+
+    def test_categorical_label_list(self, schema):
+        query = Query.where(schema, os=["linux-2.6.19", "linux-2.6.20"])
+        assert query.matches(schema.encode_values(
+            {"cpu": 0, "mem": 0, "os": "linux-2.6.20"}))
+        assert not query.matches(schema.encode_values(
+            {"cpu": 0, "mem": 0, "os": "windows-xp"}))
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            Query.where(schema, disk=(1, 2))
+
+    def test_label_list_on_numeric_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            Query.where(schema, cpu=["fast"])
+
+    def test_unsupported_spec_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            Query.where(schema, cpu=42)
+
+    def test_empty_query_matches_everything(self, schema):
+        query = Query.where(schema)
+        assert query.matches(schema.encode_values(
+            {"cpu": 12, "mem": 1, "os": "windows-xp"}))
+        assert query.describe() == "<match all>"
+
+    def test_matches_mapping(self, schema):
+        query = Query.where(schema, cpu=(40, None))
+        assert query.matches_mapping({"cpu": 41, "mem": 0, "os": "windows-xp"})
+
+
+class TestIndexRanges:
+    def test_projection(self, schema):
+        query = Query.where(schema, cpu=(15, 35))
+        ranges = query.index_ranges()
+        assert ranges[0] == (1, 3)
+        assert ranges[1] == (0, 7)  # unconstrained
+        assert ranges[2] == (0, 7)
+
+    def test_categorical_projection_spans_min_max(self, schema):
+        query = Query.where(schema, os=["linux-2.6.19", "windows-xp"])
+        # ordinals 0 and 2; categories domain [0, 3) over 8 cells.
+        low, high = query.index_ranges()[2]
+        assert low == schema.cell_index(2, 0.0)
+        assert high == schema.cell_index(2, 2.0)
+
+    def test_matching_value_always_inside_projected_range(self, schema):
+        query = Query.where(schema, cpu=(17.3, 58.9))
+        low, high = query.index_ranges()[0]
+        for value in (17.3, 25.0, 58.9):
+            assert low <= schema.cell_index(0, value) <= high
+
+
+class TestFromIndexRanges:
+    def test_exact_cell_box(self, schema):
+        query = Query.from_index_ranges(schema, [(2, 3), (0, 7), (0, 7)])
+        assert query.index_ranges()[0] == (2, 3)
+        # Values inside the box match; values outside do not.
+        assert query.matches(schema.encode_values(
+            {"cpu": 25, "mem": 0, "os": "windows-xp"}))
+        assert not query.matches(schema.encode_values(
+            {"cpu": 15, "mem": 0, "os": "windows-xp"}))
+        assert not query.matches(schema.encode_values(
+            {"cpu": 40, "mem": 0, "os": "windows-xp"}))
+
+    def test_full_range_dimension_is_unconstrained(self, schema):
+        query = Query.from_index_ranges(schema, [(0, 7), (0, 7), (0, 7)])
+        assert query.constraints == ()
+
+
+class TestSnapped:
+    def test_snapped_covers_original(self, schema):
+        query = Query.where(schema, cpu=(12, 29))
+        snapped = query.snapped()
+        for value in (12, 20, 29):
+            vector = schema.encode_values(
+                {"cpu": value, "mem": 0, "os": "windows-xp"})
+            assert snapped.matches(vector)
+        # And the snapped ranges align with cell boundaries.
+        constraint = dict(snapped.constraints)["cpu"]
+        assert constraint.low == 10.0
+        assert constraint.high == 30.0
+
+    def test_snapped_keeps_categorical(self, schema):
+        query = Query.where(schema, os=["linux-2.6.19"])
+        assert query.snapped().constraints == query.constraints
+
+
+class TestDescribe:
+    def test_describe_numeric_and_categorical(self, schema):
+        query = Query.where(schema, cpu=(40, None), os=["windows-xp"])
+        text = query.describe()
+        assert "cpu in [40, +inf]" in text
+        assert "os in {windows-xp}" in text

@@ -1,0 +1,154 @@
+"""Unit tests for the routing table."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.cells import ZERO_SLOT
+from repro.core.descriptors import NodeDescriptor
+from repro.core.routing import RoutingTable
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 8), numeric("y", 0, 8)], max_level=3
+    )
+
+
+def descriptor(schema, address, x, y):
+    return NodeDescriptor.build(address, schema, {"x": x, "y": y})
+
+
+@pytest.fixture
+def table(schema):
+    owner = descriptor(schema, 0, 0.5, 0.5)  # coordinates (0, 0)
+    return RoutingTable(owner, schema.dimensions, schema.max_level)
+
+
+class TestClassification:
+    def test_zero_slot(self, schema, table):
+        peer = descriptor(schema, 1, 0.9, 0.9)  # same C0 cell (0, 0)
+        assert table.classify(peer) == ZERO_SLOT
+
+    def test_level_slots(self, schema, table):
+        assert table.classify(descriptor(schema, 1, 1.5, 0.5)) == (1, 0)
+        assert table.classify(descriptor(schema, 2, 0.5, 1.5)) == (1, 1)
+        assert table.classify(descriptor(schema, 3, 7.5, 7.5)) == (3, 0)
+
+
+class TestAdd:
+    def test_add_primary(self, schema, table):
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        assert table.add(peer)
+        assert table.neighbor(3, 0) == peer
+
+    def test_self_ignored(self, schema, table):
+        assert not table.add(table.owner)
+
+    def test_second_becomes_alternate(self, schema, table):
+        first = descriptor(schema, 1, 7.5, 7.5)
+        second = descriptor(schema, 2, 6.5, 6.5)
+        table.add(first)
+        assert table.add(second)
+        assert table.neighbor(3, 0) == first
+        assert table.alternative(3, 0, exclude={1}) == second
+
+    def test_alternates_bounded(self, schema, table):
+        for address in range(1, 10):
+            table.add(descriptor(schema, address, 4.5 + 0.1 * address, 0.5))
+        # 1 primary + alternates_per_slot (3) retained.
+        addresses = {
+            entry.address
+            for entry in table.descriptors()
+        }
+        assert len(addresses) == 4
+
+    def test_refresh_same_address_new_values(self, schema, table):
+        stale = descriptor(schema, 1, 7.5, 7.5)
+        fresh = descriptor(schema, 1, 7.5, 6.5)
+        table.add(stale)
+        assert table.add(fresh)
+        assert table.neighbor(3, 0) == fresh
+
+    def test_idempotent_add(self, schema, table):
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        table.add(peer)
+        assert not table.add(peer)
+
+    def test_moved_node_leaves_no_stale_copy(self, schema, table):
+        """A re-learned address whose attributes changed slots is purged
+        from the old slot (regression: hypothesis stateful test)."""
+        table.add(descriptor(schema, 1, 0.9, 0.9))   # C0 mate
+        assert table.zero_count() == 1
+        table.add(descriptor(schema, 1, 0.9, 1.5))   # moved to N(1,1)
+        assert table.zero_count() == 0
+        assert table.neighbor(1, 1).address == 1
+        assert table.link_count() == 1
+        assert table.primary_link_count() == 1
+        # And back again.
+        table.add(descriptor(schema, 1, 0.9, 0.9))
+        assert table.neighbor(1, 1) is None
+        assert table.zero_count() == 1
+
+    def test_zero_members_accumulate(self, schema, table):
+        for address in range(1, 5):
+            table.add(descriptor(schema, address, 0.1 * address, 0.5))
+        assert table.zero_count() == 4
+        assert {entry.address for entry in table.zero_neighbors()} == {1, 2, 3, 4}
+
+    def test_zero_capacity_cap(self, schema):
+        owner = descriptor(schema, 0, 0.5, 0.5)
+        capped = RoutingTable(owner, 2, 3, zero_capacity=2)
+        for address in range(1, 5):
+            capped.add(descriptor(schema, address, 0.1 * address, 0.5))
+        assert capped.zero_count() == 2
+
+
+class TestRemove:
+    def test_remove_promotes_alternate(self, schema, table):
+        first = descriptor(schema, 1, 7.5, 7.5)
+        second = descriptor(schema, 2, 6.5, 6.5)
+        table.add(first)
+        table.add(second)
+        table.remove(1)
+        assert table.neighbor(3, 0) == second
+        assert table.alternative(3, 0, exclude={2}) is None
+
+    def test_remove_zero_member(self, schema, table):
+        table.add(descriptor(schema, 1, 0.9, 0.9))
+        table.remove(1)
+        assert table.zero_count() == 0
+
+    def test_remove_unknown_is_noop(self, table):
+        table.remove(999)
+
+
+class TestRebuild:
+    def test_reclassifies_after_attribute_change(self, schema, table):
+        near = descriptor(schema, 1, 7.5, 7.5)
+        table.add(near)
+        # Owner moves next to the peer: it should become a C0 member.
+        new_owner = descriptor(schema, 0, 7.4, 7.4)
+        table.rebuild(new_owner)
+        assert table.classify(near) == ZERO_SLOT
+        assert {entry.address for entry in table.zero_neighbors()} == {1}
+        assert table.neighbor(3, 0) is None
+
+
+class TestQueries:
+    def test_filled_and_empty_slots(self, schema, table):
+        assert table.filled_slots() == set()
+        table.add(descriptor(schema, 1, 7.5, 7.5))
+        assert table.filled_slots() == {(3, 0)}
+        assert (3, 0) not in set(table.empty_slots())
+
+    def test_link_count_deduplicates(self, schema, table):
+        table.add(descriptor(schema, 1, 7.5, 7.5))
+        table.add(descriptor(schema, 2, 0.9, 0.9))
+        assert table.link_count() == 2
+        assert table.addresses() == {1, 2}
+
+    def test_region_matches_cells_module(self, schema, table):
+        from repro.core.cells import neighboring_region
+
+        assert table.region(3, 0) == neighboring_region((0, 0), 3, 0)

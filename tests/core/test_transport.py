@@ -1,0 +1,89 @@
+"""Tests for the DirectTransport test harness itself."""
+
+from repro.core.transport import DirectTransport
+
+
+class TestMessaging:
+    def test_fifo_delivery(self):
+        transport = DirectTransport()
+        received = []
+        transport.register(1, lambda sender, msg: received.append(msg))
+        transport.send(0, 1, "a")
+        transport.send(0, 1, "b")
+        assert transport.pending_messages == 2
+        transport.run()
+        assert received == ["a", "b"]
+
+    def test_unregistered_receiver_drops(self):
+        transport = DirectTransport()
+        transport.send(0, 42, "x")
+        assert transport.run() == 1  # consumed, nobody to handle
+
+    def test_disconnect_and_reconnect(self):
+        transport = DirectTransport()
+        received = []
+        transport.register(1, lambda sender, msg: received.append(msg))
+        transport.disconnect(1)
+        transport.send(0, 1, "lost")
+        transport.run()
+        transport.reconnect(1)
+        transport.send(0, 1, "kept")
+        transport.run()
+        assert received == ["kept"]
+
+    def test_max_steps(self):
+        transport = DirectTransport()
+        received = []
+        transport.register(1, lambda sender, msg: received.append(msg))
+        for i in range(5):
+            transport.send(0, 1, i)
+        transport.run(max_steps=2)
+        assert received == [0, 1]
+
+    def test_cascading_sends_drain(self):
+        transport = DirectTransport()
+
+        def relay(sender, msg):
+            if msg > 0:
+                transport.send(1, 1, msg - 1)
+
+        transport.register(1, relay)
+        transport.send(0, 1, 3)
+        transport.run()
+        assert transport.pending_messages == 0
+
+
+class TestTimers:
+    def test_fire_order(self):
+        transport = DirectTransport()
+        fired = []
+        transport.call_later(2.0, lambda: fired.append("b"))
+        transport.call_later(1.0, lambda: fired.append("a"))
+        transport.advance(3.0)
+        assert fired == ["a", "b"]
+        assert transport.now() == 3.0
+
+    def test_cancel(self):
+        transport = DirectTransport()
+        fired = []
+        handle = transport.call_later(1.0, lambda: fired.append("x"))
+        transport.cancel(handle)
+        transport.advance(2.0)
+        assert fired == []
+
+    def test_timer_can_send_messages(self):
+        transport = DirectTransport()
+        received = []
+        transport.register(1, lambda sender, msg: received.append(msg))
+        transport.call_later(1.0, lambda: transport.send(0, 1, "timed"))
+        transport.advance(2.0)
+        assert received == ["timed"]
+
+    def test_partial_advance(self):
+        transport = DirectTransport()
+        fired = []
+        transport.call_later(5.0, lambda: fired.append("x"))
+        transport.advance(4.0)
+        assert fired == []
+        transport.advance(2.0)
+        assert fired == ["x"]

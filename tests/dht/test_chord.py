@@ -1,0 +1,93 @@
+"""Unit tests for the Chord ring."""
+
+import random
+
+import pytest
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import hash_key, in_half_open
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing(list(range(128)), rng=random.Random(1))
+
+
+class TestHashing:
+    def test_hash_is_stable(self):
+        assert hash_key("abc") == hash_key("abc")
+        assert hash_key("abc") != hash_key("abd")
+
+    def test_hash_fits_bits(self):
+        assert 0 <= hash_key("abc", bits=16) < (1 << 16)
+
+    def test_in_half_open_wraps(self):
+        assert in_half_open(10, 3, 1, bits=4)
+        assert in_half_open(10, 3, 11, bits=4)
+        assert not in_half_open(10, 3, 7, bits=4)
+
+    def test_full_circle(self):
+        assert in_half_open(5, 5, 0, bits=4)
+
+
+class TestRingConstruction:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChordRing([])
+
+    def test_single_node_owns_everything(self):
+        solo = ChordRing([7])
+        owner, hops = solo.lookup(12345, origin=7)
+        assert owner == 7
+        assert hops == 0
+
+    def test_successor_lists_are_ring_order(self, ring):
+        ordered = [address for _, address in ring._ring]
+        for position, address in enumerate(ordered):
+            node = ring.nodes[address]
+            expected = [
+                ordered[(position + offset) % len(ordered)]
+                for offset in range(1, len(node.successors) + 1)
+            ]
+            assert node.successors == expected
+
+
+class TestLookup:
+    def test_owner_matches_oracle(self, ring):
+        rng = random.Random(2)
+        for _ in range(200):
+            key = rng.randrange(1 << 32)
+            origin = rng.choice(ring.addresses)
+            owner, hops = ring.lookup(key, origin)
+            assert owner == ring.owner_of(key)
+
+    def test_logarithmic_hops(self, ring):
+        ring.reset_load()
+        rng = random.Random(3)
+        for _ in range(300):
+            ring.lookup(rng.randrange(1 << 32), rng.choice(ring.addresses))
+        # log2(128) = 7; greedy fingers average half of that.
+        assert ring.mean_hops() <= 8
+
+    def test_lookup_counts_load(self, ring):
+        ring.reset_load()
+        ring.lookup(hash_key("x"), origin=0)
+        assert sum(ring.load.values()) >= 1
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self, ring):
+        key = hash_key("the-key")
+        ring.put(key, "value-1", origin=3)
+        ring.put(key, "value-2", origin=99)
+        assert sorted(ring.get(key, origin=64)) == ["value-1", "value-2"]
+
+    def test_get_missing_key_is_empty(self, ring):
+        assert ring.get(hash_key("nothing-here"), origin=0) == []
+
+    def test_put_stores_at_owner(self, ring):
+        key = hash_key("placement")
+        owner = ring.put(key, "v", origin=5)
+        assert owner == ring.owner_of(key)
+        assert "v" in ring.nodes[owner].get_local(key)

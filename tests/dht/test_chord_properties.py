@@ -1,0 +1,58 @@
+"""Property-based tests for the Chord ring."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+
+
+@st.composite
+def ring_and_keys(draw):
+    size = draw(st.integers(1, 60))
+    addresses = draw(
+        st.lists(
+            st.integers(0, 10_000), min_size=size, max_size=size, unique=True
+        )
+    )
+    keys = draw(st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=8))
+    origin_index = draw(st.integers(0, size - 1))
+    return addresses, keys, origin_index
+
+
+class TestLookupProperties:
+    @given(ring_and_keys())
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_always_finds_the_oracle_owner(self, case):
+        addresses, keys, origin_index = case
+        ring = ChordRing(addresses, rng=random.Random(1))
+        origin = addresses[origin_index]
+        for key in keys:
+            owner, hops = ring.lookup(key, origin)
+            assert owner == ring.owner_of(key)
+            assert 0 <= hops <= len(addresses)
+
+    @given(ring_and_keys())
+    @settings(max_examples=40, deadline=None)
+    def test_put_then_get_roundtrip(self, case):
+        addresses, keys, origin_index = case
+        ring = ChordRing(addresses, rng=random.Random(2))
+        origin = addresses[origin_index]
+        for index, key in enumerate(keys):
+            ring.put(key, f"value-{index}", origin)
+        for index, key in enumerate(keys):
+            assert f"value-{index}" in ring.get(key, origin)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=2, max_size=50,
+                    unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_ownership_partitions_the_key_space(self, addresses):
+        """Every key has exactly one owner, and sampling keys hits owners
+        in proportion to arc length (at least: every owner is a member)."""
+        ring = ChordRing(addresses, rng=random.Random(3))
+        rng = random.Random(4)
+        members = set(addresses)
+        for _ in range(20):
+            key = rng.randrange(1 << 32)
+            assert ring.owner_of(key) in members

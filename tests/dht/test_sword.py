@@ -1,0 +1,108 @@
+"""Unit tests for the SWORD-style index."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.query import Query
+from repro.dht.chord import ChordRing
+from repro.dht.sword import SwordIndex
+from repro.metrics.stats import gini
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+def population(schema, count, rng):
+    return [
+        NodeDescriptor.build(
+            address, schema,
+            {"cpu": rng.uniform(0, 80), "mem": rng.uniform(0, 80)},
+        )
+        for address in range(count)
+    ]
+
+
+@pytest.fixture
+def index(schema):
+    rng = random.Random(4)
+    descriptors = population(schema, 200, rng)
+    ring = ChordRing([d.address for d in descriptors], rng=rng)
+    sword = SwordIndex(ring, schema, buckets_per_dimension=32)
+    sword.register_all(descriptors)
+    return sword, descriptors
+
+
+class TestBuckets:
+    def test_bucket_bounds(self, schema):
+        ring = ChordRing([0])
+        sword = SwordIndex(ring, schema, buckets_per_dimension=32)
+        assert sword.bucket_of(0, 0.0) == 0
+        assert sword.bucket_of(0, 79.99) == 31
+        assert sword.bucket_of(0, -5.0) == 0    # clamped
+        assert sword.bucket_of(0, 500.0) == 31  # clamped
+
+    def test_min_buckets_enforced(self, schema):
+        with pytest.raises(ConfigurationError):
+            SwordIndex(ChordRing([0]), schema, buckets_per_dimension=1)
+
+
+class TestSearch:
+    def test_finds_exactly_the_matching_nodes(self, index, schema):
+        sword, descriptors = index
+        query = Query.where(schema, cpu=(40, None), mem=(20, 60))
+        expected = {
+            d.address for d in descriptors if query.matches(d.values)
+        }
+        found = sword.search(query, origin=0)
+        assert {d.address for d in found} == expected
+
+    def test_sigma_truncates(self, index, schema):
+        sword, descriptors = index
+        query = Query.where(schema, cpu=(10, None))
+        found = sword.search(query, sigma=5, origin=0)
+        assert len(found) == 5
+
+    def test_unconstrained_query_walks_first_dimension(self, index, schema):
+        sword, descriptors = index
+        found = sword.search(Query.where(schema), origin=0)
+        assert len(found) == len(descriptors)
+
+    def test_picks_most_selective_dimension(self, schema):
+        ring = ChordRing([0])
+        sword = SwordIndex(ring, schema, buckets_per_dimension=32)
+        query = Query.where(schema, cpu=(0, None), mem=(40, 42))
+        dim, low, high = sword._search_dimension(query)
+        assert dim == 1  # mem has the narrower bucket range
+        assert high - low <= 2
+
+
+class TestLoadSkew:
+    def test_skewed_population_creates_hot_registries(self, schema):
+        """The core claim behind Fig. 9(b): delegation + skew = heavy tail."""
+        rng = random.Random(11)
+        # Everyone piled into the same attribute region.
+        descriptors = [
+            NodeDescriptor.build(
+                address, schema,
+                {"cpu": rng.gauss(60, 2), "mem": rng.gauss(60, 2)},
+            )
+            for address in range(300)
+        ]
+        ring = ChordRing([d.address for d in descriptors], rng=rng)
+        sword = SwordIndex(ring, schema, buckets_per_dimension=32)
+        sword.register_all(descriptors)
+        ring.reset_load()
+        query = Query.where(schema, cpu=(55, 65), mem=(55, 65))
+        for _ in range(30):
+            sword.search(query, sigma=50, origin=rng.randrange(300))
+        loads = [ring.load.get(address, 0) for address in ring.addresses]
+        assert gini(loads) > 0.6  # strongly imbalanced
+        assert max(loads) > 20 * (sum(loads) / len(loads))

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_list_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "fig06" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig06"])
+        assert args.size == 2_000
+        assert args.seed == 2009
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Gossip period" in out
+        assert "verified" in out
+
+    def test_fig06_small(self, capsys):
+        code = main(
+            ["run", "fig06", "--size", "150", "--queries", "3",
+             "--sizes", "50,150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "50" in out
+
+    def test_fig08_small(self, capsys):
+        assert main(["run", "fig08", "--size", "150", "--queries", "2"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_fig11_small(self, capsys):
+        code = main(
+            ["run", "fig11", "--size", "120", "--duration", "120",
+             "--churn", "0.002"]
+        )
+        assert code == 0
+        assert "delivery" in capsys.readouterr().out
+
+    def test_traffic_small(self, capsys):
+        code = main(["run", "traffic", "--size", "80", "--duration", "100"])
+        assert code == 0
+        assert "bytes/node/cycle" in capsys.readouterr().out

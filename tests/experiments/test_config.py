@@ -1,0 +1,65 @@
+"""Tests for the experiment configuration and Table 1 verification."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_DAS,
+    PAPER_PEERSIM,
+    PAPER_PLANETLAB,
+    SCALED_PEERSIM,
+    ExperimentConfig,
+)
+from repro.experiments.harness import latency_for_testbed
+from repro.experiments.tables import TABLE1_ROWS, verify_defaults
+
+
+class TestExperimentConfig:
+    def test_paper_presets(self):
+        assert PAPER_PEERSIM.network_size == 100_000
+        assert PAPER_DAS.network_size == 1_000
+        assert PAPER_PLANETLAB.network_size == 302
+
+    def test_schema_matches_parameters(self):
+        schema = ExperimentConfig(dimensions=7, max_level=2).schema()
+        assert schema.dimensions == 7
+        assert schema.cells_per_dimension == 4
+
+    def test_scaled_preserves_other_fields(self):
+        scaled = PAPER_PEERSIM.scaled(500, dimensions=3)
+        assert scaled.network_size == 500
+        assert scaled.dimensions == 3
+        assert scaled.selectivity == PAPER_PEERSIM.selectivity
+
+    def test_node_config_retry_flag(self):
+        assert ExperimentConfig().node_config().retry_on_timeout
+        assert not ExperimentConfig().node_config(
+            retry_on_timeout=False
+        ).retry_on_timeout
+
+    def test_scaled_preset_is_smaller(self):
+        assert SCALED_PEERSIM.network_size < PAPER_PEERSIM.network_size
+
+
+class TestLatencyPresets:
+    def test_known_testbeds(self):
+        for testbed in ("peersim", "das", "planetlab"):
+            latency, loss = latency_for_testbed(testbed)
+            assert callable(latency)
+            assert 0.0 <= loss < 1.0
+
+    def test_planetlab_is_lossy(self):
+        _, loss = latency_for_testbed("planetlab")
+        assert loss > 0.0
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ValueError):
+            latency_for_testbed("ec2")
+
+
+class TestTable1:
+    def test_rows_cover_every_parameter(self):
+        parameters = {row["parameter"] for row in TABLE1_ROWS}
+        assert len(parameters) == 7
+
+    def test_defaults_verified(self):
+        assert verify_defaults() == []

@@ -1,0 +1,96 @@
+"""Smoke-level tests of every figure module at tiny scale.
+
+The benchmarks assert the paper's shapes at realistic sizes; these tests
+only pin the row structure and basic sanity so refactors break loudly and
+cheaply.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SCALED_PEERSIM,
+    fig06_network_size,
+    fig07_selectivity,
+    fig08_dimensions,
+    fig09_load,
+    fig10_neighbors,
+    fig11_churn,
+    fig12_massive_failure,
+    fig13_planetlab,
+)
+from repro.experiments.config import ExperimentConfig
+
+TINY = SCALED_PEERSIM.scaled(150)
+
+
+class TestSteadyStateFigures:
+    def test_fig06_rows(self):
+        rows = fig06_network_size.run(
+            sizes=(50, 150), queries_per_size=4, config=TINY
+        )
+        assert [row["size"] for row in rows] == [50, 150]
+        assert all(row["overhead"] >= 0 for row in rows)
+        assert all(row["duplicates"] == 0 for row in rows)
+
+    def test_fig07_rows(self):
+        rows = fig07_selectivity.run(
+            selectivities=(0.25, 1.0), queries_per_point=3, config=TINY
+        )
+        assert {row["selectivity"] for row in rows} == {0.25, 1.0}
+        for row in rows:
+            assert set(row) >= {
+                "best_sigma_inf", "worst_sigma_inf", "worst_sigma_50",
+            }
+
+    def test_fig08_rows(self):
+        rows = fig08_dimensions.run(
+            dimensions=(2, 4), queries_per_point=3, config=TINY
+        )
+        assert [row["dimensions"] for row in rows] == [2, 4]
+
+    def test_fig09a_structure(self):
+        results = fig09_load.run_distribution_comparison(
+            config=TINY, queries=5
+        )
+        assert set(results) == {"uniform", "normal"}
+        for data in results.values():
+            assert len(data["histogram"]) == 10
+            assert abs(sum(data["histogram"]) - 100.0) < 1e-6
+
+    def test_fig09b_structure(self):
+        results = fig09_load.run_dht_comparison(size=150, queries=5)
+        assert set(results) == {"ours", "dht"}
+        assert 0 <= results["dht"]["idle_fraction"] <= 1
+
+    def test_fig10_structure(self):
+        rows = fig10_neighbors.run_dimension_sweep(
+            dimensions=(2, 4), config=TINY
+        )
+        assert all(row["mean_links"] >= 0 for row in rows)
+        results = fig10_neighbors.run_link_distribution(config=TINY)
+        assert set(results) == {"uniform", "normal"}
+
+
+class TestDynamicFigures:
+    def test_fig11_rows(self):
+        rows = fig11_churn.run(
+            churn_rate=0.002, config=TINY, warmup=100.0, duration=120.0
+        )
+        assert len(rows) == 4  # one query per 30 s
+        assert all(0.0 <= row["delivery"] <= 1.0 for row in rows)
+
+    def test_fig12_rows(self):
+        rows = fig12_massive_failure.run(
+            fraction=0.5, config=TINY, warmup=100.0, before=60.0, after=120.0
+        )
+        assert any(row["after_failure"] for row in rows)
+        assert any(not row["after_failure"] for row in rows)
+
+    def test_fig13_rows(self):
+        config = ExperimentConfig(network_size=120, testbed="planetlab")
+        rows = fig13_planetlab.run(
+            config=config, warmup=100.0, kill_interval=120.0, rounds=2,
+            query_interval=40.0,
+        )
+        assert rows[0]["alive"] == 120
+        assert rows[-1]["alive"] < 120

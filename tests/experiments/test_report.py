@@ -1,0 +1,38 @@
+"""Tests for the plain-text report renderers."""
+
+from repro.experiments.report import format_histogram, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "2.500" in text
+        assert "-" in lines[-1]  # None renders as '-'
+
+    def test_empty_rows(self):
+        text = format_table([], ["x"], title="empty")
+        assert "x" in text
+
+    def test_missing_column_renders_dash(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert text.splitlines()[-1].strip().endswith("-")
+
+
+class TestFormatHistogram:
+    def test_bars_scale_to_peak(self):
+        text = format_histogram([50.0, 100.0], ["low", "high"], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_histogram(self):
+        text = format_histogram([0.0, 0.0], ["a", "b"])
+        assert "#" not in text
+
+    def test_title(self):
+        text = format_histogram([1.0], ["x"], title="H")
+        assert text.splitlines()[0] == "H"

@@ -1,0 +1,53 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.storage import list_results, load_rows, save_rows
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"size": 100, "overhead": 1.5}, {"size": 200, "overhead": 2.0}]
+        path = save_rows(
+            tmp_path / "fig06.json", "fig06", rows,
+            parameters={"sigma": 50}, timestamp=123.0,
+        )
+        document = load_rows(path)
+        assert document["experiment"] == "fig06"
+        assert document["rows"] == rows
+        assert document["parameters"] == {"sigma": 50}
+        assert document["timestamp"] == 123.0
+
+    def test_creates_directories(self, tmp_path):
+        path = save_rows(tmp_path / "a" / "b" / "r.json", "x", [])
+        assert path.exists()
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "rows": []}))
+        with pytest.raises(ValueError):
+            load_rows(path)
+
+    def test_rows_are_copied(self, tmp_path):
+        row = {"a": 1}
+        save_rows(tmp_path / "r.json", "x", [row])
+        row["a"] = 2
+        assert load_rows(tmp_path / "r.json")["rows"] == [{"a": 1}]
+
+
+class TestListResults:
+    def test_empty_directory(self, tmp_path):
+        assert list_results(tmp_path / "nothing") == []
+
+    def test_newest_first(self, tmp_path):
+        import os
+
+        first = save_rows(tmp_path / "one.json", "x", [])
+        second = save_rows(tmp_path / "two.json", "y", [])
+        os.utime(first, (1, 1))
+        os.utime(second, (2, 2))
+        assert [p.name for p in list_results(tmp_path)] == [
+            "two.json", "one.json",
+        ]

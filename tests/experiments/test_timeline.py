@@ -1,0 +1,58 @@
+"""Tests for the delivery-over-time measurement harness."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import build_deployment
+from repro.experiments.timeline import delivery_timeline, mean_delivery_after
+
+
+def stable_deployment(size=150):
+    config = ExperimentConfig(network_size=size, seed=19)
+    # 50 gossip cycles: comfortably past convergence at this size.
+    return build_deployment(config, gossip=True, warmup=500.0)
+
+
+class TestDeliveryTimeline:
+    def test_stable_overlay_delivers_fully(self):
+        deployment, metrics = stable_deployment()
+        rows = delivery_timeline(
+            deployment, metrics,
+            start=deployment.simulator.now,
+            duration=150.0, query_interval=30.0, seed=1,
+        )
+        assert len(rows) == 5
+        assert all(row["delivery"] == 1.0 for row in rows)
+        assert all(row["expected"] > 0 for row in rows)
+
+    def test_rows_are_time_ordered(self):
+        deployment, metrics = stable_deployment()
+        rows = delivery_timeline(
+            deployment, metrics,
+            start=deployment.simulator.now,
+            duration=120.0, query_interval=40.0, seed=2,
+        )
+        times = [row["time"] for row in rows]
+        assert times == sorted(times)
+        assert times[1] - times[0] == 40.0
+
+    def test_dead_overlay_reports_zero(self):
+        deployment, metrics = stable_deployment(size=100)
+        victims = deployment.kill_fraction(0.99)
+        rows = delivery_timeline(
+            deployment, metrics,
+            start=deployment.simulator.now,
+            duration=60.0, query_interval=30.0, seed=3,
+        )
+        # With one survivor, queries still complete locally.
+        assert all(0.0 <= row["delivery"] <= 1.0 for row in rows)
+
+
+class TestMeanDeliveryAfter:
+    def test_tail_average(self):
+        rows = [
+            {"time": 0.0, "delivery": 0.0},
+            {"time": 10.0, "delivery": 0.5},
+            {"time": 20.0, "delivery": 1.0},
+        ]
+        assert mean_delivery_after(rows, 10.0) == 0.75
+        assert mean_delivery_after(rows, 0.0) == 0.5
+        assert mean_delivery_after(rows, 99.0) is None

@@ -1,0 +1,140 @@
+"""Unit tests for the CYCLON shuffle protocol."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.messages import CyclonReply, CyclonRequest
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 8)], max_level=3)
+
+
+def make_node(schema, address, outbox, **kwargs):
+    descriptor = NodeDescriptor.build(address, schema, {"x": address % 8})
+    return CyclonProtocol(
+        descriptor,
+        send=lambda receiver, message: outbox.append((address, receiver, message)),
+        rng=random.Random(address),
+        **kwargs,
+    )
+
+
+class TestShuffle:
+    def test_initiate_on_empty_view_is_noop(self, schema):
+        outbox = []
+        node = make_node(schema, 0, outbox)
+        assert node.initiate_shuffle() is None
+        assert outbox == []
+
+    def test_initiate_contacts_oldest_and_removes_it(self, schema):
+        outbox = []
+        node = make_node(schema, 0, outbox)
+        peers = [
+            NodeDescriptor.build(a, schema, {"x": a % 8}) for a in (1, 2, 3)
+        ]
+        node.seed(peers)
+        # Age peer 2 artificially (add keeps the freshest, so re-insert).
+        from repro.gossip.view import ViewEntry
+
+        node.view.remove(2)
+        node.view.add(ViewEntry(peers[1], age=10))
+        target = node.initiate_shuffle()
+        assert target == 2
+        assert 2 not in node.view
+        sender, receiver, message = outbox[0]
+        assert receiver == 2
+        assert isinstance(message, CyclonRequest)
+        # The exchange set leads with a fresh self-descriptor.
+        assert message.entries[0].address == 0
+        assert message.entries[0].age == 0
+
+    def test_request_reply_roundtrip_exchanges_links(self, schema):
+        outbox = []
+        alice = make_node(schema, 0, outbox)
+        bob = make_node(schema, 1, outbox)
+        alice.seed([bob.descriptor])
+        bob.seed([
+            NodeDescriptor.build(7, schema, {"x": 7}),
+        ])
+        alice.initiate_shuffle()
+        _, receiver, request = outbox.pop()
+        bob.handle_request(0, request)
+        assert 0 in bob.view  # bob learned alice
+        _, receiver, reply = outbox.pop()
+        assert receiver == 0
+        assert isinstance(reply, CyclonReply)
+        alice.handle_reply(1, reply)
+        assert 7 in alice.view  # alice learned bob's link
+
+    def test_seed_skips_self(self, schema):
+        node = make_node(schema, 0, [])
+        node.seed([node.descriptor])
+        assert len(node.view) == 0
+
+    def test_sink_receives_learned_descriptors(self, schema):
+        learned = []
+        outbox = []
+        descriptor = NodeDescriptor.build(0, schema, {"x": 0})
+        node = CyclonProtocol(
+            descriptor,
+            send=lambda r, m: outbox.append(m),
+            rng=random.Random(0),
+            sink=lambda entries: learned.extend(entries),
+        )
+        peer = NodeDescriptor.build(3, schema, {"x": 3})
+        from repro.gossip.view import ViewEntry
+
+        node.handle_request(3, CyclonRequest(entries=(ViewEntry(peer, 0),)))
+        assert [e.address for e in learned] == [3]
+
+    def test_shuffle_length_bounded_by_cache(self, schema):
+        node = make_node(schema, 0, [], cache_size=4, shuffle_length=10)
+        assert node.shuffle_length == 4
+
+    def test_view_never_exceeds_cache_size(self, schema):
+        outbox = []
+        node = make_node(schema, 0, outbox, cache_size=5)
+        from repro.gossip.view import ViewEntry
+
+        entries = tuple(
+            ViewEntry(NodeDescriptor.build(a, schema, {"x": a % 8}), 0)
+            for a in range(1, 20)
+        )
+        node.handle_request(1, CyclonRequest(entries=entries))
+        assert len(node.view) <= 5
+
+
+class TestConvergence:
+    def test_random_overlay_stays_connected(self, schema):
+        """Run 30 cycles over 40 nodes in a line; the graph must mix."""
+        outbox = []
+        nodes = {a: make_node(schema, a, outbox, cache_size=8) for a in range(40)}
+        descriptors = {a: node.descriptor for a, node in nodes.items()}
+        for a in range(40):
+            nodes[a].seed([descriptors[(a + 1) % 40]])  # ring seeding
+
+        rng = random.Random(5)
+        for _ in range(30):
+            for node in nodes.values():
+                node.initiate_shuffle()
+            # Deliver all queued messages.
+            while outbox:
+                sender, receiver, message = outbox.pop(0)
+                if isinstance(message, CyclonRequest):
+                    nodes[receiver].handle_request(sender, message)
+                else:
+                    nodes[receiver].handle_reply(sender, message)
+
+        # In-degree spread: nobody unknown, nobody dominating.
+        indegree = {a: 0 for a in nodes}
+        for node in nodes.values():
+            for entry in node.view:
+                indegree[entry.address] += 1
+        assert min(indegree.values()) >= 1
+        assert max(indegree.values()) <= 30

@@ -1,0 +1,99 @@
+"""Tests for the two-layer maintenance stack over the sim transport."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+def gossip_deployment(schema, size, seed=3, **gossip_kwargs):
+    metrics = MetricsCollector()
+    deployment = Deployment(
+        schema,
+        seed=seed,
+        gossip_config=GossipConfig(period=10.0, **gossip_kwargs),
+        observer=metrics,
+    )
+    deployment.populate(uniform_sampler(schema), size)
+    deployment.start_gossip()
+    return deployment, metrics
+
+
+class TestConvergence:
+    def test_routing_tables_fill_from_gossip(self, schema):
+        deployment, _ = gossip_deployment(schema, 150)
+        deployment.run(300.0)
+        filled = [
+            len(host.node.routing.filled_slots())
+            for host in deployment.alive_hosts()
+        ]
+        # Every node should have found neighbors for most non-empty slots.
+        assert sum(filled) / len(filled) >= 3
+
+    def test_full_delivery_after_warmup(self, schema):
+        deployment, metrics = gossip_deployment(schema, 150)
+        deployment.run(400.0)
+        query = Query.where(schema, x=(30, None))
+        expected = {d.address for d in deployment.matching_descriptors(query)}
+        found = deployment.execute_query(query)
+        assert {d.address for d in found} == expected
+
+    def test_cycle_counter_advances(self, schema):
+        deployment, _ = gossip_deployment(schema, 30)
+        deployment.run(100.0)
+        cycles = [
+            host.maintenance.cycles_run for host in deployment.alive_hosts()
+        ]
+        assert all(8 <= count <= 11 for count in cycles)
+
+
+class TestChurnRepair:
+    def test_dead_nodes_purged_from_views(self, schema):
+        deployment, _ = gossip_deployment(schema, 100)
+        deployment.run(300.0)
+        victims = set(deployment.kill_fraction(0.2))
+        deployment.run(300.0)
+        stale = 0
+        for host in deployment.alive_hosts():
+            stale += len(victims & host.node.routing.addresses())
+            stale += len(
+                victims & set(host.maintenance.cyclon.view.addresses())
+            )
+        live_count = len(deployment.alive_hosts())
+        # On average well below one stale link per node after repair.
+        assert stale < live_count
+
+    def test_join_integrates_new_node(self, schema):
+        deployment, _ = gossip_deployment(schema, 80)
+        deployment.run(200.0)
+        newcomer = deployment.join({"x": 41.0, "y": 41.0})
+        deployment.run(200.0)
+        # The newcomer built a routing table...
+        assert newcomer.node.routing.link_count() > 0
+        # ...and a targeted query finds it.
+        query = Query.where(schema, x=(40.5, 41.5), y=(40.5, 41.5))
+        found = deployment.execute_query(query)
+        assert newcomer.address in {d.address for d in found}
+
+
+class TestGracefulStop:
+    def test_stop_cancels_timers(self, schema):
+        deployment, _ = gossip_deployment(schema, 20)
+        deployment.run(50.0)
+        for host in deployment.alive_hosts():
+            host.maintenance.stop()
+        before = deployment.simulator.processed_events
+        deployment.run(100.0)
+        # Nothing but already-queued deliveries should run.
+        assert deployment.simulator.processed_events - before < 200

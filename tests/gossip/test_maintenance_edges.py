@@ -1,0 +1,111 @@
+"""Edge-case tests for the two-layer maintenance driver."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.node import ResourceNode
+from repro.core.transport import DirectTransport
+from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 8), numeric("y", 0, 8)], max_level=3
+    )
+
+
+def make_stack(schema, address, x, y, transport, period=1.0):
+    import random
+
+    descriptor = NodeDescriptor.build(address, schema, {"x": x, "y": y})
+    node = ResourceNode(descriptor, schema, transport)
+    maintenance = TwoLayerMaintenance(
+        node, transport, random.Random(address),
+        GossipConfig(period=period, answer_timeout=0.4),
+    )
+    transport.register(
+        address,
+        lambda sender, message: (
+            maintenance.handle_message(sender, message)
+            or node.handle_message(sender, message)
+        ),
+    )
+    return node, maintenance
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, schema):
+        transport = DirectTransport()
+        node, maintenance = make_stack(schema, 0, 1, 1, transport)
+        maintenance.start()
+        maintenance.start()
+        transport.advance(3.5)
+        # Roughly one cycle per period, not doubled by the second start.
+        assert maintenance.cycles_run <= 4
+
+    def test_stop_halts_cycles(self, schema):
+        transport = DirectTransport()
+        node, maintenance = make_stack(schema, 0, 1, 1, transport)
+        maintenance.start()
+        transport.advance(2.5)
+        maintenance.stop()
+        cycles = maintenance.cycles_run
+        transport.advance(5.0)
+        assert maintenance.cycles_run == cycles
+
+    def test_unknown_message_returns_false(self, schema):
+        transport = DirectTransport()
+        node, maintenance = make_stack(schema, 0, 1, 1, transport)
+        assert maintenance.handle_message(9, object()) is False
+
+
+class TestAnswerTimeout:
+    def test_silent_peer_purged_everywhere(self, schema):
+        transport = DirectTransport()
+        alice_node, alice = make_stack(schema, 0, 1, 1, transport)
+        bob_node, bob = make_stack(schema, 1, 7, 7, transport)
+        alice.seed([bob_node.descriptor])
+        transport.disconnect(1)  # bob never answers
+        alice.start()
+        transport.advance(5.0)
+        assert 1 not in alice.cyclon.view
+        assert 1 not in alice_node.routing.addresses()
+
+    def test_answering_peer_retained(self, schema):
+        transport = DirectTransport()
+        alice_node, alice = make_stack(schema, 0, 1, 1, transport)
+        bob_node, bob = make_stack(schema, 1, 7, 7, transport)
+        alice.seed([bob_node.descriptor])
+        bob.seed([alice_node.descriptor])
+        alice.start()
+        bob.start()
+        transport.advance(5.0)
+        assert 1 in alice_node.routing.addresses()
+        assert 0 in bob_node.routing.addresses()
+
+
+class TestTwoGossipsPerCycle:
+    def test_each_cycle_initiates_both_layers(self, schema):
+        from repro.gossip.messages import CyclonRequest, VicinityRequest
+
+        transport = DirectTransport()
+        alice_node, alice = make_stack(schema, 0, 1, 1, transport)
+        bob_node, bob = make_stack(schema, 1, 7, 7, transport)
+        alice.seed([bob_node.descriptor])
+        sent = []
+        original = transport.send
+
+        def spy(sender, receiver, message):
+            if sender == 0 and isinstance(
+                message, (CyclonRequest, VicinityRequest)
+            ):
+                sent.append(type(message).__name__)
+            original(sender, receiver, message)
+
+        transport.send = spy
+        alice.start()
+        transport.advance(1.2)  # exactly one cycle
+        assert sent.count("CyclonRequest") == 1
+        assert sent.count("VicinityRequest") == 1

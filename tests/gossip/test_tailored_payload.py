@@ -1,0 +1,104 @@
+"""Tests for peer-tailored vicinity exchange payloads."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.routing import RoutingTable
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.messages import VicinityRequest
+from repro.gossip.vicinity import VicinityProtocol
+from repro.gossip.view import ViewEntry
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 8), numeric("y", 0, 8)], max_level=3
+    )
+
+
+def descriptor(schema, address, x, y):
+    return NodeDescriptor.build(address, schema, {"x": x, "y": y})
+
+
+def make_stack(schema, address, x, y, outbox, exchange_size=6):
+    own = descriptor(schema, address, x, y)
+    send = lambda receiver, message: outbox.append((address, receiver, message))
+    routing = RoutingTable(own, schema.dimensions, schema.max_level,
+                           alternates_per_slot=8)
+    cyclon = CyclonProtocol(own, send=send, rng=random.Random(address))
+    vicinity = VicinityProtocol(
+        own, routing, cyclon, send=send, rng=random.Random(address + 99),
+        exchange_size=exchange_size,
+    )
+    return routing, cyclon, vicinity
+
+
+class TestTailoring:
+    def test_payload_prioritizes_peers_cell_mates(self, schema):
+        """When answering a peer at (7,7), links near (7,7) go first."""
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        near_peer = descriptor(schema, 2, 7.2, 7.2)   # peer's C0 mate
+        far_from_peer = [
+            descriptor(schema, 10 + i, 1.5 + 0.01 * i, 0.5) for i in range(6)
+        ]
+        vicinity.consider(
+            [ViewEntry(d, 0) for d in [near_peer] + far_from_peer]
+        )
+        # Peer initiates; our reply should carry the near-peer link even
+        # though the payload budget (6) cannot fit all our links.
+        request = VicinityRequest(entries=(ViewEntry(peer, 0),))
+        vicinity.handle_request(1, request)
+        _, receiver, reply = outbox.pop()
+        assert receiver == 1
+        addresses = {entry.address for entry in reply.entries}
+        assert 2 in addresses  # the rare, valuable link was prioritized
+
+    def test_usefulness_ranks_c0_before_coarse(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        c0_mate = descriptor(schema, 2, 7.4, 7.4)
+        coarse = descriptor(schema, 3, 0.5, 7.5)
+        assert vicinity._usefulness_to(peer, c0_mate) < vicinity._usefulness_to(
+            peer, coarse
+        )
+
+    def test_untailored_fallback_without_peer_descriptor(self, schema):
+        """An empty request still gets an answer (random payload)."""
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        vicinity.consider([ViewEntry(descriptor(schema, 5, 3.5, 3.5), 0)])
+        vicinity.handle_request(9, VicinityRequest(entries=()))
+        _, receiver, reply = outbox.pop()
+        assert receiver == 9
+        assert any(entry.address == 0 for entry in reply.entries)
+
+
+class TestJoinSpeed:
+    def test_newcomer_learns_cell_mates_quickly(self, schema):
+        """A node whose C0 mate is 3 gossip hops away finds it in a few
+        cycles thanks to tailored replies."""
+        from repro.gossip.maintenance import GossipConfig
+        from repro.metrics.collectors import MetricsCollector
+        from repro.sim.deployment import Deployment
+
+        deployment = Deployment(
+            schema, seed=77, gossip_config=GossipConfig(period=10.0),
+            observer=MetricsCollector(),
+        )
+        # 60 scattered nodes plus two co-located ones.
+        rng = random.Random(1)
+        for _ in range(60):
+            deployment.add_host({"x": rng.uniform(0, 8), "y": rng.uniform(0, 8)})
+        twin_a = deployment.add_host({"x": 6.1, "y": 6.1})
+        twin_b = deployment.add_host({"x": 6.2, "y": 6.2})
+        deployment.start_gossip()
+        deployment.run(250.0)  # 25 cycles
+        assert twin_b.address in {
+            d.address for d in twin_a.node.routing.zero_neighbors()
+        }

@@ -1,0 +1,140 @@
+"""Unit tests for the Vicinity-style semantic layer."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.routing import RoutingTable
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.messages import VicinityReply, VicinityRequest
+from repro.gossip.vicinity import VicinityProtocol
+from repro.gossip.view import ViewEntry
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 8), numeric("y", 0, 8)], max_level=3
+    )
+
+
+def descriptor(schema, address, x, y):
+    return NodeDescriptor.build(address, schema, {"x": x, "y": y})
+
+
+def make_stack(schema, address, x, y, outbox):
+    own = descriptor(schema, address, x, y)
+    send = lambda receiver, message: outbox.append((address, receiver, message))
+    routing = RoutingTable(own, schema.dimensions, schema.max_level)
+    cyclon = CyclonProtocol(own, send=send, rng=random.Random(address))
+    vicinity = VicinityProtocol(
+        own, routing, cyclon, send=send, rng=random.Random(address + 1000)
+    )
+    return routing, cyclon, vicinity
+
+
+class TestConsider:
+    def test_fresh_entry_fills_routing_slot(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=0)])
+        assert routing.neighbor(3, 0) == peer
+
+    def test_expired_entry_ignored(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=vicinity.max_age + 1)])
+        assert routing.neighbor(3, 0) is None
+
+    def test_self_descriptor_ignored(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        vicinity.consider([ViewEntry(vicinity.descriptor, age=0)])
+        assert routing.link_count() == 0
+
+    def test_freshest_age_wins(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=9)])
+        vicinity.consider([ViewEntry(peer, age=2)])
+        assert vicinity._age[1] == 2
+        vicinity.consider([ViewEntry(peer, age=8)])
+        assert vicinity._age[1] == 2
+
+
+class TestTick:
+    def test_links_age_and_expire(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=0)])
+        for _ in range(vicinity.max_age):
+            vicinity.tick()
+        assert routing.neighbor(3, 0) == peer  # still within max_age
+        vicinity.tick()
+        assert routing.neighbor(3, 0) is None  # purged
+
+    def test_refresh_resets_clock(self, schema):
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, [])
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=0)])
+        for _ in range(vicinity.max_age):
+            vicinity.tick()
+            vicinity.consider([ViewEntry(peer, age=0)])  # re-advertised
+        vicinity.tick()
+        assert routing.neighbor(3, 0) == peer
+
+
+class TestExchange:
+    def test_partner_falls_back_to_cyclon(self, schema):
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        cyclon.seed([descriptor(schema, 9, 3.5, 3.5)])
+        assert vicinity.initiate_exchange() == 9
+
+    def test_no_partner_is_noop(self, schema):
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        assert vicinity.initiate_exchange() is None
+        assert outbox == []
+
+    def test_request_reply_roundtrip(self, schema):
+        outbox = []
+        routing_a, cyclon_a, alice = make_stack(schema, 0, 0.5, 0.5, outbox)
+        routing_b, cyclon_b, bob = make_stack(schema, 1, 7.5, 7.5, outbox)
+        # Bob knows a node near Alice; Alice contacts Bob.
+        near_alice = descriptor(schema, 2, 1.5, 0.5)
+        bob.consider([ViewEntry(near_alice, age=0)])
+        alice.consider([ViewEntry(bob.descriptor, age=0)])
+        assert alice.initiate_exchange() == 1
+        sender, receiver, request = outbox.pop()
+        assert isinstance(request, VicinityRequest)
+        bob.handle_request(0, request)
+        assert 0 in routing_b.addresses()  # bob learned alice
+        sender, receiver, reply = outbox.pop()
+        assert isinstance(reply, VicinityReply)
+        alice.handle_reply(1, reply)
+        assert 2 in routing_a.addresses()  # alice learned the nearby node
+
+    def test_payload_carries_real_ages(self, schema):
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=0)])
+        for _ in range(3):
+            vicinity.tick()
+        payload = vicinity._exchange_payload(exclude=99)
+        by_address = {entry.address: entry for entry in payload}
+        assert by_address[0].age == 0  # fresh self-descriptor
+        assert by_address[1].age == 3  # aged link, not laundered to 0
+
+    def test_timeout_purges_peer(self, schema):
+        outbox = []
+        routing, cyclon, vicinity = make_stack(schema, 0, 0.5, 0.5, outbox)
+        peer = descriptor(schema, 1, 7.5, 7.5)
+        vicinity.consider([ViewEntry(peer, age=0)])
+        cyclon.seed([peer])
+        vicinity.initiate_exchange()
+        vicinity.exchange_timed_out(1)
+        assert routing.link_count() == 0
+        assert 1 not in cyclon.view

@@ -1,0 +1,121 @@
+"""Unit tests for partial views."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.gossip.view import PartialView, ViewEntry
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 8)], max_level=3)
+
+
+def entry(schema, address, age=0):
+    return ViewEntry(
+        NodeDescriptor.build(address, schema, {"x": address % 8}), age=age
+    )
+
+
+class TestViewEntry:
+    def test_aged(self, schema):
+        aged = entry(schema, 1, age=2).aged()
+        assert aged.age == 3
+
+    def test_address(self, schema):
+        assert entry(schema, 7).address == 7
+
+
+class TestPartialView:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            PartialView(0)
+
+    def test_add_and_contains(self, schema):
+        view = PartialView(4)
+        assert view.add(entry(schema, 1))
+        assert 1 in view
+        assert len(view) == 1
+
+    def test_add_keeps_freshest(self, schema):
+        view = PartialView(4)
+        view.add(entry(schema, 1, age=5))
+        assert view.add(entry(schema, 1, age=2))
+        assert view.get(1).age == 2
+        # An older duplicate does not replace a fresher entry.
+        assert not view.add(entry(schema, 1, age=9))
+        assert view.get(1).age == 2
+
+    def test_add_rejects_when_full(self, schema):
+        view = PartialView(2)
+        view.add(entry(schema, 1))
+        view.add(entry(schema, 2))
+        assert not view.add(entry(schema, 3))
+
+    def test_increase_ages(self, schema):
+        view = PartialView(4)
+        view.add(entry(schema, 1, age=0))
+        view.add(entry(schema, 2, age=3))
+        view.increase_ages()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 4
+
+    def test_oldest(self, schema):
+        view = PartialView(4)
+        view.add(entry(schema, 1, age=1))
+        view.add(entry(schema, 2, age=7))
+        assert view.oldest().address == 2
+
+    def test_oldest_empty(self):
+        assert PartialView(4).oldest() is None
+
+    def test_sample_excludes(self, schema):
+        view = PartialView(8)
+        for address in range(6):
+            view.add(entry(schema, address))
+        sample = view.sample(random.Random(1), 10, exclude=[0, 1])
+        assert {e.address for e in sample} == {2, 3, 4, 5}
+
+    def test_sample_bounded(self, schema):
+        view = PartialView(8)
+        for address in range(6):
+            view.add(entry(schema, address))
+        assert len(view.sample(random.Random(1), 3)) == 3
+
+    def test_merge_discards_self(self, schema):
+        view = PartialView(4)
+        view.merge([entry(schema, 9)], self_address=9)
+        assert 9 not in view
+
+    def test_merge_evicts_sent_first(self, schema):
+        view = PartialView(3)
+        for address in (1, 2, 3):
+            view.add(entry(schema, address, age=1))
+        view.merge([entry(schema, 4, age=0)], sent=[2])
+        assert 2 not in view
+        assert {4, 1, 3} == set(view.addresses())
+
+    def test_merge_evicts_oldest_when_no_sent(self, schema):
+        view = PartialView(3)
+        view.add(entry(schema, 1, age=9))
+        view.add(entry(schema, 2, age=1))
+        view.add(entry(schema, 3, age=1))
+        view.merge([entry(schema, 4, age=0)])
+        assert 1 not in view
+        assert len(view) == 3
+
+    def test_merge_prefers_fresher_duplicate(self, schema):
+        view = PartialView(3)
+        view.add(entry(schema, 1, age=9))
+        view.merge([entry(schema, 1, age=0)])
+        assert view.get(1).age == 0
+
+    def test_remove(self, schema):
+        view = PartialView(3)
+        view.add(entry(schema, 1))
+        view.remove(1)
+        view.remove(1)  # idempotent
+        assert len(view) == 0

@@ -1,0 +1,60 @@
+"""Tests for the SimulatedCluster facade."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.cluster import SimulatedCluster
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster(schema):
+    return SimulatedCluster(schema, size=300, seed=2)
+
+
+class TestSelect:
+    def test_exhaustive_matches_ground_truth(self, schema, cluster):
+        query = Query.where(schema, cpu=(40, None))
+        result = cluster.select(query)
+        truth = cluster.ground_truth(query)
+        assert result.total_found == len(truth)
+        assert {d.address for d in result.descriptors} == {
+            d.address for d in truth
+        }
+        assert result.duplicates == 0
+
+    def test_max_nodes_caps_descriptors(self, schema, cluster):
+        result = cluster.select(Query.where(schema), max_nodes=7)
+        assert len(result.descriptors) == 7
+        assert result.total_found >= 7
+
+    def test_fixed_origin(self, schema, cluster):
+        result = cluster.select(Query.where(schema), max_nodes=5, origin=11)
+        assert len(result.descriptors) == 5
+
+    def test_size_property(self, cluster):
+        assert cluster.size == 300
+
+    def test_no_match(self, schema, cluster):
+        query = Query.where(schema, cpu=(79.999, None), mem=(79.999, None))
+        result = cluster.select(query)
+        assert result.descriptors == []
+        assert result.total_found == 0
+
+
+class TestGossipMode:
+    def test_gossip_cluster_answers_queries(self, schema):
+        cluster = SimulatedCluster(
+            schema, size=120, seed=3, gossip=True, warmup=400.0
+        )
+        query = Query.where(schema, mem=(40, None))
+        result = cluster.select(query)
+        truth = cluster.ground_truth(query)
+        assert result.total_found == len(truth)

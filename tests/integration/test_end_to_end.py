@@ -1,0 +1,120 @@
+"""End-to-end simulations across schema variants and populations."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, categorical, numeric
+from repro.core.query import Query
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import (
+    clustered_sampler,
+    normal_sampler,
+    uniform_sampler,
+)
+from repro.workloads.xtremlab import generate_hosts, xtremlab_schema
+
+
+def deploy(schema, sampler, size, seed=21):
+    metrics = MetricsCollector()
+    deployment = Deployment(schema, seed=seed, observer=metrics)
+    deployment.populate(sampler, size)
+    deployment.bootstrap()
+    return deployment, metrics
+
+
+def assert_exact(deployment, metrics, query):
+    expected = {d.address for d in deployment.matching_descriptors(query)}
+    found = deployment.execute_query(query)
+    assert {d.address for d in found} == expected
+    assert metrics.total_duplicates() == 0
+    return expected
+
+
+class TestPopulations:
+    @pytest.mark.parametrize("sampler_name", ["uniform", "normal", "clustered"])
+    def test_exact_delivery(self, sampler_name):
+        schema = AttributeSchema.regular(
+            [numeric("x", 0, 80), numeric("y", 0, 80), numeric("z", 0, 80)],
+            max_level=3,
+        )
+        factory = {
+            "uniform": uniform_sampler,
+            "normal": normal_sampler,
+            "clustered": clustered_sampler,
+        }[sampler_name]
+        deployment, metrics = deploy(schema, factory(schema), 400)
+        query = Query.where(schema, x=(30, 70), y=(10, None))
+        assert_exact(deployment, metrics, query)
+
+
+class TestCategoricalEndToEnd:
+    def test_label_set_query(self):
+        schema = AttributeSchema.regular(
+            [
+                numeric("mem", 0, 80),
+                categorical("os", ["linux", "windows", "macos", "bsd"]),
+            ],
+            max_level=3,
+        )
+        deployment, metrics = deploy(schema, uniform_sampler(schema), 300)
+        query = Query.where(schema, os=["linux", "bsd"], mem=(40, None))
+        expected = assert_exact(deployment, metrics, query)
+        assert expected  # the scenario actually exercises matching
+
+
+class TestQuantileSchema:
+    def test_exact_delivery_on_skewed_population(self):
+        base = xtremlab_schema(max_level=3)
+        hosts = generate_hosts(400, seed=3)
+        schema = AttributeSchema.from_quantiles(
+            base.definitions, hosts, max_level=3
+        )
+        metrics = MetricsCollector()
+        deployment = Deployment(schema, seed=4, observer=metrics)
+        for values in hosts:
+            deployment.add_host(values)
+        deployment.bootstrap()
+        query = Query.where(schema, mem_mb=(1024, None), cpu_count=(2, None))
+        assert_exact(deployment, metrics, query)
+
+
+class TestGossipMatchesBootstrap:
+    def test_converged_gossip_equals_oracle(self):
+        from repro.gossip.maintenance import GossipConfig
+
+        schema = AttributeSchema.regular(
+            [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+        )
+        metrics = MetricsCollector()
+        deployment = Deployment(
+            schema, seed=6, gossip_config=GossipConfig(), observer=metrics
+        )
+        deployment.populate(uniform_sampler(schema), 200)
+        deployment.start_gossip()
+        deployment.run(400.0)
+        for low in (10, 30, 50):
+            query = Query.where(schema, x=(low, low + 25))
+            expected = {
+                d.address for d in deployment.matching_descriptors(query)
+            }
+            found = deployment.execute_query(query)
+            assert {d.address for d in found} == expected
+
+
+class TestAttributeChangePropagation:
+    def test_moved_node_found_at_new_location(self):
+        from repro.gossip.maintenance import GossipConfig
+
+        schema = AttributeSchema.regular(
+            [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+        )
+        deployment = Deployment(schema, seed=8, gossip_config=GossipConfig())
+        deployment.populate(uniform_sampler(schema), 150)
+        deployment.start_gossip()
+        deployment.run(300.0)
+        mover = deployment.hosts[0]
+        mover.update_attributes({"x": 75.0, "y": 75.0})
+        deployment.run(300.0)  # let gossip spread the new descriptor
+        query = Query.where(schema, x=(74, 76), y=(74, 76))
+        found = deployment.execute_query(query)
+        assert 0 in {d.address for d in found}

@@ -1,0 +1,83 @@
+"""Behavior on an unreliable substrate (message loss + retries).
+
+The PlanetLab deployment runs over a lossy wide-area network; the per-hop
+timeout/retry machinery (Section 4.3's T(q)) is what keeps queries usable
+there. These tests inject uniform message loss and check that (a) retries
+recover most of the answer and (b) the protocol never produces duplicate
+candidates or hangs.
+"""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.node import NodeConfig
+from repro.core.query import Query
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.sim.latency import constant_latency
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+def lossy_deployment(schema, loss_rate, retry=True, seed=9):
+    metrics = MetricsCollector()
+    deployment = Deployment(
+        schema,
+        seed=seed,
+        latency=constant_latency(0.01),
+        loss_rate=loss_rate,
+        node_config=NodeConfig(
+            query_timeout=5.0, min_timeout=0.5, retry_on_timeout=retry
+        ),
+        observer=metrics,
+    )
+    deployment.populate(uniform_sampler(schema), 250)
+    deployment.bootstrap()
+    return deployment, metrics
+
+
+class TestLoss:
+    def test_queries_terminate_under_heavy_loss(self, schema):
+        deployment, metrics = lossy_deployment(schema, loss_rate=0.3)
+        query = Query.where(schema, x=(30, None))
+        found = deployment.execute_query(query, timeout=300.0)
+        # The query completed (possibly partial) and produced no junk.
+        expected = {d.address for d in deployment.matching_descriptors(query)}
+        assert {d.address for d in found} <= expected
+
+    def test_retries_recover_most_matches(self, schema):
+        query_spec = dict(x=(30, None))
+        deliveries = {}
+        for retry in (False, True):
+            deployment, metrics = lossy_deployment(
+                schema, loss_rate=0.10, retry=retry
+            )
+            query = Query.where(schema, **query_spec)
+            expected = {
+                d.address for d in deployment.matching_descriptors(query)
+            }
+            deployment.execute_query(query, origin=0, timeout=300.0)
+            record = next(iter(metrics.records.values()))
+            deliveries[retry] = record.delivery(expected)
+        assert deliveries[True] >= deliveries[False]
+        assert deliveries[True] > 0.9
+
+    def test_no_duplicate_candidates_under_loss(self, schema):
+        deployment, metrics = lossy_deployment(schema, loss_rate=0.15)
+        query = Query.where(schema, y=(40, None))
+        found = deployment.execute_query(query, timeout=300.0)
+        addresses = [d.address for d in found]
+        assert len(addresses) == len(set(addresses))
+
+    def test_sigma_still_met_under_loss(self, schema):
+        deployment, metrics = lossy_deployment(schema, loss_rate=0.10)
+        found = deployment.execute_query(
+            Query.where(schema), sigma=20, timeout=300.0
+        )
+        assert len(found) >= 20

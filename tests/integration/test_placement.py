@@ -1,0 +1,72 @@
+"""Tests for the decentralized job-placement layer."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.cluster import SimulatedCluster
+from repro.placement import FREE_SLOTS, JobPlacer, PlacementError
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+@pytest.fixture
+def placer(schema):
+    cluster = SimulatedCluster(schema, size=200, seed=5)
+    return JobPlacer(cluster, slots_per_node=2)
+
+
+class TestPlacement:
+    def test_place_claims_slots(self, schema, placer):
+        job = placer.place(Query.where(schema, cpu=(20, None)), machines=5)
+        assert job.width == 5
+        for descriptor in job.machines:
+            assert placer.free_slots(descriptor.address) == 1
+
+    def test_distinct_machines(self, schema, placer):
+        job = placer.place(Query.where(schema), machines=10)
+        addresses = [d.address for d in job.machines]
+        assert len(set(addresses)) == 10
+
+    def test_busy_machines_self_exclude(self, schema, placer):
+        """Once a machine's slots are full, new jobs route around it."""
+        query = Query.where(schema, cpu=(70, None), mem=(70, None))
+        eligible = len(placer.cluster.ground_truth(query))
+        first = placer.place(query, machines=eligible)   # slot 1 of 2
+        second = placer.place(query, machines=eligible)  # slot 2 of 2
+        with pytest.raises(PlacementError):
+            placer.place(query, machines=1)  # everyone is full now
+        placer.release(first.job_id)
+        third = placer.place(query, machines=eligible)
+        assert third.width == eligible
+
+    def test_release_restores_capacity(self, schema, placer):
+        job = placer.place(Query.where(schema), machines=5)
+        placer.release(job.job_id)
+        for descriptor in job.machines:
+            assert placer.free_slots(descriptor.address) == 2
+        placer.release(job.job_id)  # idempotent
+
+    def test_not_enough_machines(self, schema, placer):
+        with pytest.raises(PlacementError):
+            placer.place(
+                Query.where(schema, cpu=(79.5, None), mem=(79.5, None)),
+                machines=50,
+            )
+
+    def test_utilization_accounting(self, schema, placer):
+        assert placer.utilization() == 0.0
+        placer.place(Query.where(schema), machines=40)
+        assert placer.total_busy_slots() == 40
+        assert abs(placer.utilization() - 40 / 400) < 1e-9
+
+    def test_release_on_crashed_machine_is_safe(self, schema, placer):
+        job = placer.place(Query.where(schema), machines=3)
+        victim = job.machines[0].address
+        placer.cluster.deployment.kill(victim)
+        placer.release(job.job_id)  # must not raise

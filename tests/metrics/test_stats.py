@@ -1,0 +1,97 @@
+"""Unit and property tests for the statistics helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    gini,
+    histogram_fixed,
+    histogram_percent_of_max,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median(self):
+        assert median([1, 3, 2]) == 2.0
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([0, 10], 0) == 0.0
+        assert percentile([0, 10], 100) == 10.0
+        assert percentile([7], 30) == 7.0
+        assert percentile([], 50) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2, 2, 2]) == 0.0
+        assert abs(stddev([0, 2]) - 1.0) < 1e-12
+        assert stddev([5]) == 0.0
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "median", "p95", "max", "stddev"}
+
+
+class TestHistograms:
+    def test_percent_of_max_buckets(self):
+        values = [0, 5, 10]
+        histogram = histogram_percent_of_max(values, buckets=2)
+        assert sum(histogram) == 100.0
+        assert histogram == [200 / 3, 100 / 3]
+
+    def test_percent_of_max_all_zero(self):
+        histogram = histogram_percent_of_max([0, 0], buckets=4)
+        assert histogram[0] == 100.0
+
+    def test_percent_of_max_empty(self):
+        assert histogram_percent_of_max([], buckets=3) == [0.0, 0.0, 0.0]
+
+    def test_fixed_bands(self):
+        histogram = histogram_fixed([0, 1, 5, 100], edges=(0, 2, 10, 20))
+        assert histogram == [50.0, 25.0, 25.0]  # 100 lands in the last band
+
+
+class TestGini:
+    def test_perfect_balance(self):
+        assert gini([5, 5, 5, 5]) < 1e-9
+
+    def test_total_concentration(self):
+        assert gini([0, 0, 0, 100]) > 0.7
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_bounds(self, values):
+        coefficient = gini(values)
+        assert -1e-9 <= coefficient < 1.0
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=30))
+    def test_scale_invariant(self, values):
+        scaled = [v * 3 for v in values]
+        assert abs(gini(values) - gini(scaled)) < 1e-9
+
+
+class TestPercentileProperties:
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60),
+        st.floats(0, 100),
+    )
+    def test_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) - 1e-6 <= result <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_monotone_in_q(self, values):
+        quantiles = [percentile(values, q) for q in (0, 25, 50, 75, 100)]
+        assert quantiles == sorted(quantiles)

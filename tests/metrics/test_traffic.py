@@ -1,0 +1,73 @@
+"""Tests for the gossip-traffic accounting."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.gossip.maintenance import GossipConfig
+from repro.metrics.traffic import (
+    GOSSIP_MESSAGE_TYPES,
+    entry_wire_bytes,
+    measure_gossip_traffic,
+    message_wire_bytes,
+)
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+class TestWireModel:
+    def test_entry_bytes_scale_with_dimensions(self):
+        assert entry_wire_bytes(5) == 6 + 40 + 2
+        assert entry_wire_bytes(16) > entry_wire_bytes(5)
+
+    def test_message_bytes(self):
+        assert message_wire_bytes(0, 5) == 20
+        assert message_wire_bytes(10, 5) == 20 + 10 * 48
+
+
+class TestMeasurement:
+    def test_requires_gossip_stack(self, schema):
+        deployment = Deployment(schema, seed=1)
+        with pytest.raises(ValueError):
+            measure_gossip_traffic(deployment, 10.0)
+
+    def test_paper_rate_two_initiated_per_cycle(self, schema):
+        """Each node initiates two gossips per cycle -> four sends counting
+        replies; messages touching a node per cycle is about eight."""
+        deployment = Deployment(
+            schema, seed=2, gossip_config=GossipConfig(period=10.0)
+        )
+        deployment.populate(uniform_sampler(schema), 100)
+        deployment.start_gossip()
+        deployment.run(100.0)  # settle
+        report = measure_gossip_traffic(deployment, duration=300.0)
+        assert set(report.messages_by_type) == set(GOSSIP_MESSAGE_TYPES)
+        # 2 requests + ~2 replies sent per node per cycle.
+        assert 3.0 < report.sent_per_node_per_cycle < 5.0
+        # ~8 messages touch a node per cycle (the paper's 2,560 B / 320 B).
+        assert 6.0 < report.touched_per_node_per_cycle < 10.0
+        bytes_per_cycle = report.bytes_per_node_per_cycle
+        assert 2_000 < bytes_per_cycle < 3_200
+        assert report.bytes_per_second_per_node() == bytes_per_cycle / 10.0
+
+    def test_traffic_counts_reset_window(self, schema):
+        deployment = Deployment(
+            schema, seed=3, gossip_config=GossipConfig(period=10.0)
+        )
+        deployment.populate(uniform_sampler(schema), 30)
+        deployment.start_gossip()
+        deployment.run(50.0)
+        first = measure_gossip_traffic(deployment, duration=100.0)
+        second = measure_gossip_traffic(deployment, duration=100.0)
+        # Windows measure their own interval, not cumulative counts.
+        ratio = (
+            sum(second.messages_by_type.values())
+            / max(1, sum(first.messages_by_type.values()))
+        )
+        assert 0.5 < ratio < 2.0

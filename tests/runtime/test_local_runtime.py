@@ -1,0 +1,116 @@
+"""Tests for the threaded runtime (real concurrency, real timers)."""
+
+import time
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.metrics.collectors import MetricsCollector
+from repro.runtime.local import LocalRuntime
+from repro.runtime.scheduler import TimerScheduler
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+class TestTimerScheduler:
+    def test_fires_in_order(self):
+        scheduler = TimerScheduler()
+        scheduler.start()
+        fired = []
+        scheduler.schedule(0.05, lambda: fired.append("b"))
+        scheduler.schedule(0.01, lambda: fired.append("a"))
+        time.sleep(0.2)
+        scheduler.stop()
+        assert fired == ["a", "b"]
+
+    def test_cancel(self):
+        scheduler = TimerScheduler()
+        scheduler.start()
+        fired = []
+        call = scheduler.schedule(0.05, lambda: fired.append("x"))
+        scheduler.cancel(call)
+        time.sleep(0.15)
+        scheduler.stop()
+        assert fired == []
+
+    def test_exception_does_not_kill_loop(self):
+        scheduler = TimerScheduler()
+        scheduler.start()
+        fired = []
+        scheduler.schedule(0.01, lambda: 1 / 0)
+        scheduler.schedule(0.05, lambda: fired.append("ok"))
+        time.sleep(0.2)
+        scheduler.stop()
+        assert fired == ["ok"]
+
+
+class TestBootstrappedRuntime:
+    def test_query_over_threads(self, schema):
+        metrics = MetricsCollector()
+        with LocalRuntime(schema, seed=1, observer=metrics) as runtime:
+            runtime.populate(uniform_sampler(schema), 60)
+            runtime.bootstrap()
+            query = Query.where(schema, cpu=(40, None))
+            expected = {
+                d.address for d in runtime.matching_descriptors(query)
+            }
+            found = runtime.execute_query(query, timeout=20.0)
+            assert {d.address for d in found} == expected
+            assert metrics.total_duplicates() == 0
+
+    def test_sigma_over_threads(self, schema):
+        with LocalRuntime(schema, seed=2) as runtime:
+            runtime.populate(uniform_sampler(schema), 60)
+            runtime.bootstrap()
+            found = runtime.execute_query(Query.where(schema), sigma=10)
+            assert len(found) >= 10
+
+    def test_failed_host_does_not_block_completion(self, schema):
+        from repro.core.node import NodeConfig
+
+        config = NodeConfig(query_timeout=2.0, min_timeout=0.2)
+        with LocalRuntime(schema, seed=3, node_config=config) as runtime:
+            runtime.populate(uniform_sampler(schema), 30)
+            runtime.bootstrap()
+            # Crash a third of the network, then query with a short timeout
+            # budget so the per-hop failure timers can fire.
+            for host in list(runtime.hosts.values())[:10]:
+                host.fail()
+            alive = [h for h in runtime.hosts.values() if h.alive]
+            query = Query.where(schema)
+            found = runtime.execute_query(
+                query, origin=alive[0].address, timeout=25.0
+            )
+            # All surviving matching nodes reachable through surviving links
+            # respond; the dead ones cannot. The query must still complete.
+            assert len(found) >= 1
+            assert all(runtime.hosts[d.address].alive for d in found)
+
+
+class TestGossipRuntime:
+    def test_gossip_converges_in_real_time(self, schema):
+        gossip = GossipConfig(period=0.05, answer_timeout=0.2)
+        with LocalRuntime(schema, seed=4, gossip_config=gossip) as runtime:
+            runtime.populate(uniform_sampler(schema), 40)
+            runtime.start_gossip()
+            deadline = time.monotonic() + 10.0
+            query = Query.where(schema, cpu=(30, None))
+            expected = {
+                d.address for d in runtime.matching_descriptors(query)
+            }
+            found_addresses = set()
+            while time.monotonic() < deadline:
+                time.sleep(0.3)
+                found = runtime.execute_query(query, timeout=5.0)
+                found_addresses = {d.address for d in found}
+                if found_addresses == expected:
+                    break
+            assert found_addresses == expected

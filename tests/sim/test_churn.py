@@ -1,0 +1,108 @@
+"""Unit tests for the churn/failure scenario drivers."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.sim.churn import ContinuousChurn, MassiveFailure, RepeatedFailure
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular([numeric("x", 0, 80)], max_level=3)
+
+
+def plain_deployment(schema, size=100, seed=2):
+    deployment = Deployment(schema, seed=seed)
+    deployment.populate(uniform_sampler(schema), size)
+    deployment.bootstrap()
+    return deployment
+
+
+class TestContinuousChurn:
+    def test_rate_validated(self, schema):
+        deployment = plain_deployment(schema, 10)
+        with pytest.raises(ValueError):
+            ContinuousChurn(deployment, rate=1.0, sampler=uniform_sampler(schema))
+
+    def test_population_stable_with_rejoin(self, schema):
+        deployment = plain_deployment(schema, 100)
+        churn = ContinuousChurn(
+            deployment, rate=0.05, sampler=uniform_sampler(schema),
+            interval=10.0, rng=random.Random(1),
+        )
+        churn.start()
+        deployment.run(200.0)
+        churn.stop()
+        assert churn.events > 0
+        assert len(deployment.alive_hosts()) == 100  # leave + rejoin balance
+
+    def test_fractional_rates_accumulate(self, schema):
+        """A 0.1%/interval rate on 100 nodes still produces churn over time."""
+        deployment = plain_deployment(schema, 100)
+        churn = ContinuousChurn(
+            deployment, rate=0.03, sampler=uniform_sampler(schema),
+            interval=10.0, rng=random.Random(1),
+        )
+        churn.start()
+        deployment.run(100.0)  # 10 ticks x 3 expected events
+        churn.stop()
+        assert 20 <= churn.events <= 40
+
+    def test_no_rejoin_shrinks_population(self, schema):
+        deployment = plain_deployment(schema, 100)
+        churn = ContinuousChurn(
+            deployment, rate=0.05, sampler=uniform_sampler(schema),
+            interval=10.0, rng=random.Random(1), rejoin=False,
+        )
+        churn.start()
+        deployment.run(100.0)
+        churn.stop()
+        assert len(deployment.alive_hosts()) < 100
+
+    def test_stop_halts_events(self, schema):
+        deployment = plain_deployment(schema, 100)
+        churn = ContinuousChurn(
+            deployment, rate=0.05, sampler=uniform_sampler(schema),
+            interval=10.0, rng=random.Random(1),
+        )
+        churn.start()
+        deployment.run(50.0)
+        churn.stop()
+        count = churn.events
+        deployment.run(100.0)
+        assert churn.events == count
+
+
+class TestMassiveFailure:
+    def test_fraction_validated(self, schema):
+        deployment = plain_deployment(schema, 10)
+        with pytest.raises(ValueError):
+            MassiveFailure(deployment, fraction=1.0, at_time=1.0)
+
+    def test_fires_at_time(self, schema):
+        deployment = plain_deployment(schema, 100)
+        failure = MassiveFailure(deployment, fraction=0.5, at_time=50.0)
+        failure.arm()
+        deployment.run(49.0)
+        assert len(deployment.alive_hosts()) == 100
+        deployment.run(2.0)
+        assert len(deployment.alive_hosts()) == 50
+        assert len(failure.victims) == 50
+
+
+class TestRepeatedFailure:
+    def test_rounds_limit(self, schema):
+        deployment = plain_deployment(schema, 100)
+        failures = RepeatedFailure(
+            deployment, fraction=0.1, interval=10.0, rounds=3,
+            rng=random.Random(1),
+        )
+        failures.start()
+        deployment.run(100.0)
+        assert failures.fired == 3
+        # 100 -> 90 -> 81 -> 73 survivors.
+        assert len(deployment.alive_hosts()) == 73

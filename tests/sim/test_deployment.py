@@ -1,0 +1,117 @@
+"""Tests for deployment construction and the exact bootstrap."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.cells import ZERO_SLOT, iter_slots
+from repro.core.query import Query
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import normal_sampler, uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+def build(schema, size, sampler=None, seed=5):
+    metrics = MetricsCollector()
+    deployment = Deployment(schema, seed=seed, observer=metrics)
+    deployment.populate(sampler or uniform_sampler(schema), size)
+    deployment.bootstrap()
+    return deployment, metrics
+
+
+class TestBootstrapCorrectness:
+    def test_every_nonempty_slot_gets_a_link(self, schema):
+        """The bootstrap must fill a slot iff some node inhabits its cell."""
+        deployment, _ = build(schema, 300)
+        descriptors = deployment.alive_descriptors()
+        for host in list(deployment.hosts.values())[:25]:
+            routing = host.node.routing
+            for level, dim in iter_slots(schema.dimensions, schema.max_level):
+                region = routing.region(level, dim)
+                inhabited = any(
+                    region.contains(d.coordinates) for d in descriptors
+                )
+                linked = routing.neighbor(level, dim) is not None
+                assert linked == inhabited, (host.address, level, dim)
+
+    def test_zero_lists_complete(self, schema):
+        deployment, _ = build(schema, 300)
+        descriptors = deployment.alive_descriptors()
+        for host in list(deployment.hosts.values())[:25]:
+            expected = {
+                d.address
+                for d in descriptors
+                if d.coordinates == host.node.descriptor.coordinates
+                and d.address != host.address
+            }
+            actual = {
+                d.address for d in host.node.routing.zero_neighbors()
+            }
+            assert actual == expected
+
+    def test_links_classified_correctly(self, schema):
+        deployment, _ = build(schema, 200, sampler=normal_sampler(schema))
+        for host in list(deployment.hosts.values())[:25]:
+            routing = host.node.routing
+            for level, dim in iter_slots(schema.dimensions, schema.max_level):
+                neighbor = routing.neighbor(level, dim)
+                if neighbor is not None:
+                    assert routing.classify(neighbor) == (level, dim)
+            for peer in routing.zero_neighbors():
+                assert routing.classify(peer) == ZERO_SLOT
+
+
+class TestMembership:
+    def test_kill_removes_from_alive(self, schema):
+        deployment, _ = build(schema, 50)
+        deployment.kill(0)
+        assert 0 not in {h.address for h in deployment.alive_hosts()}
+        deployment.kill(0)  # idempotent
+
+    def test_kill_fraction(self, schema):
+        deployment, _ = build(schema, 100)
+        victims = deployment.kill_fraction(0.3)
+        assert len(victims) == 30
+        assert len(deployment.alive_hosts()) == 70
+
+    def test_execute_query_needs_live_hosts(self, schema):
+        deployment, _ = build(schema, 10)
+        deployment.kill_fraction(1.0)
+        with pytest.raises(RuntimeError):
+            deployment.execute_query(Query.where(schema))
+
+
+class TestQueries:
+    def test_matching_descriptors_is_ground_truth(self, schema):
+        deployment, _ = build(schema, 100)
+        query = Query.where(schema, x=(40, None))
+        expected = [
+            host.node.descriptor
+            for host in deployment.alive_hosts()
+            if host.node.descriptor.values[0] >= 40
+        ]
+        assert deployment.matching_descriptors(query) == expected
+
+    def test_execute_query_with_fixed_origin(self, schema):
+        deployment, metrics = build(schema, 100)
+        query = Query.where(schema, x=(40, None))
+        found = deployment.execute_query(query, origin=7)
+        assert {d.address for d in found} == {
+            d.address for d in deployment.matching_descriptors(query)
+        }
+        assert any(qid[0] == 7 for qid in metrics.records)
+
+    def test_deterministic_given_seed(self, schema):
+        results = []
+        for _ in range(2):
+            deployment, _ = build(schema, 80, seed=9)
+            query = Query.where(schema, x=(20, 60))
+            found = deployment.execute_query(query, origin=3)
+            results.append(sorted(d.address for d in found))
+        assert results[0] == results[1]

@@ -1,0 +1,61 @@
+"""Tests for the SimHost wrapper."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+class TestLifecycle:
+    def test_failed_host_stops_receiving(self, schema):
+        metrics = MetricsCollector()
+        deployment = Deployment(schema, seed=1, observer=metrics)
+        deployment.populate(uniform_sampler(schema), 30)
+        deployment.bootstrap()
+        victim = deployment.hosts[5]
+        victim.fail()
+        assert not victim.alive
+        assert not deployment.network.is_alive(5)
+        # Queries still complete around the failed host.
+        found = deployment.execute_query(Query.where(schema), origin=0)
+        assert 5 not in {d.address for d in found}
+
+    def test_gossip_requires_config(self, schema):
+        deployment = Deployment(schema, seed=2)
+        host = deployment.add_host({"x": 1.0, "y": 1.0})
+        with pytest.raises(RuntimeError):
+            host.start_gossip([])
+
+    def test_update_attributes_rebuilds_and_reroutes(self, schema):
+        metrics = MetricsCollector()
+        deployment = Deployment(schema, seed=3, observer=metrics)
+        deployment.populate(uniform_sampler(schema), 50)
+        deployment.bootstrap()
+        mover = deployment.hosts[0]
+        mover.update_attributes({"x": 79.0, "y": 79.0})
+        # Matching is self-evaluated, so the mover answers immediately...
+        query = Query.where(schema, x=(78, None), y=(78, None))
+        found = deployment.execute_query(query, origin=0)
+        assert 0 in {d.address for d in found}
+
+    def test_update_attributes_syncs_gossip_descriptor(self, schema):
+        deployment = Deployment(
+            schema, seed=4, gossip_config=GossipConfig()
+        )
+        host = deployment.add_host({"x": 1.0, "y": 1.0})
+        host.start_gossip([])
+        host.update_attributes({"x": 70.0, "y": 70.0})
+        assert host.maintenance.cyclon.descriptor == host.descriptor
+        assert host.maintenance.vicinity.descriptor == host.descriptor
+        assert host.descriptor.coordinates == (7, 7)

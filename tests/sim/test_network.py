@@ -1,0 +1,132 @@
+"""Unit tests for the simulated network and per-node transport."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import constant_latency, lan_latency, wan_latency
+from repro.sim.network import SimNetwork, SimTransport
+
+
+@pytest.fixture
+def simulator():
+    return Simulator()
+
+
+@pytest.fixture
+def network(simulator):
+    return SimNetwork(simulator, latency=constant_latency(0.5))
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, simulator, network):
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append((sender, msg)))
+        network.send(0, 1, "hello")
+        simulator.run(until=0.4)
+        assert inbox == []
+        simulator.run(until=0.6)
+        assert inbox == [(0, "hello")]
+
+    def test_message_to_detached_node_is_lost(self, simulator, network):
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append(msg))
+        network.send(0, 1, "a")
+        network.detach(1)
+        simulator.run_until_idle()
+        assert inbox == []
+        assert network.messages_lost == 1
+
+    def test_detach_during_flight_drops_message(self, simulator, network):
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append(msg))
+        network.send(0, 1, "a")
+        simulator.run(until=0.1)
+        network.detach(1)  # crash while the message is in flight
+        simulator.run_until_idle()
+        assert inbox == []
+
+    def test_counters(self, simulator, network):
+        network.attach(1, lambda sender, msg: None)
+        network.send(0, 1, "a")
+        network.send(0, 1, "b")
+        simulator.run_until_idle()
+        assert network.messages_sent == 2
+        assert network.messages_delivered == 2
+
+
+class TestLoss:
+    def test_loss_rate_validated(self, simulator):
+        with pytest.raises(ValueError):
+            SimNetwork(simulator, loss_rate=1.5)
+
+    def test_lossy_network_drops_some(self, simulator):
+        network = SimNetwork(
+            simulator,
+            latency=constant_latency(0.01),
+            loss_rate=0.5,
+            rng=random.Random(4),
+        )
+        received = []
+        network.attach(1, lambda sender, msg: received.append(msg))
+        for i in range(200):
+            network.send(0, 1, i)
+        simulator.run_until_idle()
+        assert 50 < len(received) < 150
+        assert network.messages_lost == 200 - len(received)
+
+
+class TestLatencyModels:
+    def test_lan_is_submillisecond(self):
+        model = lan_latency()
+        rng = random.Random(1)
+        samples = [model(0, 1, rng) for _ in range(100)]
+        assert all(0.0 < sample < 0.001 for sample in samples)
+
+    def test_wan_pairs_are_stable(self):
+        model = wan_latency(jitter=0.0)
+        rng = random.Random(1)
+        assert model(3, 7, rng) == model(7, 3, rng)
+        assert model(3, 7, rng) != model(3, 8, rng)
+
+    def test_wan_range(self):
+        model = wan_latency()
+        rng = random.Random(2)
+        samples = [model(i, i + 1, rng) for i in range(200)]
+        assert min(samples) >= 0.010
+        assert max(samples) <= 0.210 + 0.020
+
+
+class TestSimTransport:
+    def test_timer_suppressed_after_crash(self, simulator, network):
+        fired = []
+        network.attach(1, lambda sender, msg: None)
+        transport = SimTransport(network, 1)
+        transport.call_later(1.0, lambda: fired.append("x"))
+        network.detach(1)
+        simulator.run_until_idle()
+        assert fired == []
+
+    def test_timer_fires_while_alive(self, simulator, network):
+        fired = []
+        network.attach(1, lambda sender, msg: None)
+        transport = SimTransport(network, 1)
+        transport.call_later(1.0, lambda: fired.append("x"))
+        simulator.run_until_idle()
+        assert fired == ["x"]
+
+    def test_cancel(self, simulator, network):
+        fired = []
+        network.attach(1, lambda sender, msg: None)
+        transport = SimTransport(network, 1)
+        handle = transport.call_later(1.0, lambda: fired.append("x"))
+        transport.cancel(handle)
+        simulator.run_until_idle()
+        assert fired == []
+
+    def test_now_tracks_simulator(self, simulator, network):
+        transport = SimTransport(network, 1)
+        simulator.schedule(2.5, lambda: None)
+        simulator.run_until_idle()
+        assert transport.now() == 2.5

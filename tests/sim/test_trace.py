@@ -1,0 +1,79 @@
+"""Tests for the simulation trace recorder."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.sim.deployment import Deployment
+from repro.sim.trace import TraceRecorder
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def deployment():
+    schema = AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+    deployment = Deployment(schema, seed=5)
+    deployment.populate(uniform_sampler(schema), 80)
+    deployment.bootstrap()
+    return deployment
+
+
+class TestRecording:
+    def test_records_query_traffic(self, deployment):
+        schema = deployment.schema
+        with TraceRecorder(deployment) as trace:
+            deployment.execute_query(Query.where(schema, x=(40, None)))
+        counts = trace.message_type_counts()
+        assert counts.get("QueryMessage", 0) > 0
+        assert counts.get("ReplyMessage", 0) > 0
+        # Each query send eventually pairs with a reply send.
+        assert counts["QueryMessage"] == counts["ReplyMessage"]
+
+    def test_stop_restores_network(self, deployment):
+        trace = TraceRecorder(deployment)
+        trace.start()
+        assert "send" in deployment.network.__dict__  # wrapper installed
+        trace.stop()
+        assert "send" not in deployment.network.__dict__  # class method back
+        trace.stop()  # idempotent
+
+    def test_events_timestamped_in_order(self, deployment):
+        schema = deployment.schema
+        with TraceRecorder(deployment) as trace:
+            deployment.execute_query(Query.where(schema))
+        times = [event.time for event in trace.events]
+        assert times == sorted(times)
+
+    def test_capacity_bounds_buffer(self, deployment):
+        schema = deployment.schema
+        with TraceRecorder(deployment, capacity=10) as trace:
+            deployment.execute_query(Query.where(schema))
+        assert len(trace.events) == 10
+        assert trace.dropped > 0
+
+    def test_capacity_validated(self, deployment):
+        with pytest.raises(ValueError):
+            TraceRecorder(deployment, capacity=0)
+
+
+class TestFiltering:
+    def test_filter_by_address_and_type(self, deployment):
+        schema = deployment.schema
+        with TraceRecorder(deployment) as trace:
+            deployment.execute_query(Query.where(schema, x=(40, None)), origin=3)
+        for event in trace.filter(address=3, message_type="QueryMessage"):
+            assert event.involves(3)
+            assert event.message_type == "QueryMessage"
+        # The origin sent at least one query message.
+        assert trace.filter(address=3, message_type="QueryMessage")
+
+    def test_filter_by_time_window(self, deployment):
+        schema = deployment.schema
+        with TraceRecorder(deployment) as trace:
+            deployment.execute_query(Query.where(schema))
+        midpoint = trace.events[len(trace.events) // 2].time
+        early = trace.filter(until=midpoint)
+        late = trace.filter(since=midpoint)
+        assert len(early) + len(late) >= len(trace.events)

@@ -1,0 +1,23 @@
+"""The README quickstart must stay runnable, verbatim."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def extract_quickstart():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python code block"
+    return blocks[0]
+
+
+def test_quickstart_block_executes(capsys):
+    code = extract_quickstart()
+    namespace = {}
+    exec(compile(code, str(README), "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "machines" in out
+    result = namespace["result"]
+    assert len(result.descriptors) == 50

@@ -1,0 +1,70 @@
+"""Tests for the utility modules (intervals, rng, errors)."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError, ProtocolError, ReproError
+from repro.util.intervals import (
+    clamp,
+    intersect,
+    interval_contains,
+    interval_length,
+    intervals_overlap,
+)
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+class TestIntervals:
+    def test_overlap(self):
+        assert intervals_overlap((0, 5), (5, 9))
+        assert intervals_overlap((0, 5), (3, 4))
+        assert not intervals_overlap((0, 5), (6, 9))
+
+    def test_intersect(self):
+        assert intersect((0, 5), (3, 9)) == (3, 5)
+        assert intersect((0, 5), (6, 9)) is None
+        assert intersect((2, 2), (2, 2)) == (2, 2)
+
+    def test_contains(self):
+        assert interval_contains((1, 3), 1)
+        assert interval_contains((1, 3), 3)
+        assert not interval_contains((1, 3), 0)
+
+    def test_length(self):
+        assert interval_length((2, 5)) == 4
+        assert interval_length((5, 2)) == 0
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(99, 0, 10) == 10
+
+
+class TestRng:
+    def test_derivation_is_deterministic(self):
+        a = derive_rng(42, "stream").random()
+        b = derive_rng(42, "stream").random()
+        assert a == b
+
+    def test_labels_are_independent(self):
+        a = derive_rng(42, "one").random()
+        b = derive_rng(42, "two").random()
+        assert a != b
+
+    def test_seed_matters(self):
+        assert derive_rng(1, "x").random() != derive_rng(2, "x").random()
+
+    def test_spawn_seeds(self):
+        seeds = spawn_seeds(42, "fleet", 5)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+        assert seeds == spawn_seeds(42, "fleet", 5)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(ProtocolError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("bad")

@@ -1,0 +1,98 @@
+"""Unit tests for the node-population samplers."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, categorical, numeric
+from repro.workloads.distributions import (
+    clustered_sampler,
+    normal_sampler,
+    uniform_sampler,
+)
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [
+            numeric("x", 0, 80),
+            numeric("y", 0, 80),
+            categorical("os", ["linux", "windows"]),
+        ],
+        max_level=3,
+    )
+
+
+class TestUniform:
+    def test_values_in_domain(self, schema):
+        sampler = uniform_sampler(schema)
+        rng = random.Random(1)
+        for _ in range(200):
+            values = sampler(rng)
+            assert 0 <= values["x"] < 80
+            assert 0 <= values["y"] < 80
+            assert values["os"] in ("linux", "windows")
+
+    def test_covers_space(self, schema):
+        sampler = uniform_sampler(schema)
+        rng = random.Random(2)
+        cells = {
+            schema.coordinates(schema.encode_values(sampler(rng)))[:2]
+            for _ in range(2000)
+        }
+        assert len(cells) == 64  # all 8x8 (x, y) combinations hit
+
+
+class TestNormal:
+    def test_defaults_match_paper(self, schema):
+        """Hotspot at 3/4 of the domain (60 on [0,80]) with stddev 10."""
+        sampler = normal_sampler(schema)
+        rng = random.Random(3)
+        xs = [sampler(rng)["x"] for _ in range(3000)]
+        mean_x = sum(xs) / len(xs)
+        assert 57 < mean_x < 62
+        inside = sum(1 for x in xs if 50 <= x <= 70) / len(xs)
+        assert 0.6 < inside < 0.76  # +-1 sigma holds ~68%
+
+    def test_clamped_to_domain(self, schema):
+        sampler = normal_sampler(schema, center=[79, 79], stddev=[30, 30])
+        rng = random.Random(4)
+        for _ in range(500):
+            values = sampler(rng)
+            assert 0 <= values["x"] < 80
+
+    def test_custom_center(self, schema):
+        sampler = normal_sampler(schema, center=[10, 10], stddev=[1, 1])
+        rng = random.Random(5)
+        xs = [sampler(rng)["x"] for _ in range(300)]
+        assert 9 < sum(xs) / len(xs) < 11
+
+
+class TestClustered:
+    def test_nodes_stay_near_centroids(self, schema):
+        sampler = clustered_sampler(schema, clusters=3, spread_fraction=0.01)
+        rng = random.Random(6)
+        points = [(sampler(rng)["x"], sampler(rng)["y"]) for _ in range(200)]
+        xs = sorted({round(x) for x, _ in points})
+        # Tight clusters: only a handful of distinct rounded x positions.
+        assert len(xs) < 30
+
+    def test_explicit_centroids(self, schema):
+        rooms = [
+            {"x": 10.0, "y": 10.0, "os": "linux"},
+            {"x": 70.0, "y": 70.0, "os": "windows"},
+        ]
+        sampler = clustered_sampler(schema, centroids=rooms, spread_fraction=0.01)
+        rng = random.Random(7)
+        for _ in range(100):
+            values = sampler(rng)
+            near_a = abs(values["x"] - 10) < 5 and values["os"] == "linux"
+            near_b = abs(values["x"] - 70) < 5 and values["os"] == "windows"
+            assert near_a or near_b
+
+    def test_categorical_follows_cluster(self, schema):
+        sampler = clustered_sampler(schema, clusters=2, seed=8)
+        rng = random.Random(8)
+        seen = {sampler(rng)["os"] for _ in range(100)}
+        assert seen <= {"linux", "windows"}

@@ -1,0 +1,142 @@
+"""Unit tests for the query-workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.cells import cell_interval
+from repro.core.descriptors import NodeDescriptor
+from repro.util.errors import ConfigurationError
+from repro.workloads.queries import (
+    aligned_selectivity_query,
+    best_case_query,
+    empirical_box_query,
+    random_box_query,
+    worst_case_query,
+)
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric(f"a{i}", 0, 80) for i in range(5)], max_level=3
+    )
+
+
+def uniform_population(schema, count, seed=1):
+    rng = random.Random(seed)
+    return [
+        NodeDescriptor.build(
+            address,
+            schema,
+            {f"a{i}": rng.uniform(0, 80) for i in range(5)},
+        )
+        for address in range(count)
+    ]
+
+
+def matching_fraction(query, population):
+    matched = sum(1 for d in population if query.matches(d.values))
+    return matched / len(population)
+
+
+class TestRandomBox:
+    def test_selectivity_approximated(self, schema):
+        population = uniform_population(schema, 4000)
+        rng = random.Random(2)
+        fractions = [
+            matching_fraction(random_box_query(schema, 0.125, rng), population)
+            for _ in range(20)
+        ]
+        average = sum(fractions) / len(fractions)
+        assert 0.08 < average < 0.18
+
+    def test_selectivity_validated(self, schema):
+        with pytest.raises(ConfigurationError):
+            random_box_query(schema, 0.0, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            random_box_query(schema, 1.5, random.Random(1))
+
+    def test_full_selectivity_matches_all(self, schema):
+        population = uniform_population(schema, 500)
+        query = random_box_query(schema, 1.0, random.Random(3))
+        assert matching_fraction(query, population) == 1.0
+
+
+class TestBestCase:
+    def test_region_is_dyadic_aligned(self, schema):
+        rng = random.Random(4)
+        for _ in range(50):
+            query = best_case_query(schema, 0.125, rng)
+            for low, high in query.index_ranges():
+                width = high - low + 1
+                assert width & (width - 1) == 0  # power of two
+                assert low % width == 0          # aligned offset
+                # The range equals one cell of the corresponding level.
+                level = width.bit_length() - 1
+                assert cell_interval(low, level) == (low, high)
+
+    def test_selectivity_approximated(self, schema):
+        population = uniform_population(schema, 4000)
+        rng = random.Random(5)
+        fractions = [
+            matching_fraction(best_case_query(schema, 0.125, rng), population)
+            for _ in range(20)
+        ]
+        average = sum(fractions) / len(fractions)
+        assert 0.08 < average < 0.18
+
+    def test_alias(self):
+        assert aligned_selectivity_query is best_case_query
+
+
+class TestWorstCase:
+    def test_straddles_center_split(self, schema):
+        rng = random.Random(6)
+        cells = schema.cells_per_dimension
+        for _ in range(50):
+            query = worst_case_query(schema, 0.125, rng)
+            for low, high in query.index_ranges():
+                assert low < cells // 2 <= high  # crosses the coarsest split
+
+    def test_covered_cells_all_match(self, schema):
+        """Worst-case boxes are cell-aligned: whole cells match."""
+        query = worst_case_query(schema, 0.125, random.Random(7))
+        ranges = query.index_ranges()
+        # Any node placed at a cell center within the ranges must match.
+        rng = random.Random(8)
+        for _ in range(100):
+            coords = tuple(rng.randint(low, high) for low, high in ranges)
+            values = tuple(10.0 * c + 5.0 for c in coords)  # cell centers
+            assert query.matches(values)
+
+    def test_full_selectivity_covers_space(self, schema):
+        query = worst_case_query(schema, 1.0, random.Random(9))
+        assert query.constraints == ()
+
+
+class TestEmpiricalBox:
+    def test_targets_skewed_population(self, schema):
+        rng = random.Random(10)
+        population = [
+            NodeDescriptor.build(
+                address,
+                schema,
+                {f"a{i}": min(79.9, 5.0 * 2.718 ** rng.gauss(0, 1))
+                 for i in range(5)},
+            )
+            for address in range(3000)
+        ]
+        fractions = [
+            matching_fraction(
+                empirical_box_query(schema, population, 0.125, rng), population
+            )
+            for _ in range(10)
+        ]
+        average = sum(fractions) / len(fractions)
+        assert 0.05 < average < 0.35
+
+    def test_needs_population(self, schema):
+        with pytest.raises(ConfigurationError):
+            empirical_box_query(schema, [], 0.1, random.Random(1))

@@ -1,0 +1,65 @@
+"""Tests for the synthetic XtremLab/BOINC host-trace generator."""
+
+import math
+
+from repro.workloads.xtremlab import generate_hosts, xtremlab_schema
+
+
+class TestSchema:
+    def test_sixteen_attributes(self):
+        schema = xtremlab_schema()
+        assert schema.dimensions == 16
+
+    def test_schema_encodes_generated_hosts(self):
+        schema = xtremlab_schema()
+        for host in generate_hosts(50, seed=1):
+            vector = schema.encode_values(host)
+            coords = schema.coordinates(vector)
+            assert len(coords) == 16
+
+
+class TestSkew:
+    def test_reproducible(self):
+        assert generate_hosts(20, seed=7) == generate_hosts(20, seed=7)
+        assert generate_hosts(20, seed=7) != generate_hosts(20, seed=8)
+
+    def test_capacities_are_heavy_tailed(self):
+        hosts = generate_hosts(2000, seed=2)
+        mems = sorted(float(h["mem_mb"]) for h in hosts)
+        mean = sum(mems) / len(mems)
+        median = mems[len(mems) // 2]
+        # Log-normal-like: mean well above median.
+        assert mean > 1.15 * median
+
+    def test_categorical_zipf_dominance(self):
+        hosts = generate_hosts(2000, seed=3)
+        counts = {}
+        for host in hosts:
+            counts[host["os"]] = counts.get(host["os"], 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        # The most popular OS dominates the least popular by a large factor.
+        assert ordered[0] > 5 * ordered[-1]
+
+    def test_correlated_capacities(self):
+        """Bigger machines have more of everything (latent size factor)."""
+        hosts = generate_hosts(2000, seed=4)
+        mem = [math.log(float(h["mem_mb"])) for h in hosts]
+        disk = [math.log(float(h["disk_gb"])) for h in hosts]
+        n = len(hosts)
+        mean_m, mean_d = sum(mem) / n, sum(disk) / n
+        cov = sum((m - mean_m) * (d - mean_d) for m, d in zip(mem, disk)) / n
+        var_m = sum((m - mean_m) ** 2 for m in mem) / n
+        var_d = sum((d - mean_d) ** 2 for d in disk) / n
+        correlation = cov / math.sqrt(var_m * var_d)
+        assert correlation > 0.2
+
+    def test_disk_free_below_disk(self):
+        for host in generate_hosts(200, seed=5):
+            assert float(host["disk_free_gb"]) <= float(host["disk_gb"])
+
+    def test_domains_respected(self):
+        schema = xtremlab_schema()
+        for host in generate_hosts(500, seed=6):
+            for definition in schema.definitions:
+                value = definition.encode(host[definition.name])
+                assert definition.lower <= value <= definition.upper
