@@ -1,0 +1,87 @@
+"""Performance smoke gates for the fast paths this repo depends on.
+
+Small-N so the whole file runs in seconds, but with explicit wall-time
+ceilings: a regression that reintroduces an O(N) scan per query, an
+O(heap) pending-events walk, or a per-descriptor classification in
+bootstrap shows up here as a hard failure long before the paper-scale
+benchmark is rerun. Ceilings are ~10x the observed times on a single
+modest core, so they only trip on complexity regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.config import PAPER_PEERSIM
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.workloads.queries import aligned_selectivity_query, random_box_query
+
+SMOKE_N = 5_000
+
+
+def build_small():
+    return build_deployment(PAPER_PEERSIM.scaled(SMOKE_N))
+
+
+def test_build_small_network(benchmark):
+    """Populate + converged bootstrap of a 5,000-node overlay."""
+    start = time.perf_counter()
+    deployment, _ = run_once(benchmark, build_small)
+    elapsed = time.perf_counter() - start
+    assert len(deployment.alive_hosts()) == SMOKE_N
+    assert elapsed < 15.0
+
+
+def test_query_batch_small_network(benchmark):
+    """A 40-query batch: ground truth + dissemination + metrics."""
+    cfg = PAPER_PEERSIM.scaled(SMOKE_N)
+    schema = cfg.schema()
+    deployment, metrics = build_deployment(cfg)
+
+    def run_batch():
+        return measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+            count=40,
+            sigma=cfg.sigma,
+            seed=cfg.seed,
+        )
+
+    start = time.perf_counter()
+    outcomes = run_once(benchmark, run_batch)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 15.0
+    assert mean_overhead(outcomes) < 3.0
+    assert sum(outcome.duplicates for outcome in outcomes) == 0
+
+
+def test_ground_truth_lookup_is_indexed(benchmark):
+    """matching_descriptors must stay far below one full scan per call."""
+    cfg = PAPER_PEERSIM.scaled(SMOKE_N)
+    schema = cfg.schema()
+    deployment, _ = build_deployment(cfg)
+    from repro.util.rng import derive_rng
+
+    rng = derive_rng(cfg.seed, "smoke-ground-truth")
+    queries = [random_box_query(schema, 0.01, rng) for _ in range(200)]
+
+    def ground_truth_batch():
+        return sum(
+            len(deployment.matching_descriptors(query)) for query in queries
+        )
+
+    start = time.perf_counter()
+    total = run_once(benchmark, ground_truth_batch)
+    elapsed = time.perf_counter() - start
+    assert total > 0
+    # 200 selective lookups over 5,000 nodes; the cell index answers each
+    # from the handful of overlapping cells. A full-scan regression costs
+    # 200 * 5,000 matches() calls and blows straight through this.
+    assert elapsed < 2.0

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Measure the paper-scale run and append the result to BENCH_paper_scale.json.
+
+The tracked workload is the acceptance benchmark of the fast-path work:
+build the paper's headline configuration (N=100,000, d=5, max(l)=3,
+uniform population, converged overlay) and issue 10 aligned f=0.125
+queries at sigma=50. Each invocation appends one machine-readable row, so
+the JSON file accumulates the performance trajectory of the repository
+over time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--label my-change]
+    PYTHONPATH=src python scripts/bench_trajectory.py --size 20000  # quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.config import PAPER_PEERSIM
+from repro.experiments.harness import (
+    build_deployment,
+    mean_overhead,
+    measure_queries,
+)
+from repro.workloads.queries import aligned_selectivity_query
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_paper_scale.json"
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(size: int, queries: int) -> dict:
+    cfg = PAPER_PEERSIM if size == PAPER_PEERSIM.network_size else (
+        PAPER_PEERSIM.scaled(size)
+    )
+    schema = cfg.schema()
+    build_start = time.perf_counter()
+    deployment, metrics = build_deployment(cfg)
+    build_seconds = time.perf_counter() - build_start
+    query_start = time.perf_counter()
+    outcomes = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+        count=queries,
+        sigma=cfg.sigma,
+        seed=cfg.seed,
+    )
+    query_seconds = time.perf_counter() - query_start
+    return {
+        "network_size": size,
+        "queries": queries,
+        "build_seconds": round(build_seconds, 3),
+        "query_seconds": round(query_seconds, 3),
+        "total_seconds": round(build_seconds + query_seconds, 3),
+        "mean_overhead": round(mean_overhead(outcomes), 3),
+        "duplicates": sum(outcome.duplicates for outcome in outcomes),
+        "min_found": min(outcome.found for outcome in outcomes),
+    }
+
+
+def append_row(row: dict) -> None:
+    rows = (
+        json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else []
+    )
+    rows.append(row)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="", help="tag for this run")
+    parser.add_argument(
+        "--size", type=int, default=PAPER_PEERSIM.network_size,
+        help="network size (default: the paper's 100,000)",
+    )
+    parser.add_argument("--queries", type=int, default=10)
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the row without appending it",
+    )
+    args = parser.parse_args()
+
+    row = measure(args.size, args.queries)
+    row.update(
+        label=args.label or f"run@{git_revision()}",
+        git_revision=git_revision(),
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        python=platform.python_version(),
+        machine=platform.machine(),
+    )
+    print(json.dumps(row, indent=2))
+    if not args.dry_run:
+        append_row(row)
+        print(f"appended to {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,8 @@ def _cmd_fig06(args: argparse.Namespace) -> int:
         int(s) for s in (args.sizes.split(",") if args.sizes else ())
     ) or (100, 500, 2_000, args.size)
     rows = fig06_network_size.run(
-        sizes=sizes, queries_per_size=args.queries, config=_config(args)
+        sizes=sizes, queries_per_size=args.queries, config=_config(args),
+        jobs=args.jobs,
     )
     print(format_table(
         rows, ["size", "overhead", "overhead_unaligned", "duplicates"],
@@ -67,7 +68,7 @@ def _cmd_fig06(args: argparse.Namespace) -> int:
 
 def _cmd_fig07(args: argparse.Namespace) -> int:
     rows = fig07_selectivity.run(
-        queries_per_point=args.queries, config=_config(args)
+        queries_per_point=args.queries, config=_config(args), jobs=args.jobs
     )
     print(format_table(
         rows,
@@ -79,7 +80,7 @@ def _cmd_fig07(args: argparse.Namespace) -> int:
 
 def _cmd_fig08(args: argparse.Namespace) -> int:
     rows = fig08_dimensions.run(
-        queries_per_point=args.queries, config=_config(args)
+        queries_per_point=args.queries, config=_config(args), jobs=args.jobs
     )
     print(format_table(
         rows, ["dimensions", "overhead"],
@@ -90,7 +91,7 @@ def _cmd_fig08(args: argparse.Namespace) -> int:
 
 def _cmd_fig09(args: argparse.Namespace) -> int:
     results = fig09_load.run_distribution_comparison(
-        config=_config(args), queries=args.queries
+        config=_config(args), queries=args.queries, jobs=args.jobs
     )
     for label, data in results.items():
         print(format_histogram(
@@ -113,7 +114,9 @@ def _cmd_fig09(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    rows = fig10_neighbors.run_dimension_sweep(config=_config(args))
+    rows = fig10_neighbors.run_dimension_sweep(
+        config=_config(args), jobs=args.jobs
+    )
     print(format_table(
         rows, ["dimensions", "mean_links", "mean_zero_links", "filled_slots"],
         "Figure 10(a): neighbors vs dimensions",
@@ -196,6 +199,16 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
 }
 
 
+def _jobs_value(raw: str) -> int:
+    """Parse ``--jobs``: a non-negative int (0 = all cores)."""
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -224,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="kill interval in seconds (fig13)")
     run.add_argument("--rounds", type=int, default=4,
                      help="kill rounds (fig13)")
+    run.add_argument("--jobs", "-j", type=_jobs_value, default=1,
+                     help="worker processes for sweep points "
+                     "(0 = all cores; fig06-fig10)")
     return parser
 
 

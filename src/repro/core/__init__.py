@@ -24,6 +24,7 @@ from repro.core.cells import (
     slot_of,
 )
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.index import CellIndex
 from repro.core.messages import QueryId, QueryMessage, ReplyMessage
 from repro.core.node import NodeConfig, ResourceNode
 from repro.core.observer import ProtocolObserver
@@ -51,6 +52,7 @@ __all__ = [
     "slot_of",
     "Address",
     "NodeDescriptor",
+    "CellIndex",
     "QueryId",
     "QueryMessage",
     "ReplyMessage",

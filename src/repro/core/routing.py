@@ -13,7 +13,8 @@ the timeout T(q)), and candidate material for the gossip selection function.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cells import (
     Region,
@@ -58,6 +59,10 @@ class RoutingTable:
         self._primary: Dict[Tuple[int, int], NodeDescriptor] = {}
         self._alternates: Dict[Tuple[int, int], Dict[Address, NodeDescriptor]] = {}
         self._zero: Dict[Address, NodeDescriptor] = {}
+        # Address-keyed shadow of the whole table: address -> (slot, descriptor).
+        # Keeps membership tests, slot location and descriptor lookup O(1) —
+        # these are hot paths during bootstrap and in the gossip layer.
+        self._by_address: Dict[Address, Tuple[Slot, NodeDescriptor]] = {}
         # Region geometry is computed on demand: most nodes in a large
         # deployment never forward a query, and eagerly materializing
         # d * max_level Region objects per node dominates memory at scale.
@@ -86,73 +91,159 @@ class RoutingTable:
         its slot only when the slot is empty; otherwise it is kept as an
         alternate (evicting an arbitrary older alternate when full).
         """
-        if descriptor.address == self.owner.address:
+        address = descriptor.address
+        if address == self.owner.address:
             return False
         slot = self.classify(descriptor)
-        # A known address whose new attributes place it in a *different*
-        # slot (the node's resources changed) must not linger in the old
-        # one — purge every stale copy before inserting.
-        current = self._locate(descriptor.address)
-        if current is not None and current != slot:
-            self.remove(descriptor.address)
-        if slot == ZERO_SLOT:
-            if descriptor.address in self._zero:
-                if self._zero[descriptor.address] == descriptor:
+        entry = self._by_address.get(address)
+        if entry is not None:
+            current_slot, current = entry
+            if current_slot == slot:
+                if current == descriptor:
                     return False
-                self._zero[descriptor.address] = descriptor
+                # Refresh in place (same slot, new attribute snapshot).
+                self._by_address[address] = (slot, descriptor)
+                if slot == ZERO_SLOT:
+                    self._zero[address] = descriptor
+                else:
+                    primary = self._primary.get(slot)
+                    if primary is not None and primary.address == address:
+                        self._primary[slot] = descriptor
+                    else:
+                        self._alternates[slot][address] = descriptor
                 return True
+            # A known address whose new attributes place it in a *different*
+            # slot (the node's resources changed) must not linger in the old
+            # one — purge the stale copy before inserting.
+            self.remove(address)
+        if slot == ZERO_SLOT:
             if (
                 self.zero_capacity is not None
                 and len(self._zero) >= self.zero_capacity
             ):
                 return False
-            self._zero[descriptor.address] = descriptor
+            self._zero[address] = descriptor
+            self._by_address[address] = (slot, descriptor)
             return True
-        level, dim = slot  # type: ignore[misc]
-        primary = self._primary.get((level, dim))
+        primary = self._primary.get(slot)
         if primary is None:
-            self._primary[(level, dim)] = descriptor
+            self._primary[slot] = descriptor
+            self._by_address[address] = (slot, descriptor)
             return True
-        if primary.address == descriptor.address:
-            if primary != descriptor:
-                self._primary[(level, dim)] = descriptor
-                return True
-            return False
-        alternates = self._alternates.setdefault((level, dim), {})
-        if descriptor.address in alternates:
-            if alternates[descriptor.address] == descriptor:
-                return False
-            alternates[descriptor.address] = descriptor
-            return True
+        alternates = self._alternates.setdefault(slot, {})
         if len(alternates) >= self.alternates_per_slot:
             return False
-        alternates[descriptor.address] = descriptor
+        alternates[address] = descriptor
+        self._by_address[address] = (slot, descriptor)
         return True
+
+    def seed_zero(self, descriptors: Iterable[NodeDescriptor]) -> None:
+        """Bulk-install C0 members during bootstrap.
+
+        The caller guarantees every descriptor shares the owner's
+        lowest-level cell (the bootstrap invariant, verified by the
+        deployment tests); that lets this path skip classification, which
+        dominates bootstrap cost at scale. Self and already-known
+        addresses are skipped; ``zero_capacity`` is respected.
+        """
+        zero = self._zero
+        by_address = self._by_address
+        owner_address = self.owner.address
+        capacity = self.zero_capacity
+        for descriptor in descriptors:
+            address = descriptor.address
+            if address == owner_address or address in by_address:
+                continue
+            if capacity is not None and len(zero) >= capacity:
+                return
+            zero[address] = descriptor
+            by_address[address] = (ZERO_SLOT, descriptor)
+
+    def seed_slots(
+        self,
+        slot_buckets: Iterable[
+            Tuple[int, int, Sequence[NodeDescriptor], int]
+        ],
+        rng: "random.Random",
+    ) -> None:
+        """Sample and install neighbors for many slots in one call.
+
+        Each element of *slot_buckets* is ``(level, dim, bucket, picks)``:
+        *picks* members of *bucket* are drawn without replacement using
+        *rng*; the first free draw becomes the slot's selected neighbor
+        and the rest are retained as alternates up to
+        ``alternates_per_slot``. Like :meth:`seed_zero`, the caller
+        guarantees every bucket member actually lies in its slot's cell,
+        so classification is skipped. Fusing the sampling with the
+        install avoids both ``random.sample``'s per-call machinery and
+        one Python frame per slot — together the dominant cost of
+        bootstrapping a 100,000-node overlay.
+        """
+        by_address = self._by_address
+        owner_address = self.owner.address
+        primary = self._primary
+        cap = self.alternates_per_slot
+        # random.sample's own core primitive, minus its per-call checks.
+        randbelow = rng._randbelow
+        shuffle = rng.shuffle
+        for level, dim, bucket, picks in slot_buckets:
+            count = len(bucket)
+            if picks == 1:
+                chosen = (bucket[randbelow(count)],)
+            elif picks >= count:
+                chosen = list(bucket)
+                shuffle(chosen)
+            else:
+                indices: Dict[int, None] = {}
+                while len(indices) < picks:
+                    indices[randbelow(count)] = None
+                chosen = [bucket[i] for i in indices]
+            slot = (level, dim)
+            alternates: Optional[Dict[Address, NodeDescriptor]] = None
+            for descriptor in chosen:
+                address = descriptor.address
+                if address == owner_address or address in by_address:
+                    continue
+                if slot not in primary:
+                    primary[slot] = descriptor
+                else:
+                    if alternates is None:
+                        alternates = self._alternates.setdefault(slot, {})
+                    if len(alternates) >= cap:
+                        break
+                    alternates[address] = descriptor
+                by_address[address] = (slot, descriptor)
 
     def _locate(self, address: Address) -> Optional[Slot]:
         """The slot currently holding *address*, or None if unknown."""
-        if address in self._zero:
-            return ZERO_SLOT
-        for slot, descriptor in self._primary.items():
-            if descriptor.address == address:
-                return slot
-        for slot, alternates in self._alternates.items():
-            if address in alternates:
-                return slot
-        return None
+        entry = self._by_address.get(address)
+        return entry[0] if entry is not None else None
+
+    def get(self, address: Address) -> Optional[NodeDescriptor]:
+        """The stored descriptor for *address*, or None if unknown."""
+        entry = self._by_address.get(address)
+        return entry[1] if entry is not None else None
 
     def remove(self, address: Address) -> None:
         """Drop every link to *address*, promoting an alternate if needed."""
-        self._zero.pop(address, None)
-        for slot in list(self._primary):
-            if self._primary[slot].address == address:
-                del self._primary[slot]
-                alternates = self._alternates.get(slot)
-                if alternates:
-                    _, promoted = alternates.popitem()
-                    self._primary[slot] = promoted
-        for alternates in self._alternates.values():
-            alternates.pop(address, None)
+        entry = self._by_address.pop(address, None)
+        if entry is None:
+            return
+        slot = entry[0]
+        if slot == ZERO_SLOT:
+            self._zero.pop(address, None)
+            return
+        primary = self._primary.get(slot)
+        if primary is not None and primary.address == address:
+            del self._primary[slot]
+            alternates = self._alternates.get(slot)
+            if alternates:
+                _, promoted = alternates.popitem()
+                self._primary[slot] = promoted
+        else:
+            alternates = self._alternates.get(slot)
+            if alternates:
+                alternates.pop(address, None)
 
     def rebuild(self, owner: NodeDescriptor) -> List[NodeDescriptor]:
         """Re-seat the table around a new *owner* descriptor.
@@ -166,6 +257,7 @@ class RoutingTable:
         self._primary.clear()
         self._alternates.clear()
         self._zero.clear()
+        self._by_address.clear()
         self._regions.clear()
         for descriptor in known:
             self.add(descriptor)
@@ -222,7 +314,7 @@ class RoutingTable:
 
     def link_count(self) -> int:
         """Total number of distinct links, including fallback alternates."""
-        return sum(1 for _ in self.descriptors())
+        return len(self._by_address)
 
     def primary_link_count(self) -> int:
         """Selected links only: one per non-empty slot plus the C0 members.
@@ -239,7 +331,7 @@ class RoutingTable:
 
     def addresses(self) -> Set[Address]:
         """All addresses present in the table."""
-        return {descriptor.address for descriptor in self.descriptors()}
+        return set(self._by_address)
 
     def bulk_load(self, descriptors: Iterable[NodeDescriptor]) -> None:
         """Insert many descriptors (bootstrap helper)."""

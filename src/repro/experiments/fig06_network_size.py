@@ -18,15 +18,55 @@ from repro.experiments.harness import (
     mean_overhead,
     measure_queries,
 )
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.workloads.queries import best_case_query, random_box_query
 
 DEFAULT_SIZES = (100, 300, 1_000, 3_000, 10_000, 30_000)
+
+
+def run_point(
+    size: int,
+    queries_per_size: int,
+    config: ExperimentConfig,
+) -> Dict[str, float]:
+    """One sweep point: build an N-node overlay, measure, return its row.
+
+    Self-contained (fresh deployment, seeds derived from the config), so
+    points can run in any order or in separate worker processes without
+    changing the result.
+    """
+    cfg = config.scaled(size)
+    schema = cfg.schema()
+    deployment, metrics = build_deployment(cfg)
+    aligned = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: best_case_query(schema, cfg.selectivity, rng),
+        count=queries_per_size,
+        sigma=cfg.sigma,
+        seed=cfg.seed + size,
+    )
+    unaligned = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: random_box_query(schema, cfg.selectivity, rng),
+        count=max(5, queries_per_size // 3),
+        sigma=cfg.sigma,
+        seed=cfg.seed + size + 1,
+    )
+    return {
+        "size": size,
+        "overhead": mean_overhead(aligned),
+        "overhead_unaligned": mean_overhead(unaligned),
+        "duplicates": sum(o.duplicates for o in aligned + unaligned),
+    }
 
 
 def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     queries_per_size: int = 30,
     config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = 1,
 ) -> List[Dict[str, float]]:
     """Run the sweep; returns rows of ``{size, overhead, ...}``.
 
@@ -36,35 +76,21 @@ def run(
     aligned regions. ``overhead_unaligned`` reports the same sweep with
     free-floating boxes, whose boundary cells are routed through but do not
     match (bonus diagnostic, not in the paper).
+
+    *jobs* > 1 fans the sizes out across worker processes; the rows are
+    identical to a serial run.
     """
     base = config or PAPER_PEERSIM
-    rows: List[Dict[str, float]] = []
-    for size in sizes:
-        cfg = base.scaled(size)
-        schema = cfg.schema()
-        deployment, metrics = build_deployment(cfg)
-        aligned = measure_queries(
-            deployment,
-            metrics,
-            lambda rng: best_case_query(schema, cfg.selectivity, rng),
-            count=queries_per_size,
-            sigma=cfg.sigma,
-            seed=cfg.seed + size,
-        )
-        unaligned = measure_queries(
-            deployment,
-            metrics,
-            lambda rng: random_box_query(schema, cfg.selectivity, rng),
-            count=max(5, queries_per_size // 3),
-            sigma=cfg.sigma,
-            seed=cfg.seed + size + 1,
-        )
-        rows.append(
-            {
+    points = [
+        SweepPoint(
+            function=run_point,
+            kwargs={
                 "size": size,
-                "overhead": mean_overhead(aligned),
-                "overhead_unaligned": mean_overhead(unaligned),
-                "duplicates": sum(o.duplicates for o in aligned + unaligned),
-            }
+                "queries_per_size": queries_per_size,
+                "config": base,
+            },
+            label=f"size={size}",
         )
-    return rows
+        for size in sizes
+    ]
+    return run_sweep(points, jobs=jobs)

@@ -26,6 +26,7 @@ from repro.experiments.harness import (
     mean_overhead,
     measure_queries,
 )
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.workloads.queries import best_case_query, worst_case_query
 
 DEFAULT_SELECTIVITIES = (0.05, 0.125, 0.25, 0.5, 0.75, 1.0)
@@ -38,28 +39,57 @@ SERIES = (
 )
 
 
+def run_point(
+    selectivity: float,
+    queries_per_point: int,
+    config: ExperimentConfig,
+) -> Dict[str, float]:
+    """One sweep point: all three series at a single selectivity.
+
+    Builds its own deployment (all randomness derived from the config
+    seed), so selectivities can be measured in any order or in parallel
+    worker processes with identical results.
+    """
+    cfg = config
+    schema = cfg.schema()
+    deployment, metrics = build_deployment(cfg)
+    row: Dict[str, float] = {"selectivity": selectivity}
+    for label, kind, sigma in SERIES:
+        factory = best_case_query if kind == "best" else worst_case_query
+        outcomes = measure_queries(
+            deployment,
+            metrics,
+            lambda rng, f=selectivity: factory(schema, f, rng),
+            count=queries_per_point,
+            sigma=sigma,
+            seed=cfg.seed + int(selectivity * 1000),
+        )
+        row[label] = mean_overhead(outcomes)
+    return row
+
+
 def run(
     selectivities: Sequence[float] = DEFAULT_SELECTIVITIES,
     queries_per_point: int = 15,
     config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = 1,
 ) -> List[Dict[str, float]]:
-    """Run the sweep; one row per selectivity with a column per series."""
+    """Run the sweep; one row per selectivity with a column per series.
+
+    *jobs* > 1 measures the selectivities in parallel worker processes;
+    each point is self-contained, so the rows match a serial run.
+    """
     cfg = config or PAPER_PEERSIM
-    schema = cfg.schema()
-    deployment, metrics = build_deployment(cfg)
-    rows: List[Dict[str, float]] = []
-    for selectivity in selectivities:
-        row: Dict[str, float] = {"selectivity": selectivity}
-        for label, kind, sigma in SERIES:
-            factory = best_case_query if kind == "best" else worst_case_query
-            outcomes = measure_queries(
-                deployment,
-                metrics,
-                lambda rng, f=selectivity: factory(schema, f, rng),
-                count=queries_per_point,
-                sigma=sigma,
-                seed=cfg.seed + int(selectivity * 1000),
-            )
-            row[label] = mean_overhead(outcomes)
-        rows.append(row)
-    return rows
+    points = [
+        SweepPoint(
+            function=run_point,
+            kwargs={
+                "selectivity": selectivity,
+                "queries_per_point": queries_per_point,
+                "config": cfg,
+            },
+            label=f"f={selectivity}",
+        )
+        for selectivity in selectivities
+    ]
+    return run_sweep(points, jobs=jobs)

@@ -16,30 +16,54 @@ from repro.experiments.harness import (
     mean_overhead,
     measure_queries,
 )
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.workloads.queries import aligned_selectivity_query
 
 DEFAULT_DIMENSIONS = (2, 4, 6, 8, 10, 14, 20)
+
+
+def run_point(
+    d: int,
+    queries_per_point: int,
+    config: ExperimentConfig,
+) -> Dict[str, float]:
+    """One sweep point: a fresh d-dimensional overlay and its overhead."""
+    cfg = config.scaled(config.network_size, dimensions=d)
+    schema = cfg.schema()
+    deployment, metrics = build_deployment(cfg)
+    outcomes = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+        count=queries_per_point,
+        sigma=cfg.sigma,
+        seed=cfg.seed + d,
+    )
+    return {"dimensions": d, "overhead": mean_overhead(outcomes)}
 
 
 def run(
     dimensions: Sequence[int] = DEFAULT_DIMENSIONS,
     queries_per_point: int = 25,
     config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = 1,
 ) -> List[Dict[str, float]]:
-    """Run the sweep; returns rows of ``{dimensions, overhead}``."""
+    """Run the sweep; returns rows of ``{dimensions, overhead}``.
+
+    *jobs* > 1 fans the dimension counts out across worker processes;
+    each point is self-contained, so the rows match a serial run.
+    """
     base = config or PAPER_PEERSIM
-    rows: List[Dict[str, float]] = []
-    for d in dimensions:
-        cfg = base.scaled(base.network_size, dimensions=d)
-        schema = cfg.schema()
-        deployment, metrics = build_deployment(cfg)
-        outcomes = measure_queries(
-            deployment,
-            metrics,
-            lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
-            count=queries_per_point,
-            sigma=cfg.sigma,
-            seed=cfg.seed + d,
+    points = [
+        SweepPoint(
+            function=run_point,
+            kwargs={
+                "d": d,
+                "queries_per_point": queries_per_point,
+                "config": base,
+            },
+            label=f"d={d}",
         )
-        rows.append({"dimensions": d, "overhead": mean_overhead(outcomes)})
-    return rows
+        for d in dimensions
+    ]
+    return run_sweep(points, jobs=jobs)

@@ -26,6 +26,7 @@ from repro.experiments.harness import (
     measure_queries,
     latency_for_testbed,
 )
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.stats import gini, histogram_percent_of_max
 from repro.sim.deployment import Deployment
@@ -35,46 +36,74 @@ from repro.workloads.queries import aligned_selectivity_query, empirical_box_que
 from repro.workloads.xtremlab import xtremlab_sampler, xtremlab_schema
 
 
+#: Population labels of Figure 9(a) and their sampler factories.
+POPULATIONS = {
+    "uniform": uniform_sampler,
+    "normal": normal_sampler,
+}
+
+
+def run_population_point(
+    label: str,
+    config: ExperimentConfig,
+    queries: int,
+    buckets: int,
+) -> Dict[str, object]:
+    """One Figure 9(a) point: the load summary for a named population."""
+    cfg = config
+    schema = cfg.schema()
+    sampler_factory = POPULATIONS[label]
+    deployment, metrics = build_deployment(cfg, sampler=sampler_factory(schema))
+    # The paper's selectivity is defined over the *population* ("a
+    # subspace such that it approximately contains a desired fraction f
+    # of the total number of nodes"), so under the hotspot distribution
+    # the query boxes must follow the population quantiles.
+    population = deployment.alive_descriptors()
+    measure_queries(
+        deployment,
+        metrics,
+        lambda rng: empirical_box_query(
+            schema, population, cfg.selectivity, rng
+        ).snapped(),
+        count=queries,
+        sigma=cfg.sigma,
+        seed=cfg.seed,
+    )
+    loads = [
+        metrics.load.get(host.address, 0)
+        for host in deployment.alive_hosts()
+    ]
+    return {
+        "histogram": histogram_percent_of_max(loads, buckets=buckets),
+        "gini": gini(loads),
+        "max": max(loads) if loads else 0,
+        "mean": sum(loads) / len(loads) if loads else 0.0,
+    }
+
+
 def run_distribution_comparison(
     config: Optional[ExperimentConfig] = None,
     queries: int = 40,
     buckets: int = 10,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, object]]:
     """Figure 9(a): load histograms for uniform vs. normal populations."""
     cfg = config or PAPER_PEERSIM
-    results: Dict[str, Dict[str, object]] = {}
-    for label, sampler_factory in (
-        ("uniform", uniform_sampler),
-        ("normal", normal_sampler),
-    ):
-        schema = cfg.schema()
-        deployment, metrics = build_deployment(cfg, sampler=sampler_factory(schema))
-        # The paper's selectivity is defined over the *population* ("a
-        # subspace such that it approximately contains a desired fraction f
-        # of the total number of nodes"), so under the hotspot distribution
-        # the query boxes must follow the population quantiles.
-        population = deployment.alive_descriptors()
-        measure_queries(
-            deployment,
-            metrics,
-            lambda rng: empirical_box_query(
-                schema, population, cfg.selectivity, rng
-            ).snapped(),
-            count=queries,
-            sigma=cfg.sigma,
-            seed=cfg.seed,
+    labels = list(POPULATIONS)
+    points = [
+        SweepPoint(
+            function=run_population_point,
+            kwargs={
+                "label": label,
+                "config": cfg,
+                "queries": queries,
+                "buckets": buckets,
+            },
+            label=label,
         )
-        loads = [
-            metrics.load.get(host.address, 0)
-            for host in deployment.alive_hosts()
-        ]
-        results[label] = {
-            "histogram": histogram_percent_of_max(loads, buckets=buckets),
-            "gini": gini(loads),
-            "max": max(loads) if loads else 0,
-            "mean": sum(loads) / len(loads) if loads else 0.0,
-        }
-    return results
+        for label in labels
+    ]
+    return dict(zip(labels, run_sweep(points, jobs=jobs)))
 
 
 def run_dht_comparison(

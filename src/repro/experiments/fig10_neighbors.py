@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.node import NodeConfig
 from repro.experiments.config import PAPER_PEERSIM, ExperimentConfig
 from repro.experiments.harness import build_deployment
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.metrics.stats import histogram_fixed, mean
 from repro.workloads.distributions import normal_sampler, uniform_sampler
 
@@ -27,35 +28,47 @@ DEFAULT_DIMENSIONS = (2, 4, 6, 8, 10, 14, 20)
 HISTOGRAM_EDGES = (0, 4, 7, 10, 13, 16, 19, 22, 25, 28, 31)
 
 
+def run_dimension_point(
+    d: int,
+    config: ExperimentConfig,
+) -> Dict[str, float]:
+    """One Figure 10(a) point: link statistics of a d-dimensional overlay."""
+    cfg = config.scaled(config.network_size, dimensions=d)
+    deployment, _ = build_deployment(cfg)
+    hosts = deployment.alive_hosts()
+    return {
+        "dimensions": d,
+        "mean_links": mean(
+            [host.node.routing.primary_link_count() for host in hosts]
+        ),
+        "mean_zero_links": mean(
+            [host.node.routing.zero_count() for host in hosts]
+        ),
+        "filled_slots": mean(
+            [len(host.node.routing.filled_slots()) for host in hosts]
+        ),
+        "mean_links_with_alternates": mean(
+            [host.node.routing.link_count() for host in hosts]
+        ),
+    }
+
+
 def run_dimension_sweep(
     dimensions: Sequence[int] = DEFAULT_DIMENSIONS,
     config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = 1,
 ) -> List[Dict[str, float]]:
     """Figure 10(a): mean links (total and C0) per node vs. dimensions."""
     base = config or PAPER_PEERSIM
-    rows: List[Dict[str, float]] = []
-    for d in dimensions:
-        cfg = base.scaled(base.network_size, dimensions=d)
-        deployment, _ = build_deployment(cfg)
-        hosts = deployment.alive_hosts()
-        rows.append(
-            {
-                "dimensions": d,
-                "mean_links": mean(
-                    [host.node.routing.primary_link_count() for host in hosts]
-                ),
-                "mean_zero_links": mean(
-                    [host.node.routing.zero_count() for host in hosts]
-                ),
-                "filled_slots": mean(
-                    [len(host.node.routing.filled_slots()) for host in hosts]
-                ),
-                "mean_links_with_alternates": mean(
-                    [host.node.routing.link_count() for host in hosts]
-                ),
-            }
+    points = [
+        SweepPoint(
+            function=run_dimension_point,
+            kwargs={"d": d, "config": base},
+            label=f"d={d}",
         )
-    return rows
+        for d in dimensions
+    ]
+    return run_sweep(points, jobs=jobs)
 
 
 def run_link_distribution(

@@ -98,20 +98,17 @@ def measure_queries(
     """
     rng = derive_rng(seed, "measure-queries")
     outcomes: List[QueryOutcome] = []
+    metrics.consume_opened()  # discard records opened before this batch
     for index in range(count):
         query = query_factory(rng)
         expected = {
             d.address for d in deployment.matching_descriptors(query)
         }
         origin = origins[index % len(origins)] if origins else None
-        before = set(metrics.records)
         issued_at = deployment.simulator.now
         found = deployment.execute_query(query, sigma=sigma, origin=origin)
         latency = deployment.simulator.now - issued_at
-        new_ids = set(metrics.records) - before
-        record: Optional[QueryRecord] = (
-            metrics.records[new_ids.pop()] if len(new_ids) == 1 else None
-        )
+        record: Optional[QueryRecord] = metrics.consume_opened()
         outcomes.append(
             QueryOutcome(
                 overhead=record.routing_overhead() if record else 0,

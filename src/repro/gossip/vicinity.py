@@ -26,6 +26,7 @@ so live links never age out.
 from __future__ import annotations
 
 import random
+from itertools import islice
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.cells import ZERO_SLOT, slot_of
@@ -152,18 +153,21 @@ class VicinityProtocol:
     # -- internals ------------------------------------------------------------------
 
     def _pick_partner(self) -> Optional[Address]:
-        semantic = [
-            descriptor.address for descriptor in self.routing.descriptors()
-        ]
-        if semantic:
-            return self.rng.choice(semantic)
+        # Draw an index first (same stream consumption as rng.choice on the
+        # materialized list), then walk the table's iterator just far
+        # enough — no intermediate address list every cycle.
+        count = self.routing.link_count()
+        if count:
+            index = self.rng.randrange(count)
+            descriptor = next(islice(self.routing.descriptors(), index, None))
+            return descriptor.address
         entry = self.cyclon.view.random_entry(self.rng)
         return entry.address if entry is not None else None
 
     def _descriptor_of(self, address: Address) -> Optional[NodeDescriptor]:
-        for descriptor in self.routing.descriptors():
-            if descriptor.address == address:
-                return descriptor
+        descriptor = self.routing.get(address)
+        if descriptor is not None:
+            return descriptor
         entry = self.cyclon.view.get(address)
         return entry.descriptor if entry is not None else None
 

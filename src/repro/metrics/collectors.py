@@ -67,12 +67,29 @@ class MetricsCollector(ProtocolObserver):
     def __init__(self) -> None:
         self.records: Dict[QueryId, QueryRecord] = {}
         self.load: Counter = Counter()
+        self._opened: Optional[QueryRecord] = None
+        self._opened_count = 0
 
     def _record(self, query_id: QueryId) -> QueryRecord:
         record = self.records.get(query_id)
         if record is None:
             record = QueryRecord(query_id=query_id)
             self.records[query_id] = record
+            self._opened = record
+            self._opened_count += 1
+        return record
+
+    def consume_opened(self) -> Optional[QueryRecord]:
+        """The record opened since the last call, if exactly one was.
+
+        Lets a measurement loop retrieve "the record of the query I just
+        issued" in O(1) instead of diffing ``records`` snapshots around
+        every query. Returns None when zero or several records were
+        opened (ambiguous), then resets the tracking either way.
+        """
+        record = self._opened if self._opened_count == 1 else None
+        self._opened = None
+        self._opened_count = 0
         return record
 
     # -- ProtocolObserver -------------------------------------------------------
@@ -141,3 +158,5 @@ class MetricsCollector(ProtocolObserver):
         """Clear everything."""
         self.records.clear()
         self.load.clear()
+        self._opened = None
+        self._opened_count = 0

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeSchema, AttributeValue
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.index import CellIndex
 from repro.core.node import NodeConfig
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
@@ -25,6 +26,7 @@ from repro.sim.engine import Simulator
 from repro.sim.host import SimHost
 from repro.sim.latency import LatencyModel
 from repro.sim.network import SimNetwork
+from repro.util.perf import paused_gc
 from repro.util.rng import derive_rng
 
 #: A sampler draws one node's raw attribute values.
@@ -48,41 +50,49 @@ def bootstrap_links(
     if not hosts:
         return
     # Any object exposing ``.node`` (SimHost, RuntimeHost) can be linked.
-    max_level = hosts[0].node.schema.max_level
-    dimensions = hosts[0].node.schema.dimensions
-    descriptors = [host.node.descriptor for host in hosts]
+    schema = hosts[0].node.schema
+    max_level = schema.max_level
+    dimensions = schema.dimensions
 
-    # C0 cells: the full coordinate vector identifies the lowest-level cell.
-    by_zero_cell: Dict[Tuple[int, ...], List[NodeDescriptor]] = defaultdict(list)
-    for descriptor in descriptors:
-        by_zero_cell[descriptor.coordinates].append(descriptor)
+    # The CellIndex provides the C0 grouping: all hosts sharing a
+    # coordinate vector land in the same cell bucket.
+    index = CellIndex(schema)
+    by_cell: Dict[Tuple[int, ...], List] = defaultdict(list)
+    for host in hosts:
+        descriptor = host.node.descriptor
+        index.add(descriptor)
+        by_cell[descriptor.coordinates].append(host)
 
     # Neighboring-cell buckets. A node Y lies in N(l,k)(X) iff Y's bucket
     # key under (l,k) equals X's key with the dimension-k component flipped
     # in its lowest bit (same C_l prefix, same halves below k, sibling half
-    # at k, free below).
+    # at k, free below). All members of a C0 cell share every bucket key,
+    # so keys are derived once per occupied cell, not once per node.
     buckets: Dict[Tuple, List[NodeDescriptor]] = defaultdict(list)
-    for descriptor in descriptors:
-        coordinates = descriptor.coordinates
+    for coordinates, members in index.cells():
         for level in range(1, max_level + 1):
             for dim in range(dimensions):
-                key = _bucket_key(coordinates, level, dim)
-                buckets[key].append(descriptor)
+                buckets[_bucket_key(coordinates, level, dim)].extend(members)
 
-    for host in hosts:
-        routing = host.node.routing
-        coordinates = host.node.descriptor.coordinates
-        for peer in by_zero_cell[coordinates]:
-            routing.add(peer)  # add() skips the self-descriptor
+    picks_cap = 1 + alternates_per_slot
+    for coordinates, cell_hosts in by_cell.items():
+        # Hosts in the same C0 cell see the same slot buckets; resolve the
+        # flipped keys once per cell. Each host still draws its *own*
+        # random sample per slot — the independent selection the paper
+        # credits for spreading links evenly across cell inhabitants.
+        zero_members = index.members(coordinates)
+        slot_buckets = []
         for level in range(1, max_level + 1):
             for dim in range(dimensions):
-                key = _flipped_key(coordinates, level, dim)
-                bucket = buckets.get(key)
-                if not bucket:
-                    continue
-                picks = min(len(bucket), 1 + alternates_per_slot)
-                for descriptor in rng.sample(bucket, picks):
-                    routing.add(descriptor)
+                bucket = buckets.get(_flipped_key(coordinates, level, dim))
+                if bucket:
+                    slot_buckets.append(
+                        (level, dim, bucket, min(len(bucket), picks_cap))
+                    )
+        for host in cell_hosts:
+            routing = host.node.routing
+            routing.seed_zero(zero_members)  # skips the self-descriptor
+            routing.seed_slots(slot_buckets, rng)
 
 
 def _bucket_key(
@@ -135,6 +145,12 @@ class Deployment:
         self.gossip_config = gossip_config
         self.observer = observer
         self.hosts: Dict[Address, SimHost] = {}
+        #: Live descriptors bucketed by C0 cell — the ground-truth index.
+        #: Maintained incrementally across joins, crashes and attribute
+        #: updates, so ``matching_descriptors`` never scans the population.
+        self.index = CellIndex(schema)
+        self._alive: Dict[Address, SimHost] = {}
+        self._alive_descriptors: Optional[List[NodeDescriptor]] = None
         self._next_address = 0
         self._rng = derive_rng(seed, "deployment")
         self._population_rng = derive_rng(seed, "population")
@@ -152,13 +168,30 @@ class Deployment:
             descriptor,
             self.schema,
             self.network,
-            rng=derive_rng(self.seed, f"host:{address}"),
+            # Deferred: the host RNG only feeds the gossip stack, and
+            # hashing a fresh seed for every host dominates populate()
+            # in gossip-less deployments.
+            rng=lambda: derive_rng(self.seed, f"host:{address}"),
             node_config=self.node_config,
             gossip_config=self.gossip_config,
             observer=self.observer,
         )
+        host.watch(self._host_changed)
         self.hosts[address] = host
+        self._alive[address] = host
+        self.index.add(descriptor)
+        self._alive_descriptors = None
         return host
+
+    def _host_changed(self, host: SimHost, event: str) -> None:
+        """Keep the index and alive caches in sync with host lifecycle."""
+        if event == "fail":
+            self.index.discard(host.address)
+            self._alive.pop(host.address, None)
+        else:  # attribute update: re-bucket the new descriptor
+            if host.alive:
+                self.index.add(host.descriptor)
+        self._alive_descriptors = None
 
     def populate(self, sampler: ValueSampler, count: int) -> List[SimHost]:
         """Create *count* hosts with values drawn from *sampler*.
@@ -166,17 +199,20 @@ class Deployment:
         The sampler stream persists across calls, so successive batches
         draw fresh values.
         """
-        return [
-            self.add_host(sampler(self._population_rng)) for _ in range(count)
-        ]
+        with paused_gc():
+            return [
+                self.add_host(sampler(self._population_rng))
+                for _ in range(count)
+            ]
 
     def bootstrap(self, alternates_per_slot: int = 3) -> None:
         """Install converged routing tables for all current hosts."""
-        bootstrap_links(
-            list(self.hosts.values()),
-            derive_rng(self.seed, "bootstrap"),
-            alternates_per_slot=alternates_per_slot,
-        )
+        with paused_gc():
+            bootstrap_links(
+                list(self.hosts.values()),
+                derive_rng(self.seed, "bootstrap"),
+                alternates_per_slot=alternates_per_slot,
+            )
 
     def start_gossip(self, seeds_per_node: int = 5) -> None:
         """Seed every host with random contacts and start maintenance."""
@@ -198,11 +234,19 @@ class Deployment:
 
     def alive_hosts(self) -> List[SimHost]:
         """Hosts currently attached to the network."""
-        return [host for host in self.hosts.values() if host.alive]
+        return list(self._alive.values())
 
     def alive_descriptors(self) -> List[NodeDescriptor]:
-        """Descriptors of all live hosts."""
-        return [host.descriptor for host in self.alive_hosts()]
+        """Descriptors of all live hosts (treat as read-only).
+
+        The list is cached and rebuilt lazily after membership or
+        attribute changes, so repeated calls between changes are O(1).
+        """
+        if self._alive_descriptors is None:
+            self._alive_descriptors = [
+                host.descriptor for host in self._alive.values()
+            ]
+        return self._alive_descriptors
 
     def kill(self, address: Address) -> None:
         """Crash one host (it stays in ``hosts`` for post-mortem metrics)."""
@@ -244,12 +288,13 @@ class Deployment:
     # -- queries ------------------------------------------------------------------------
 
     def matching_descriptors(self, query: Query) -> List[NodeDescriptor]:
-        """Ground truth: live descriptors whose attributes satisfy *query*."""
-        return [
-            descriptor
-            for descriptor in self.alive_descriptors()
-            if query.matches(descriptor.values)
-        ]
+        """Ground truth: live descriptors whose attributes satisfy *query*.
+
+        Served from the cell index: only the cells overlapping the query's
+        routing region are examined, so the cost scales with the query's
+        selectivity rather than the population size.
+        """
+        return self.index.matching(query)
 
     def execute_query(
         self,

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 class Event:
     """A scheduled callback; cancel via :meth:`Simulator.cancel`."""
 
-    __slots__ = ("time", "sequence", "callback", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "cancelled", "executed")
 
     def __init__(
         self, time: float, sequence: int, callback: Callable[[], None]
@@ -25,6 +25,7 @@ class Event:
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self.executed = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.sequence) < (other.time, other.sequence)
@@ -38,6 +39,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        # Live count of scheduled, non-cancelled, not-yet-executed events.
+        # Maintained incrementally so ``pending_events`` never scans the heap.
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -61,11 +65,15 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         event = Event(time, next(self._sequence), callback)
         heapq.heappush(self._events, event)
+        self._pending += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (safe to call more than once)."""
+        if event.cancelled or event.executed:
+            return
         event.cancelled = True
+        self._pending -= 1
 
     def step(self) -> bool:
         """Execute the next pending event; returns False if none remain."""
@@ -73,6 +81,8 @@ class Simulator:
             event = heapq.heappop(self._events)
             if event.cancelled:
                 continue
+            event.executed = True
+            self._pending -= 1
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -113,5 +123,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return sum(1 for event in self._events if not event.cancelled)
+        """Number of scheduled, non-cancelled events still queued (O(1))."""
+        return self._pending

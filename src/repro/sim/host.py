@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.attributes import AttributeSchema, AttributeValue
 from repro.core.descriptors import Address, NodeDescriptor
@@ -28,14 +28,20 @@ class SimHost:
         descriptor: NodeDescriptor,
         schema: AttributeSchema,
         network: SimNetwork,
-        rng: random.Random,
+        rng: Union[random.Random, Callable[[], random.Random]],
         node_config: Optional[NodeConfig] = None,
         gossip_config: Optional[GossipConfig] = None,
         observer: Optional[ProtocolObserver] = None,
     ) -> None:
         self.schema = schema
         self.network = network
-        self.rng = rng
+        # *rng* may be a zero-arg factory: only the gossip stack consumes
+        # randomness, so gossip-less hosts never pay for seeding one.
+        self._rng: Optional[random.Random] = (
+            rng if isinstance(rng, random.Random) else None
+        )
+        self._rng_factory = None if isinstance(rng, random.Random) else rng
+        self._watchers: List[Callable[["SimHost", str], None]] = []
         self.transport = SimTransport(network, descriptor.address)
         self.node = ResourceNode(
             descriptor,
@@ -47,10 +53,18 @@ class SimHost:
         self.maintenance: Optional[TwoLayerMaintenance] = None
         if gossip_config is not None:
             self.maintenance = TwoLayerMaintenance(
-                self.node, self.transport, rng, gossip_config
+                self.node, self.transport, self.rng, gossip_config
             )
         network.attach(descriptor.address, self.handle_message)
         self.alive = True
+
+    @property
+    def rng(self) -> random.Random:
+        """This host's random stream (created on first use)."""
+        if self._rng is None:
+            assert self._rng_factory is not None
+            self._rng = self._rng_factory()
+        return self._rng
 
     # -- identity ------------------------------------------------------------------
 
@@ -76,6 +90,21 @@ class SimHost:
 
     # -- lifecycle ---------------------------------------------------------------------
 
+    def watch(self, callback: Callable[["SimHost", str], None]) -> None:
+        """Register a lifecycle watcher.
+
+        *callback* is invoked with ``(host, event)`` where event is
+        ``"fail"`` (the host crashed) or ``"update"`` (its attributes —
+        and thus its descriptor — changed). The deployment uses this to
+        keep its cell index and alive caches consistent even when
+        ``fail()`` is called directly, e.g. by the churn scenarios.
+        """
+        self._watchers.append(callback)
+
+    def _notify(self, event: str) -> None:
+        for callback in self._watchers:
+            callback(self, event)
+
     def start_gossip(self, seeds: Sequence[NodeDescriptor] = ()) -> None:
         """Seed the gossip views and begin periodic maintenance."""
         if self.maintenance is None:
@@ -90,6 +119,7 @@ class SimHost:
         self.network.detach(self.address)
         if self.maintenance is not None:
             self.maintenance.stop()
+        self._notify("fail")
 
     def update_attributes(self, values: Mapping[str, AttributeValue]) -> None:
         """Change this node's attributes in place (no registry involved)."""
@@ -97,6 +127,7 @@ class SimHost:
         self.node.update_attributes(descriptor)
         if self.maintenance is not None:
             self.maintenance.update_descriptor(descriptor)
+        self._notify("update")
 
     # -- queries ------------------------------------------------------------------------
 

@@ -1,0 +1,134 @@
+"""Property tests: the cell index is exactly a brute-force ground truth.
+
+:class:`repro.core.index.CellIndex` replaces the O(N)-per-query scan that
+used to back ``Deployment.matching_descriptors``. Its only correctness
+obligation is observational equivalence: for any schema, population, and
+query, ``index.matching(query)`` must equal filtering every live
+descriptor with ``query.matches`` — including after arbitrary interleaved
+joins, kills, and attribute updates.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.index import CellIndex
+from repro.core.query import Query
+from repro.workloads.queries import random_box_query
+
+
+def make_schema(dimensions: int, max_level: int) -> AttributeSchema:
+    return AttributeSchema.regular(
+        [numeric(f"a{i}", 0.0, 100.0) for i in range(dimensions)],
+        max_level=max_level,
+    )
+
+
+def random_descriptor(
+    address: int, schema: AttributeSchema, rng: random.Random
+) -> NodeDescriptor:
+    values = {
+        definition.name: rng.uniform(definition.lower, definition.upper)
+        for definition in schema.definitions
+    }
+    return NodeDescriptor.build(address, schema, values)
+
+
+def brute_force(index: CellIndex, query: Query):
+    matches = query.matches
+    return sorted(
+        (d for d in index.descriptors() if matches(d.values)),
+        key=lambda d: d.address,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dimensions=st.integers(1, 5),
+    max_level=st.integers(1, 4),
+    population=st.integers(0, 60),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_matching_equals_brute_force(dimensions, max_level, population, seed):
+    schema = make_schema(dimensions, max_level)
+    rng = random.Random(seed)
+    index = CellIndex(schema)
+    for address in range(population):
+        index.add(random_descriptor(address, schema, rng))
+    for _ in range(5):
+        query = random_box_query(schema, rng.uniform(0.01, 1.0), rng)
+        assert index.matching(query) == brute_force(index, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dimensions=st.integers(1, 4),
+    max_level=st.integers(1, 3),
+    seed=st.integers(0, 2**32 - 1),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["join", "kill", "update"]),
+                  st.integers(0, 39)),
+        min_size=1,
+        max_size=40,
+    ),
+)
+def test_matching_tracks_churn(dimensions, max_level, seed, operations):
+    """Equivalence holds at every step of an arbitrary churn sequence."""
+    schema = make_schema(dimensions, max_level)
+    rng = random.Random(seed)
+    index = CellIndex(schema)
+    alive = set()
+    for action, address in operations:
+        if action == "join":
+            index.add(random_descriptor(address, schema, rng))
+            alive.add(address)
+        elif action == "kill":
+            removed = index.discard(address)
+            assert removed == (address in alive)
+            alive.discard(address)
+        else:  # update: new attribute values, possibly a new cell
+            if address in alive:
+                index.add(random_descriptor(address, schema, rng))
+        assert len(index) == len(alive)
+        query = random_box_query(schema, rng.uniform(0.05, 1.0), rng)
+        assert index.matching(query) == brute_force(index, query)
+    assert {d.address for d in index.descriptors()} == alive
+
+
+def test_unconstrained_query_returns_everyone():
+    schema = make_schema(2, 2)
+    rng = random.Random(7)
+    index = CellIndex(schema)
+    for address in range(25):
+        index.add(random_descriptor(address, schema, rng))
+    everyone = Query.where(schema)
+    assert [d.address for d in index.matching(everyone)] == list(range(25))
+
+
+def test_readding_moves_descriptor_between_cells():
+    schema = make_schema(1, 2)
+    index = CellIndex(schema)
+    index.add(NodeDescriptor.build(1, schema, {"a0": 10.0}))
+    first_cell = next(iter(index.cells()))[0]
+    index.add(NodeDescriptor.build(1, schema, {"a0": 90.0}))
+    assert len(index) == 1
+    assert index.occupied_cells == 1
+    assert next(iter(index.cells()))[0] != first_cell
+    assert index.get(1).values == (90.0,)
+
+
+def test_get_and_contains():
+    schema = make_schema(2, 1)
+    index = CellIndex(schema)
+    descriptor = NodeDescriptor.build(5, schema, {"a0": 1.0, "a1": 2.0})
+    index.add(descriptor)
+    assert 5 in index
+    assert index.get(5) == descriptor
+    assert index.get(6) is None
+    assert index.discard(5)
+    assert not index.discard(5)
+    assert index.get(5) is None
+    assert index.occupied_cells == 0

@@ -152,3 +152,65 @@ class TestQueries:
         from repro.core.cells import neighboring_region
 
         assert table.region(3, 0) == neighboring_region((0, 0), 3, 0)
+
+
+class TestBulkSeeding:
+    """The bootstrap fast paths must agree with the incremental add()."""
+
+    def test_seed_zero_matches_add(self, schema, table):
+        peers = [
+            descriptor(schema, address, 0.1 * address, 0.9)
+            for address in range(1, 6)
+        ]  # all inside the owner's C0 cell (0, 0)
+        table.seed_zero([table.owner, *peers])  # self must be skipped
+        reference = RoutingTable(
+            table.owner, schema.dimensions, schema.max_level
+        )
+        for peer in peers:
+            reference.add(peer)
+        assert list(table.zero_neighbors()) == list(reference.zero_neighbors())
+        assert table.link_count() == reference.link_count()
+
+    def test_seed_zero_respects_capacity(self, schema):
+        owner = descriptor(schema, 0, 0.5, 0.5)
+        table = RoutingTable(
+            owner, schema.dimensions, schema.max_level, zero_capacity=2
+        )
+        table.seed_zero(
+            [descriptor(schema, a, 0.5, 0.5) for a in range(1, 9)]
+        )
+        assert table.zero_count() == 2
+
+    def test_seed_slots_installs_primary_and_alternates(self, schema, table):
+        import random
+
+        bucket = [
+            descriptor(schema, address, 1.5, 0.5) for address in range(1, 9)
+        ]  # all in N(1, 0) of the owner at (0, 0)
+        table.seed_slots([(1, 0, bucket, 4)], random.Random(5))
+        assert table.neighbor(1, 0) is not None
+        installed = {
+            d.address for d in table.descriptors()
+        }
+        assert len(installed) == 4
+        assert installed <= {d.address for d in bucket}
+        # Every installed descriptor classifies into the seeded slot.
+        for d in table.descriptors():
+            assert table.classify(d) == (1, 0)
+
+    def test_seed_slots_skips_known_addresses(self, schema, table):
+        import random
+
+        early = descriptor(schema, 1, 1.5, 0.5)
+        table.add(early)
+        shadow = descriptor(schema, 1, 1.6, 0.6)  # same address, new values
+        table.seed_slots([(1, 0, [shadow], 1)], random.Random(5))
+        assert table.get(1) == early  # the bulk path never overwrites
+
+    def test_get_returns_stored_descriptor(self, schema, table):
+        peer = descriptor(schema, 7, 7.5, 7.5)
+        table.add(peer)
+        assert table.get(7) == peer
+        assert table.get(8) is None
+        table.remove(7)
+        assert table.get(7) is None

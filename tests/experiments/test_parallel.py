@@ -1,0 +1,108 @@
+"""Tests for the parallel sweep runner.
+
+The core guarantee: because every sweep point is self-contained and all
+randomness is derived from explicit seeds, ``jobs=N`` output is
+bit-identical to the serial runner. A speedup smoke test runs only on
+multi-core machines.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import fig06_network_size, fig07_selectivity
+from repro.experiments.config import PAPER_PEERSIM
+from repro.experiments.parallel import (
+    SweepPoint,
+    resolve_jobs,
+    run_sweep,
+    run_trials,
+)
+
+
+def square(x):
+    return x * x
+
+
+def tagged(seed, tag):
+    return (tag, seed)
+
+
+def slow_point(duration):
+    time.sleep(duration)
+    return duration
+
+
+def test_run_sweep_serial_preserves_order():
+    points = [SweepPoint(function=square, kwargs={"x": x}) for x in range(8)]
+    assert run_sweep(points, jobs=1) == [x * x for x in range(8)]
+
+
+def test_run_sweep_parallel_preserves_order():
+    points = [SweepPoint(function=square, kwargs={"x": x}) for x in range(8)]
+    assert run_sweep(points, jobs=2) == [x * x for x in range(8)]
+
+
+def test_run_sweep_empty():
+    assert run_sweep([], jobs=4) == []
+
+
+def test_run_trials_passes_seed_and_kwargs():
+    assert run_trials(tagged, [3, 1, 2], jobs=1, tag="t") == [
+        ("t", 3), ("t", 1), ("t", 2),
+    ]
+    assert run_trials(tagged, [3, 1], jobs=2, tag="t") == [("t", 3), ("t", 1)]
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_fig06_parallel_matches_serial():
+    """The acceptance regression: parallel == serial, bit for bit."""
+    cfg = PAPER_PEERSIM
+    sizes = (60, 120, 180)
+    serial = fig06_network_size.run(
+        sizes=sizes, queries_per_size=4, config=cfg, jobs=1
+    )
+    parallel = fig06_network_size.run(
+        sizes=sizes, queries_per_size=4, config=cfg, jobs=2
+    )
+    assert parallel == serial
+
+
+def test_fig07_parallel_matches_serial():
+    cfg = PAPER_PEERSIM.scaled(250)
+    selectivities = (0.25, 1.0)
+    serial = fig07_selectivity.run(
+        selectivities=selectivities, queries_per_point=3, config=cfg, jobs=1
+    )
+    parallel = fig07_selectivity.run(
+        selectivities=selectivities, queries_per_point=3, config=cfg, jobs=2
+    )
+    assert parallel == serial
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup needs >= 4 cores"
+)
+def test_parallel_speedup_near_linear():
+    """On a multi-core box, 4 workers cut wall time well below serial."""
+    points = [
+        SweepPoint(function=slow_point, kwargs={"duration": 0.25})
+        for _ in range(4)
+    ]
+    start = time.perf_counter()
+    run_sweep(points, jobs=1)
+    serial = time.perf_counter() - start
+    start = time.perf_counter()
+    run_sweep(points, jobs=4)
+    parallel = time.perf_counter() - start
+    # Serial is ~1s of sleep; 4 workers should need ~0.25s + pool setup.
+    assert parallel < serial * 0.6

@@ -72,6 +72,43 @@ class TestCancellation:
         sim.cancel(drop)
         assert sim.pending_events == 1
 
+    def test_pending_events_counts_down_as_events_run(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending_events == 4
+        sim.run(max_events=1)
+        assert sim.pending_events == 3
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_execution_keeps_counter_consistent(self):
+        sim = Simulator()
+        executed = sim.schedule(1.0, lambda: None)
+        pending = sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1)
+        # Cancelling an event that already fired must be a no-op — in
+        # particular it must not decrement the live pending counter.
+        sim.cancel(executed)
+        assert sim.pending_events == 1
+        sim.cancel(pending)
+        assert sim.pending_events == 0
+
+    def test_pending_events_tracks_reschedules_during_run(self):
+        sim = Simulator()
+        observed = []
+
+        def chain(depth):
+            observed.append(sim.pending_events)
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(1.0, lambda: chain(3))
+        sim.run_until_idle()
+        # The fired event is already excluded inside its own callback.
+        assert observed == [0, 0, 0, 0]
+        assert sim.pending_events == 0
+
 
 class TestBoundedRuns:
     def test_run_until_time(self):
