@@ -7,9 +7,13 @@ Usage::
     python -m repro run fig11 --size 500 --churn 0.002 --duration 900
     python -m repro run table1
     python -m repro run traffic --size 600
+    python -m repro trace --size 1000 --selectivity 0.125
 
-Each command regenerates one table/figure at a configurable scale and
-prints the same rows/series the paper reports.
+Each ``run`` command regenerates one table/figure at a configurable scale
+and prints the same rows/series the paper reports; ``--profile`` appends a
+phase cost breakdown and ``run fig11 --telemetry`` adds the per-round
+overlay repair series. ``trace`` issues one query on a converged overlay
+and renders its reconstructed hop tree (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -29,8 +33,9 @@ from repro.experiments import (
     fig13_planetlab,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import format_histogram, format_table
+from repro.experiments.report import format_histogram, format_profile, format_table
 from repro.experiments.tables import TABLE1_ROWS, verify_defaults
+from repro.obs import profile
 
 PERCENT_LABELS = [f"{10 * i}-{10 * (i + 1)}%" for i in range(10)]
 
@@ -129,13 +134,24 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
-    rows = fig11_churn.run(
-        churn_rate=args.churn, config=_config(args), duration=args.duration
+    rows, telemetry = fig11_churn.run_with_telemetry(
+        churn_rate=args.churn,
+        config=_config(args),
+        duration=args.duration,
+        telemetry=args.telemetry,
     )
     print(format_table(
         rows, ["time", "delivery", "expected"],
         f"Figure 11: delivery under {100 * args.churn:.1f}%/10s churn",
     ))
+    if telemetry:
+        print()
+        print(format_table(
+            telemetry,
+            ["time", "alive", "slot_fill", "view_distance",
+             "repaired", "broken"],
+            "Overlay telemetry: per-round repair under churn",
+        ))
     return 0
 
 
@@ -183,6 +199,44 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         f"{report.bytes_per_second_per_node():.0f} B/s"
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import build_deployment
+    from repro.obs.render import render_hop_tree
+    from repro.obs.tracer import TraceRecorder
+    from repro.util.rng import derive_rng
+    from repro.workloads.queries import aligned_selectivity_query
+
+    config = _config(args)
+    tracer = TraceRecorder()
+    deployment, metrics = build_deployment(config, extra_observers=(tracer,))
+    tracer.bind_clock(lambda: deployment.simulator.now)
+    rng = derive_rng(args.seed, "trace")
+    query = aligned_selectivity_query(
+        deployment.schema, args.selectivity, rng
+    )
+    expected = {
+        descriptor.address
+        for descriptor in deployment.matching_descriptors(query)
+    }
+    deployment.execute_query(query)
+    trace = tracer.last_trace()
+    if trace is None:
+        print("no query trace was recorded", file=sys.stderr)
+        return 1
+    print(render_hop_tree(trace, max_lines=args.max_lines))
+    once = trace.exactly_once(expected)
+    print(f"\nexpected matches : {len(expected)}")
+    print(
+        "delivery         : "
+        f"{metrics.mean_delivery({trace.query_id: expected}):.3f}"
+    )
+    print("exactly-once     : " + ("yes" if once else "NO"))
+    if args.jsonl:
+        lines = tracer.write_jsonl(args.jsonl)
+        print(f"wrote {lines} events to {args.jsonl}")
+    return 0 if once else 1
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
@@ -240,6 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", "-j", type=_jobs_value, default=1,
                      help="worker processes for sweep points "
                      "(0 = all cores; fig06-fig10)")
+    run.add_argument("--profile", action="store_true",
+                     help="print a phase cost breakdown after the run")
+    run.add_argument("--telemetry", action="store_true",
+                     help="emit per-round overlay repair telemetry (fig11)")
+    trace = subparsers.add_parser(
+        "trace",
+        help="issue one traced query on a converged overlay and render "
+        "its hop tree",
+    )
+    trace.add_argument("--size", type=int, default=1_000,
+                       help="network size N (default 1000)")
+    trace.add_argument("--seed", type=int, default=2009)
+    trace.add_argument("--selectivity", type=float, default=0.125,
+                       help="query selectivity (default 0.125)")
+    trace.add_argument("--max-lines", type=int, default=None,
+                       help="truncate the rendered tree to this many lines")
+    trace.add_argument("--jsonl", type=str, default="",
+                       help="also export the event stream to this JSONL file")
     return parser
 
 
@@ -253,6 +325,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         print("\nRun one with: python -m repro run <experiment> [--size N]")
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.profile:
+        profiler = profile.activate()
+        try:
+            code = COMMANDS[args.experiment](args)
+        finally:
+            profile.deactivate()
+        print()
+        print(format_profile(profiler.to_dict()))
+        return code
     return COMMANDS[args.experiment](args)
 
 

@@ -146,6 +146,44 @@ def slot_of(
     raise AssertionError("unreachable: level > 0 implies a differing half")
 
 
+def bucket_key(
+    coordinates: Coordinates, level: int, dim: int
+) -> Tuple:
+    """A hashable key grouping cells by their ``(level, dim)`` membership.
+
+    Two lowest-level cells share a key iff they belong to the same
+    candidate region for slot ``(level, dim)``: same ``C_level`` prefix,
+    same halves at dimensions below *dim*, same half at *dim*, free below.
+    A node Y lies in ``N(level, dim)(X)`` iff Y's bucket key equals X's
+    :func:`flipped_key` for the same slot — the identity behind both the
+    bulk bootstrap and the convergence telemetry's ground truth.
+    """
+    half = level - 1
+    parts = tuple(
+        index >> half if j <= dim else index >> level
+        for j, index in enumerate(coordinates)
+    )
+    return (level, dim, parts)
+
+
+def flipped_key(
+    coordinates: Coordinates, level: int, dim: int
+) -> Tuple:
+    """X's :func:`bucket_key` with the dimension-*dim* half flipped.
+
+    This is the key of the neighboring cell ``N(level, dim)(X)``: the
+    bucket that holds exactly the nodes X may link to in that slot.
+    """
+    half = level - 1
+    parts = tuple(
+        (index >> half) ^ 1
+        if j == dim
+        else (index >> half if j < dim else index >> level)
+        for j, index in enumerate(coordinates)
+    )
+    return (level, dim, parts)
+
+
 def iter_slots(dimensions: int, max_level: int) -> Iterator[Tuple[int, int]]:
     """Iterate over all ``(level, dim)`` neighboring-cell slots."""
     for level in range(1, max_level + 1):

@@ -378,6 +378,14 @@ class ResourceNode:
             timer=timer, slot=slot, sent_level=level, sent_dimensions=dimensions
         )
         self.observer.query_sent(self.address, neighbor.address, query_id)
+        self.observer.query_forwarded(
+            self.address,
+            neighbor.address,
+            query_id,
+            level,
+            slot[1] if slot is not None else None,
+            dimensions,
+        )
         self.transport.send(self.address, neighbor.address, message)
 
     # -- timeouts --------------------------------------------------------------------

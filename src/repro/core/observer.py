@@ -8,7 +8,7 @@ protocol internals, keeping measurement strictly separated from behaviour.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.core.descriptors import Address, NodeDescriptor
@@ -22,6 +22,24 @@ class ProtocolObserver:
         self, sender: "Address", receiver: "Address", query_id: "QueryId"
     ) -> None:
         """A QUERY message left *sender* toward *receiver*."""
+
+    def query_forwarded(
+        self,
+        sender: "Address",
+        receiver: "Address",
+        query_id: "QueryId",
+        level: int,
+        dim: Optional[int],
+        dimensions: Sequence[int],
+    ) -> None:
+        """Routing detail of a forward: fires together with ``query_sent``.
+
+        *level*/*dim* name the neighboring-cell slot the query travelled
+        along (``level == -1`` and ``dim is None`` for the C0 fan-out);
+        *dimensions* is the dimension set remaining in the query after
+        the traversed dimension was removed. Collectors that only count
+        messages can ignore this richer twin event.
+        """
 
     def query_received(
         self, node: "Address", query_id: "QueryId", matched: bool
@@ -51,3 +69,59 @@ class ProtocolObserver:
 
     def query_dropped(self, node: "Address", query_id: "QueryId") -> None:
         """A QUERY could not be propagated further due to a broken link."""
+
+
+class FanoutObserver(ProtocolObserver):
+    """Broadcasts every event to several observers, in order.
+
+    Lets measurement (:class:`~repro.metrics.collectors.MetricsCollector`)
+    and tracing (:class:`~repro.obs.tracer.TraceRecorder`) watch the same
+    run without either knowing about the other.
+    """
+
+    def __init__(self, *observers: ProtocolObserver) -> None:
+        self.observers = tuple(observers)
+
+    def query_sent(self, sender, receiver, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_sent(sender, receiver, query_id)
+
+    def query_forwarded(
+        self, sender, receiver, query_id, level, dim, dimensions
+    ) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_forwarded(
+                sender, receiver, query_id, level, dim, dimensions
+            )
+
+    def query_received(self, node, query_id, matched) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_received(node, query_id, matched)
+
+    def reply_sent(self, sender, receiver, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.reply_sent(sender, receiver, query_id)
+
+    def query_completed(self, origin, query_id, matching) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_completed(origin, query_id, matching)
+
+    def duplicate_query(self, node, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.duplicate_query(node, query_id)
+
+    def neighbor_timeout(self, node, neighbor, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.neighbor_timeout(node, neighbor, query_id)
+
+    def query_dropped(self, node, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_dropped(node, query_id)

@@ -306,6 +306,20 @@ class RoutingTable:
         """The neighboring-cell slots that currently have a primary link."""
         return set(self._primary)
 
+    def total_slots(self) -> int:
+        """Number of neighboring-cell slots (``dimensions * max_level``)."""
+        return self.dimensions * self.max_level
+
+    def slot_fill_fraction(self) -> float:
+        """Fraction of neighboring-cell slots with a primary link.
+
+        Convergence telemetry: approaches the ground-truth satisfiable
+        fraction as gossip fills the table, and dips when churn breaks
+        links faster than they are repaired.
+        """
+        total = self.total_slots()
+        return len(self._primary) / total if total else 0.0
+
     def empty_slots(self) -> Iterator[Tuple[int, int]]:
         """Neighboring-cell slots with no known inhabitant."""
         for slot in iter_slots(self.dimensions, self.max_level):

@@ -11,7 +11,7 @@ retried to avoid masking the effect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, PAPER_PEERSIM
 from repro.experiments.harness import build_deployment
@@ -30,6 +30,37 @@ def run(
     query_interval: float = 30.0,
 ) -> List[Dict[str, float]]:
     """Run one churn scenario; returns the ``{time, delivery}`` series."""
+    rows, _ = run_with_telemetry(
+        churn_rate=churn_rate,
+        config=config,
+        warmup=warmup,
+        duration=duration,
+        churn_interval=churn_interval,
+        query_interval=query_interval,
+        telemetry=False,
+    )
+    return rows
+
+
+def run_with_telemetry(
+    churn_rate: float = 0.001,
+    config: Optional[ExperimentConfig] = None,
+    warmup: float = 300.0,
+    duration: float = 1_500.0,
+    churn_interval: float = 10.0,
+    query_interval: float = 30.0,
+    telemetry: bool = True,
+    telemetry_interval: Optional[float] = None,
+) -> Tuple[List[Dict[str, float]], List[Dict[str, float]]]:
+    """Churn scenario with per-round convergence telemetry.
+
+    Returns ``(rows, telemetry_rows)``: the ``{time, delivery}`` series
+    plus one :class:`~repro.obs.convergence.ConvergenceProbe` sample per
+    probe interval (default: the churn interval) — slot-fill fraction,
+    view-quality distance, and links repaired/broken since the previous
+    sample, the fig11 time-series view of overlay self-repair. With
+    ``telemetry=False`` the probe is skipped and the second list is empty.
+    """
     cfg = config or PAPER_PEERSIM
     schema = cfg.schema()
     deployment, metrics = build_deployment(
@@ -38,6 +69,19 @@ def run(
         retry_on_timeout=False,  # "the message is dropped" (Section 6.6)
         warmup=warmup,
     )
+    probe = None
+    if telemetry:
+        from repro.obs.convergence import ConvergenceProbe
+
+        probe = ConvergenceProbe(
+            deployment,
+            interval=(
+                telemetry_interval
+                if telemetry_interval is not None
+                else churn_interval
+            ),
+        )
+        probe.start()
     churn = ContinuousChurn(
         deployment,
         rate=churn_rate,
@@ -56,4 +100,7 @@ def run(
         seed=cfg.seed,
     )
     churn.stop()
-    return rows
+    if probe is not None:
+        probe.stop()
+        return rows, probe.rows
+    return rows, []

@@ -7,9 +7,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.descriptors import Address
+from repro.core.observer import FanoutObserver, ProtocolObserver
 from repro.core.query import Query
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import MetricsCollector, QueryRecord
+from repro.obs import profile
+from repro.obs.registry import MetricsRegistry
 from repro.sim.deployment import Deployment, ValueSampler
 from repro.sim.latency import LatencyModel, constant_latency, lan_latency, wan_latency
 from repro.util.rng import derive_rng
@@ -34,6 +37,8 @@ def build_deployment(
     retry_on_timeout: bool = True,
     warmup: float = 0.0,
     node_config=None,
+    extra_observers: Sequence[ProtocolObserver] = (),
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[Deployment, MetricsCollector]:
     """Build a populated deployment for *config*.
 
@@ -41,9 +46,17 @@ def build_deployment(
     directly (the state the paper measures steady-state efficiency in);
     with ``gossip=True`` the real two-layer stack runs and is warmed up for
     *warmup* simulated seconds.
+
+    *extra_observers* (e.g. a :class:`~repro.obs.tracer.TraceRecorder`)
+    watch the run alongside the metrics collector; *registry* collects
+    gossip-layer telemetry. The populate / bootstrap / converge phases are
+    reported to the active :mod:`repro.obs.profile` profiler, if any.
     """
     schema = config.schema()
     metrics = MetricsCollector()
+    observer: ProtocolObserver = metrics
+    if extra_observers:
+        observer = FanoutObserver(metrics, *extra_observers)
     latency, loss = latency_for_testbed(config.testbed)
     deployment = Deployment(
         schema,
@@ -56,15 +69,22 @@ def build_deployment(
             else config.node_config(retry_on_timeout=retry_on_timeout)
         ),
         gossip_config=config.gossip_config() if gossip else None,
-        observer=metrics,
+        observer=observer,
+        registry=registry,
     )
-    deployment.populate(sampler or uniform_sampler(schema), config.network_size)
+    with profile.phase("populate", deployment.simulator):
+        deployment.populate(
+            sampler or uniform_sampler(schema), config.network_size
+        )
     if gossip:
-        deployment.start_gossip()
+        with profile.phase("bootstrap", deployment.simulator):
+            deployment.start_gossip()
         if warmup > 0:
-            deployment.run(warmup)
+            with profile.phase("converge", deployment.simulator):
+                deployment.run(warmup)
     else:
-        deployment.bootstrap()
+        with profile.phase("bootstrap", deployment.simulator):
+            deployment.bootstrap()
     return deployment, metrics
 
 
@@ -99,6 +119,23 @@ def measure_queries(
     rng = derive_rng(seed, "measure-queries")
     outcomes: List[QueryOutcome] = []
     metrics.consume_opened()  # discard records opened before this batch
+    with profile.phase("measure", deployment.simulator):
+        outcomes = _measure_loop(
+            deployment, metrics, query_factory, count, sigma, rng, origins
+        )
+    return outcomes
+
+
+def _measure_loop(
+    deployment: Deployment,
+    metrics: MetricsCollector,
+    query_factory: Callable[[random.Random], Query],
+    count: int,
+    sigma: Optional[int],
+    rng: random.Random,
+    origins: Optional[Sequence[Address]],
+) -> List[QueryOutcome]:
+    outcomes: List[QueryOutcome] = []
     for index in range(count):
         query = query_factory(rng)
         expected = {

@@ -25,7 +25,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import profile
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,22 @@ class SweepPoint:
 
 def _execute(point: SweepPoint) -> Any:
     return point.function(**point.kwargs)
+
+
+def _execute_profiled(point: SweepPoint) -> Tuple[Any, Dict[str, Any]]:
+    # Runs in a worker process: activate a fresh profiler around the point
+    # and ship its phase table home alongside the result.
+    profiler = profile.PhaseProfiler()
+    previous = profile.active()
+    profile.activate(profiler)
+    try:
+        result = point.function(**point.kwargs)
+    finally:
+        if previous is not None:
+            profile.activate(previous)
+        else:
+            profile.deactivate()
+    return result, profiler.to_dict()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -69,13 +87,26 @@ def run_sweep(
     ``jobs=1`` (the default) runs everything in-process; ``jobs=None`` or
     ``0`` uses every core. Serial and parallel execution produce
     identical results because points are self-contained.
+
+    When a :mod:`repro.obs.profile` profiler is active, each point runs
+    under its own profiler (in-process or in the worker) and the phase
+    tables are merged back into the active profiler — the result list is
+    unchanged either way.
     """
     point_list = list(points)
     workers = min(resolve_jobs(jobs), len(point_list))
+    profiler = profile.active()
     if workers <= 1:
+        # In-process points record straight into the active profiler (if
+        # any) via the harness's phase() brackets; nothing to merge.
         return [_execute(point) for point in point_list]
+    if profiler is None:
+        with _context().Pool(processes=workers) as pool:
+            return pool.map(_execute, point_list, chunksize=1)
     with _context().Pool(processes=workers) as pool:
-        return pool.map(_execute, point_list, chunksize=1)
+        pairs = pool.map(_execute_profiled, point_list, chunksize=1)
+    profiler.absorb_all(worker_profile for _, worker_profile in pairs)
+    return [result for result, _ in pairs]
 
 
 def run_trials(

@@ -37,6 +37,48 @@ def _format_cell(value: Any) -> str:
     return str(value)
 
 
+def format_profile(
+    profile: Dict[str, Dict[str, Any]],
+    title: str = "phase profile",
+) -> str:
+    """Render a phase-profile table (wall seconds, calls, sim events).
+
+    *profile* is the plain-dict form produced by
+    :meth:`repro.obs.profile.PhaseProfiler.to_dict`; phases are listed in
+    the canonical run order with unknown phases appended alphabetically.
+    """
+    order = ["populate", "bootstrap", "converge", "measure"]
+    names = [name for name in order if name in profile]
+    names += sorted(name for name in profile if name not in order)
+    total = sum(float(profile[name].get("seconds", 0.0)) for name in names)
+    rows = []
+    for name in names:
+        stats = profile[name]
+        seconds = float(stats.get("seconds", 0.0))
+        share = 100.0 * seconds / total if total else 0.0
+        rows.append(
+            {
+                "phase": name,
+                "seconds": seconds,
+                "share": f"{share:.1f}%",
+                "calls": stats.get("calls", 0),
+                "events": stats.get("events", 0),
+            }
+        )
+    rows.append(
+        {
+            "phase": "total",
+            "seconds": total,
+            "share": "100.0%" if total else "-",
+            "calls": sum(int(profile[n].get("calls", 0)) for n in names),
+            "events": sum(int(profile[n].get("events", 0)) for n in names),
+        }
+    )
+    return format_table(
+        rows, ["phase", "seconds", "share", "calls", "events"], title=title
+    )
+
+
 def format_histogram(
     percentages: Sequence[float],
     labels: Sequence[str],

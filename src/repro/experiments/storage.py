@@ -22,8 +22,15 @@ def save_rows(
     rows: Sequence[Dict[str, Any]],
     parameters: Optional[Dict[str, Any]] = None,
     timestamp: Optional[float] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write experiment rows (plus metadata) to *path* as JSON."""
+    """Write experiment rows (plus metadata) to *path* as JSON.
+
+    *profile* is an optional phase-profile table
+    (:meth:`repro.obs.profile.PhaseProfiler.to_dict`); when given it is
+    stored under a ``"profile"`` key so the run's cost breakdown travels
+    with its results.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     document = {
@@ -33,6 +40,8 @@ def save_rows(
         "parameters": dict(parameters or {}),
         "rows": [dict(row) for row in rows],
     }
+    if profile:
+        document["profile"] = dict(profile)
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
     return path
 

@@ -58,13 +58,11 @@ def delivery_timeline(
     deployment.simulator.run(until=end + grace)
     rows: List[Dict[str, float]] = []
     for item in pending:
-        record = metrics.records.get(item["query_id"])
         expected = item["expected"]
-        delivery = record.delivery(expected) if record is not None else 0.0
         rows.append(
             {
                 "time": item["time"],
-                "delivery": delivery,
+                "delivery": metrics.delivery_of(item["query_id"], expected),
                 "expected": len(expected),
             }
         )

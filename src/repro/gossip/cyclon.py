@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.gossip.messages import CyclonReply, CyclonRequest
 from repro.gossip.view import PartialView, ViewEntry
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 #: Callback invoked with freshly learned entries (feeds the top layer).
 DescriptorSink = Callable[[Sequence[ViewEntry]], None]
@@ -39,6 +40,7 @@ class CyclonProtocol:
         cache_size: int = 20,
         shuffle_length: int = 8,
         sink: Optional[DescriptorSink] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.descriptor = descriptor
         self.send = send
@@ -48,6 +50,11 @@ class CyclonProtocol:
         self.sink = sink
         self._outstanding: Optional[Address] = None
         self._outstanding_sent: List[Address] = []
+        # Telemetry (no-op instruments unless a real registry is wired in).
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._shuffles = registry.counter("cyclon.shuffles")
+        self._requests = registry.counter("cyclon.requests_handled")
+        self._timeouts = registry.counter("cyclon.shuffle_timeouts")
 
     @property
     def address(self) -> Address:
@@ -84,11 +91,13 @@ class CyclonProtocol:
         entries = [ViewEntry(self.descriptor, age=0)] + sample
         self._outstanding = target.address
         self._outstanding_sent = [entry.address for entry in sample]
+        self._shuffles.inc()
         self.send(target.address, CyclonRequest(entries=tuple(entries)))
         return target.address
 
     def handle_request(self, sender: Address, message: CyclonRequest) -> None:
         """Passive side of a shuffle: answer with our own subset, merge."""
+        self._requests.inc()
         sample = self.view.sample(self.rng, self.shuffle_length, exclude=(sender,))
         self.send(sender, CyclonReply(entries=tuple(sample)))
         self._merge(message.entries, sent=[entry.address for entry in sample])
@@ -106,6 +115,7 @@ class CyclonProtocol:
         The entry was already removed when the shuffle started, so nothing
         else is required — this hook exists for symmetry and metrics.
         """
+        self._timeouts.inc()
         if self._outstanding == peer:
             self._outstanding = None
             self._outstanding_sent = []

@@ -25,6 +25,7 @@ from repro.gossip.messages import (
     VicinityRequest,
 )
 from repro.gossip.vicinity import VicinityProtocol
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -48,11 +49,13 @@ class TwoLayerMaintenance:
         transport: Transport,
         rng: random.Random,
         config: Optional[GossipConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.node = node
         self.transport = transport
         self.rng = rng
         self.config = config or GossipConfig()
+        registry = registry if registry is not None else NULL_REGISTRY
         self.cyclon = CyclonProtocol(
             descriptor=node.descriptor,
             send=self._send,
@@ -60,6 +63,7 @@ class TwoLayerMaintenance:
             cache_size=self.config.cache_size,
             shuffle_length=self.config.shuffle_length,
             sink=self._cyclon_sink,
+            registry=registry,
         )
         self.vicinity = VicinityProtocol(
             descriptor=node.descriptor,
@@ -68,7 +72,10 @@ class TwoLayerMaintenance:
             send=self._send,
             rng=rng,
             exchange_size=self.config.exchange_size,
+            registry=registry,
         )
+        self._cycles = registry.counter("gossip.cycles")
+        self._answer_timeouts = registry.counter("gossip.answer_timeouts")
         self._running = False
         self._cycle_timer: Optional[TimerHandle] = None
         self._answer_timers: Dict[Address, TimerHandle] = {}
@@ -110,6 +117,7 @@ class TwoLayerMaintenance:
         if not self._running:
             return
         self.cycles_run += 1
+        self._cycles.inc()
         self.vicinity.tick()
         cyclon_peer = self.cyclon.initiate_shuffle()
         if cyclon_peer is not None:
@@ -131,6 +139,7 @@ class TwoLayerMaintenance:
         )
 
     def _answer_timeout(self, peer: Address, layer: str) -> None:
+        self._answer_timeouts.inc()
         self._answer_timers.pop(peer, None)
         if layer == "cyclon":
             self.cyclon.shuffle_timed_out(peer)

@@ -35,6 +35,7 @@ from repro.core.routing import RoutingTable
 from repro.gossip.cyclon import CyclonProtocol
 from repro.gossip.messages import VicinityReply, VicinityRequest
 from repro.gossip.view import ViewEntry
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 SendFunction = Callable[[Address, object], None]
 
@@ -51,6 +52,7 @@ class VicinityProtocol:
         rng: random.Random,
         exchange_size: int = 20,
         max_age: int = 15,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.descriptor = descriptor
         self.routing = routing
@@ -61,6 +63,13 @@ class VicinityProtocol:
         self.max_age = max_age
         self._age: Dict[Address, int] = {}
         self._outstanding: Optional[Address] = None
+        # Telemetry (no-op instruments unless a real registry is wired in).
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._exchanges = registry.counter("vicinity.exchanges")
+        self._links_added = registry.counter("vicinity.links_added")
+        self._links_expired = registry.counter("vicinity.links_expired")
+        self._timeouts = registry.counter("vicinity.exchange_timeouts")
+        self._payload_sizes = registry.histogram("vicinity.payload_size")
 
     @property
     def address(self) -> Address:
@@ -83,7 +92,8 @@ class VicinityProtocol:
             address = entry.address
             if address == self.address or entry.age > self.max_age:
                 continue
-            self.routing.add(entry.descriptor)
+            if self.routing.add(entry.descriptor):
+                self._links_added.inc()
             known = self._age.get(address)
             if known is None or entry.age < known:
                 self._age[address] = entry.age
@@ -106,6 +116,7 @@ class VicinityProtocol:
         for address in expired:
             del self._age[address]
             self.routing.remove(address)
+            self._links_expired.inc()
 
     def initiate_exchange(self) -> Optional[Address]:
         """Run one active cycle; returns the contacted peer (or None).
@@ -121,6 +132,8 @@ class VicinityProtocol:
             exclude=target, peer=self._descriptor_of(target)
         )
         self._outstanding = target
+        self._exchanges.inc()
+        self._payload_sizes.observe(len(payload))
         self.send(target, VicinityRequest(entries=tuple(payload)))
         return target
 
@@ -144,6 +157,7 @@ class VicinityProtocol:
 
     def exchange_timed_out(self, peer: Address) -> None:
         """The contacted peer never answered: purge it from both layers."""
+        self._timeouts.inc()
         if self._outstanding == peer:
             self._outstanding = None
         self.routing.remove(peer)

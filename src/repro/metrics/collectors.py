@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.core.messages import QueryId
@@ -141,6 +141,30 @@ class MetricsCollector(ProtocolObserver):
             return 0.0
         total = sum(record.routing_overhead() for record in self.records.values())
         return total / len(self.records)
+
+    def delivery_of(
+        self, query_id: QueryId, expected: Iterable[Address]
+    ) -> float:
+        """Delivery of one recorded query (0.0 if it was never observed)."""
+        record = self.records.get(query_id)
+        return record.delivery(expected) if record is not None else 0.0
+
+    def mean_delivery(
+        self, expected_by_query: Mapping[QueryId, Iterable[Address]]
+    ) -> float:
+        """Average delivery across queries, given their ground truths.
+
+        *expected_by_query* maps each query id to the addresses that
+        matched it at issue time; queries with no record count as 0.0
+        (the query never spread at all). Returns 0.0 for an empty map.
+        """
+        if not expected_by_query:
+            return 0.0
+        total = sum(
+            self.delivery_of(query_id, expected)
+            for query_id, expected in expected_by_query.items()
+        )
+        return total / len(expected_by_query)
 
     def total_duplicates(self) -> int:
         """Total duplicate receptions (zero on a converged overlay)."""

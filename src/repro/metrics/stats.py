@@ -29,7 +29,12 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # lo + (hi - lo) * w, not lo*(1-w) + hi*w: the symmetric form can
+    # underflow each product to zero for subnormal inputs, breaking
+    # monotonicity in q (e.g. values=[5e-324]*2 gave p50 == 0.0 < p25).
+    # min() guards the one-ulp overshoot of lo + (hi - lo).
+    return min(ordered[low] + (ordered[high] - ordered[low]) * weight,
+               ordered[high])
 
 
 def stddev(values: Sequence[float]) -> float:

@@ -1,0 +1,46 @@
+"""Observability: structured tracing, convergence telemetry, profiling.
+
+Three independent instruments, all off (and near-free) by default:
+
+* :mod:`repro.obs.tracer` — :class:`TraceRecorder`, a protocol observer
+  that captures per-query event streams (with simulated timestamps) and
+  reconstructs hop trees; export as JSONL, render via
+  :func:`repro.obs.render.render_hop_tree` or the ``repro trace`` CLI.
+* :mod:`repro.obs.registry` — a counters/gauges/histograms registry with
+  a shared no-op fast path (:data:`NULL_REGISTRY`), wired through the
+  gossip stack for per-round convergence counters; see also
+  :class:`repro.obs.convergence.ConvergenceProbe` for the ground-truth
+  slot-fill / view-distance / repair time series.
+* :mod:`repro.obs.profile` — phase profilers (populate / bootstrap /
+  converge / measure) hooked into the experiment harness and merged
+  across parallel sweep workers.
+
+:mod:`repro.obs.convergence` is imported on demand (it sits above the
+simulation layer) — ``from repro.obs.convergence import ConvergenceProbe``.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent, event_from_dict
+from repro.obs.profile import PhaseProfiler, PhaseStats
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+)
+from repro.obs.render import render_hop_tree
+from repro.obs.tracer import HopNode, QueryTrace, TraceRecorder, read_jsonl
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "event_from_dict",
+    "PhaseProfiler",
+    "PhaseStats",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "merge_snapshots",
+    "render_hop_tree",
+    "HopNode",
+    "QueryTrace",
+    "TraceRecorder",
+    "read_jsonl",
+]

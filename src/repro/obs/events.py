@@ -1,0 +1,88 @@
+"""Structured trace events: the observability layer's wire format.
+
+Every externally meaningful protocol occurrence (a forward, a reception, a
+reply, an anomaly) becomes one immutable :class:`TraceEvent` carrying a
+simulated-time timestamp. Events are flat, JSON-friendly records so a run
+can be exported as JSONL and inspected with standard line tools; the hop
+trees of :mod:`repro.obs.tracer` are reconstructed purely from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.descriptors import Address
+from repro.core.messages import QueryId
+
+#: Event kinds, one per :class:`~repro.core.observer.ProtocolObserver` hook.
+FORWARDED = "forwarded"  #: a QUERY left ``node`` toward ``peer``
+RECEIVED = "received"  #: ``node`` received a QUERY (``matched`` tells if it matched)
+REPLY = "reply"  #: a REPLY left ``node`` toward ``peer``
+COMPLETED = "completed"  #: the origin assembled its final candidate set
+DUPLICATE = "duplicate"  #: ``node`` received the same QUERY twice
+TIMEOUT = "timeout"  #: ``node`` gave up waiting on ``peer``
+DROPPED = "dropped"  #: ``node`` could not propagate a branch (broken link)
+
+#: All kinds, in rough lifecycle order (useful for stable sorting/legends).
+EVENT_KINDS = (FORWARDED, RECEIVED, REPLY, COMPLETED, DUPLICATE, TIMEOUT, DROPPED)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed protocol event, timestamped in simulated seconds.
+
+    ``node`` is where the event happened (the sender for sends); ``peer``
+    is the other endpoint when there is one. ``level``/``dim`` annotate
+    :data:`FORWARDED` events with the neighboring-cell slot the query
+    travelled along (``level=-1``/``dim=None`` marks the C0 fan-out), and
+    ``dimensions`` is the dimension set remaining in the query *after* the
+    traversed dimension was removed — the paper's backward-propagation
+    guard, made visible per hop.
+    """
+
+    time: float
+    kind: str
+    query_id: QueryId
+    node: Address
+    peer: Optional[Address] = None
+    level: Optional[int] = None
+    dim: Optional[int] = None
+    matched: Optional[bool] = None
+    dimensions: Optional[Tuple[int, ...]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dict (None-valued fields omitted)."""
+        payload: Dict[str, Any] = {
+            "t": self.time,
+            "kind": self.kind,
+            "qid": list(self.query_id),
+            "node": self.node,
+        }
+        if self.peer is not None:
+            payload["peer"] = self.peer
+        if self.level is not None:
+            payload["level"] = self.level
+        if self.dim is not None:
+            payload["dim"] = self.dim
+        if self.matched is not None:
+            payload["matched"] = self.matched
+        if self.dimensions is not None:
+            payload["dims"] = list(self.dimensions)
+        return payload
+
+
+def event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its :meth:`TraceEvent.to_dict` form."""
+    dims = payload.get("dims")
+    return TraceEvent(
+        time=float(payload["t"]),
+        kind=str(payload["kind"]),
+        query_id=(payload["qid"][0], payload["qid"][1]),
+        node=payload["node"],
+        peer=payload.get("peer"),
+        level=payload.get("level"),
+        dim=payload.get("dim"),
+        matched=payload.get("matched"),
+        dimensions=tuple(dims) if dims is not None else None,
+    )

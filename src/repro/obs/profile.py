@@ -1,0 +1,162 @@
+"""Phase profiling: wall-time and event-count attribution per run phase.
+
+Every experiment decomposes into the same phases — *populate* (sample
+attributes, create hosts), *bootstrap* (install converged links),
+*converge* (gossip warm-up), *measure* (issue queries) — but their relative
+cost is invisible in an end-to-end number. The harness brackets each phase
+with :func:`phase`, which records wall seconds, invocation counts and
+simulator events into the **active profiler**.
+
+The fast path: when no profiler is activated (the default), :func:`phase`
+returns a shared no-op context manager — one dict-free function call per
+phase per run, nothing on any per-message path. Profiles are plain dicts,
+so parallel sweep workers return theirs alongside results and
+:meth:`PhaseProfiler.absorb` merges them (see
+:func:`repro.experiments.parallel.run_sweep`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one phase."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    events: int = 0
+
+
+class _PhaseTimer:
+    """Context manager recording one phase execution into a profiler."""
+
+    __slots__ = ("_profiler", "_name", "_simulator", "_start", "_events")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str, simulator) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._simulator = simulator
+        self._start = 0.0
+        self._events = 0
+
+    def __enter__(self) -> "_PhaseTimer":
+        """Start the wall clock (and snapshot the simulator's event count)."""
+        self._start = time.perf_counter()
+        if self._simulator is not None:
+            self._events = self._simulator.processed_events
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Record elapsed seconds and events processed during the phase."""
+        events = 0
+        if self._simulator is not None:
+            events = self._simulator.processed_events - self._events
+        self._profiler.record(
+            self._name, time.perf_counter() - self._start, events=events
+        )
+
+
+class _NullPhase:
+    """Shared no-op context manager: the disabled-profiling fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        """Do nothing."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Do nothing."""
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time, call counts and event counts."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStats] = {}
+
+    def record(self, name: str, seconds: float, events: int = 0) -> None:
+        """Add one phase execution's cost."""
+        stats = self.phases.get(name)
+        if stats is None:
+            stats = self.phases[name] = PhaseStats()
+        stats.seconds += seconds
+        stats.calls += 1
+        stats.events += events
+
+    def phase(self, name: str, simulator=None) -> _PhaseTimer:
+        """Bracket one phase execution (``with profiler.phase("measure"):``).
+
+        *simulator* (anything exposing ``processed_events``) additionally
+        attributes the simulator events executed inside the phase.
+        """
+        return _PhaseTimer(self, name, simulator)
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict form: ``{phase: {seconds, calls, events}}``."""
+        return {
+            name: {
+                "seconds": stats.seconds,
+                "calls": stats.calls,
+                "events": stats.events,
+            }
+            for name, stats in self.phases.items()
+        }
+
+    def absorb(self, profile: Mapping[str, Mapping[str, Any]]) -> None:
+        """Merge a :meth:`to_dict`-shaped profile (e.g. from a worker)."""
+        for name, stats in profile.items():
+            self.record(
+                name,
+                float(stats.get("seconds", 0.0)),
+                events=int(stats.get("events", 0)),
+            )
+            # record() counted one call; adopt the worker's true count.
+            self.phases[name].calls += int(stats.get("calls", 1)) - 1
+
+    def absorb_all(
+        self, profiles: Iterable[Mapping[str, Mapping[str, Any]]]
+    ) -> None:
+        """Merge many worker profiles."""
+        for profile in profiles:
+            self.absorb(profile)
+
+    def total_seconds(self) -> float:
+        """Wall seconds across every phase."""
+        return sum(stats.seconds for stats in self.phases.values())
+
+
+_active: Optional[PhaseProfiler] = None
+
+
+def activate(profiler: Optional[PhaseProfiler] = None) -> PhaseProfiler:
+    """Install *profiler* (or a fresh one) as the active profiler."""
+    global _active
+    _active = profiler if profiler is not None else PhaseProfiler()
+    return _active
+
+
+def deactivate() -> Optional[PhaseProfiler]:
+    """Remove and return the active profiler (None if none was active)."""
+    global _active
+    profiler, _active = _active, None
+    return profiler
+
+
+def active() -> Optional[PhaseProfiler]:
+    """The currently active profiler, if any."""
+    return _active
+
+
+def phase(name: str, simulator=None):
+    """Bracket a phase against the active profiler (no-op when inactive)."""
+    if _active is None:
+        return _NULL_PHASE
+    return _active.phase(name, simulator)

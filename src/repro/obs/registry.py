@@ -1,0 +1,209 @@
+"""A tiny metrics registry: counters, gauges and histograms by name.
+
+Instrumented code asks the registry for an instrument once (at
+construction) and then drives it on the hot path::
+
+    self._shuffles = registry.counter("cyclon.shuffles")
+    ...
+    self._shuffles.inc()
+
+The **no-op fast path**: a disabled registry (:data:`NULL_REGISTRY`, the
+default everywhere) hands out shared null instruments whose methods do
+nothing, so instrumented code stays branch-free and costs one empty method
+call per event when observability is off. Enabled registries are plain
+dictionaries of plain objects — no locks, no label sets — because the
+simulator is single-threaded per process; parallel sweep workers each get
+their own registry and snapshots are merged offline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+
+class CounterMetric:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+
+class GaugeMetric:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class HistogramMetric:
+    """Running summary of an observed distribution (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def mean(self) -> float:
+        """Average of the observations so far (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge:
+    """Shared do-nothing gauge."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram:
+    """Shared do-nothing histogram."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store; disabled instances are no-ops.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument, so independent
+    components can share series by naming convention alone.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, CounterMetric] = {}
+        self._gauges: Dict[str, GaugeMetric] = {}
+        self._histograms: Dict[str, HistogramMetric] = {}
+
+    def counter(self, name: str):
+        """The counter registered under *name* (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def gauge(self, name: str):
+        """The gauge registered under *name* (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = GaugeMetric(name)
+        return metric
+
+    def histogram(self, name: str):
+        """The histogram registered under *name* (created on first use)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = HistogramMetric(name)
+        return metric
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view of every instrument (JSON-serialisable)."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in self._counters.items()
+            },
+            "gauges": {
+                name: metric.value for name, metric in self._gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.minimum,
+                    "max": metric.maximum,
+                    "mean": metric.mean(),
+                }
+                for name, metric in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-worker :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters and histogram counts/totals sum; gauges keep the last seen
+    value; histogram min/max take the extremes.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            merged.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            merged.gauge(name).set(value)
+        for name, stats in snapshot.get("histograms", {}).items():
+            histogram = merged.histogram(name)
+            histogram.count += stats["count"]
+            histogram.total += stats["total"]
+            for bound in ("min", "max"):
+                value = stats.get(bound)
+                if value is None:
+                    continue
+                if bound == "min":
+                    if histogram.minimum is None or value < histogram.minimum:
+                        histogram.minimum = value
+                elif histogram.maximum is None or value > histogram.maximum:
+                    histogram.maximum = value
+    return merged.snapshot()
+
+
+#: The default, disabled registry: instrumentation through it costs one
+#: no-op method call per event.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

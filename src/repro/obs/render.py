@@ -1,0 +1,92 @@
+"""ASCII rendering of reconstructed routing trees.
+
+Output shape (one node per line; ``*`` marks a matching node, ``.`` a
+non-matching hop, ``?`` a forward whose reception was never observed)::
+
+    query (17, 0)  origin=17  forwards=6  received=7  matched=5  duplicates=0
+    17 *
+    +-- 421 [l3 d0 dims={1,2,3,4}] .
+    |   +-- 98 [l2 d1 dims={2,3,4}] *
+    |   `-- 7 [C0] *
+    `-- 305 [l3 d1 dims={2,3,4}] *
+
+The bracket annotates the edge from the parent: the neighboring-cell slot
+``(level, dim)`` the query travelled along and the dimensions *remaining*
+in the query after that hop removed its traversed dimension (``[C0]`` is
+the final same-cell fan-out, which carries no slot).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs import events as ev
+from repro.obs.tracer import HopNode, QueryTrace
+
+
+def _mark(node: HopNode) -> str:
+    if node.matched is None:
+        return "?"
+    return "*" if node.matched else "."
+
+
+def _edge_label(node: HopNode) -> str:
+    if node.level is None:
+        return ""
+    if node.level < 0:
+        return " [C0]"
+    dims = (
+        "{" + ",".join(str(d) for d in node.dimensions) + "}"
+        if node.dimensions is not None
+        else "?"
+    )
+    return f" [l{node.level} d{node.dim} dims={dims}]"
+
+
+def _render_node(
+    node: HopNode, prefix: str, lines: List[str], limit: Optional[int]
+) -> None:
+    if limit is not None and len(lines) >= limit:
+        return
+    for index, child in enumerate(node.children):
+        if limit is not None and len(lines) >= limit:
+            lines.append(prefix + "... (truncated)")
+            return
+        last = index == len(node.children) - 1
+        connector = "`-- " if last else "+-- "
+        suffix = " (revisit!)" if child.revisit else ""
+        lines.append(
+            f"{prefix}{connector}{child.address}"
+            f"{_edge_label(child)} {_mark(child)}{suffix}"
+        )
+        if not child.revisit:
+            _render_node(
+                child, prefix + ("    " if last else "|   "), lines, limit
+            )
+
+
+def render_hop_tree(trace: QueryTrace, max_lines: Optional[int] = None) -> str:
+    """Render *trace*'s dissemination tree as an ASCII routing tree.
+
+    *max_lines* truncates very large trees (None = render everything).
+    """
+    root = trace.hop_tree()
+    header = (
+        f"query {trace.query_id}  origin={trace.origin}"
+        f"  forwards={trace.count(ev.FORWARDED)}"
+        f"  received={trace.count(ev.RECEIVED)}"
+        f"  matched={len(trace.matched_nodes())}"
+        f"  duplicates={len(trace.duplicate_nodes())}"
+    )
+    anomalies = []
+    drops = trace.count(ev.DROPPED)
+    timeouts = trace.count(ev.TIMEOUT)
+    if drops:
+        anomalies.append(f"drops={drops}")
+    if timeouts:
+        anomalies.append(f"timeouts={timeouts}")
+    if anomalies:
+        header += "  " + "  ".join(anomalies)
+    lines = [header, f"{root.address} {_mark(root)}"]
+    _render_node(root, "", lines, max_lines)
+    return "\n".join(lines)

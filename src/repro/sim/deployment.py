@@ -16,12 +16,14 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeSchema, AttributeValue
+from repro.core.cells import bucket_key, flipped_key
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.core.index import CellIndex
 from repro.core.node import NodeConfig
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
 from repro.gossip.maintenance import GossipConfig
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.host import SimHost
 from repro.sim.latency import LatencyModel
@@ -72,7 +74,7 @@ def bootstrap_links(
     for coordinates, members in index.cells():
         for level in range(1, max_level + 1):
             for dim in range(dimensions):
-                buckets[_bucket_key(coordinates, level, dim)].extend(members)
+                buckets[bucket_key(coordinates, level, dim)].extend(members)
 
     picks_cap = 1 + alternates_per_slot
     for coordinates, cell_hosts in by_cell.items():
@@ -84,7 +86,7 @@ def bootstrap_links(
         slot_buckets = []
         for level in range(1, max_level + 1):
             for dim in range(dimensions):
-                bucket = buckets.get(_flipped_key(coordinates, level, dim))
+                bucket = buckets.get(flipped_key(coordinates, level, dim))
                 if bucket:
                     slot_buckets.append(
                         (level, dim, bucket, min(len(bucket), picks_cap))
@@ -93,30 +95,6 @@ def bootstrap_links(
             routing = host.node.routing
             routing.seed_zero(zero_members)  # skips the self-descriptor
             routing.seed_slots(slot_buckets, rng)
-
-
-def _bucket_key(
-    coordinates: Tuple[int, ...], level: int, dim: int
-) -> Tuple:
-    half = level - 1
-    parts = tuple(
-        index >> half if j <= dim else index >> level
-        for j, index in enumerate(coordinates)
-    )
-    return (level, dim, parts)
-
-
-def _flipped_key(
-    coordinates: Tuple[int, ...], level: int, dim: int
-) -> Tuple:
-    half = level - 1
-    parts = tuple(
-        (index >> half) ^ 1
-        if j == dim
-        else (index >> half if j < dim else index >> level)
-        for j, index in enumerate(coordinates)
-    )
-    return (level, dim, parts)
 
 
 class Deployment:
@@ -131,6 +109,7 @@ class Deployment:
         node_config: Optional[NodeConfig] = None,
         gossip_config: Optional[GossipConfig] = None,
         observer: Optional[ProtocolObserver] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.schema = schema
         self.seed = seed
@@ -144,6 +123,8 @@ class Deployment:
         self.node_config = node_config or NodeConfig()
         self.gossip_config = gossip_config
         self.observer = observer
+        #: Shared metrics registry handed to every host's gossip stack.
+        self.registry = registry
         self.hosts: Dict[Address, SimHost] = {}
         #: Live descriptors bucketed by C0 cell — the ground-truth index.
         #: Maintained incrementally across joins, crashes and attribute
@@ -175,6 +156,7 @@ class Deployment:
             node_config=self.node_config,
             gossip_config=self.gossip_config,
             observer=self.observer,
+            registry=self.registry,
         )
         host.watch(self._host_changed)
         self.hosts[address] = host

@@ -11,6 +11,7 @@ from repro.core.node import CompletionCallback, NodeConfig, ResourceNode
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
 from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+from repro.obs.registry import MetricsRegistry
 from repro.sim.network import SimNetwork, SimTransport
 
 
@@ -32,6 +33,7 @@ class SimHost:
         node_config: Optional[NodeConfig] = None,
         gossip_config: Optional[GossipConfig] = None,
         observer: Optional[ProtocolObserver] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.schema = schema
         self.network = network
@@ -53,7 +55,11 @@ class SimHost:
         self.maintenance: Optional[TwoLayerMaintenance] = None
         if gossip_config is not None:
             self.maintenance = TwoLayerMaintenance(
-                self.node, self.transport, self.rng, gossip_config
+                self.node,
+                self.transport,
+                self.rng,
+                gossip_config,
+                registry=registry,
             )
         network.attach(descriptor.address, self.handle_message)
         self.alive = True

@@ -59,3 +59,63 @@ class TestCommands:
         code = main(["run", "traffic", "--size", "80", "--duration", "100"])
         assert code == 0
         assert "bytes/node/cycle" in capsys.readouterr().out
+
+    def test_fig11_telemetry(self, capsys):
+        code = main(
+            ["run", "fig11", "--size", "100", "--duration", "90",
+             "--telemetry"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Overlay telemetry" in out
+        assert "slot_fill" in out
+
+    def test_run_with_profile_flag(self, capsys):
+        from repro.obs import profile
+
+        code = main(
+            ["run", "fig06", "--size", "100", "--queries", "2",
+             "--sizes", "50,100", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "populate" in out and "measure" in out
+        assert profile.active() is None  # deactivated after the run
+
+
+class TestTrace:
+    def test_trace_renders_exactly_once_tree(self, capsys, tmp_path):
+        jsonl = tmp_path / "events.jsonl"
+        code = main(
+            ["trace", "--size", "300", "--selectivity", "0.25",
+             "--jsonl", str(jsonl)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exactly-once     : yes" in out
+        assert "query (" in out
+        assert jsonl.exists()
+
+    def test_trace_matching_nodes_appear_exactly_once(self, capsys):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.harness import build_deployment
+        from repro.obs.tracer import TraceRecorder
+        from repro.util.rng import derive_rng
+        from repro.workloads.queries import aligned_selectivity_query
+
+        config = ExperimentConfig(network_size=400, seed=2009)
+        tracer = TraceRecorder()
+        deployment, _ = build_deployment(config, extra_observers=(tracer,))
+        tracer.bind_clock(lambda: deployment.simulator.now)
+        rng = derive_rng(2009, "trace-test")
+        query = aligned_selectivity_query(deployment.schema, 0.125, rng)
+        expected = {
+            d.address for d in deployment.matching_descriptors(query)
+        }
+        deployment.execute_query(query)
+        trace = tracer.last_trace()
+        counts = trace.reception_counts()
+        assert expected  # the query matches someone
+        assert all(counts[address] == 1 for address in expected)
+        assert trace.duplicate_nodes() == []

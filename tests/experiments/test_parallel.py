@@ -19,10 +19,16 @@ from repro.experiments.parallel import (
     run_sweep,
     run_trials,
 )
+from repro.obs import profile
 
 
 def square(x):
     return x * x
+
+
+def profiled_point(x):
+    with profile.phase("measure"):
+        return x * x
 
 
 def tagged(seed, tag):
@@ -53,6 +59,30 @@ def test_run_trials_passes_seed_and_kwargs():
         ("t", 3), ("t", 1), ("t", 2),
     ]
     assert run_trials(tagged, [3, 1], jobs=2, tag="t") == [("t", 3), ("t", 1)]
+
+
+def test_run_sweep_merges_worker_profiles():
+    """Worker-side phase tables land in the parent's active profiler."""
+    points = [
+        SweepPoint(function=profiled_point, kwargs={"x": x}) for x in range(4)
+    ]
+    profiler = profile.activate()
+    try:
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=2)
+    finally:
+        profile.deactivate()
+    assert serial == parallel == [x * x for x in range(4)]
+    # 4 serial in-process calls + 4 absorbed worker calls.
+    assert profiler.phases["measure"].calls == 8
+
+
+def test_run_sweep_without_profiler_returns_plain_results():
+    points = [
+        SweepPoint(function=profiled_point, kwargs={"x": x}) for x in range(3)
+    ]
+    assert profile.active() is None
+    assert run_sweep(points, jobs=2) == [0, 1, 4]
 
 
 def test_resolve_jobs():

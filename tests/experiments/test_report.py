@@ -36,3 +36,37 @@ class TestFormatHistogram:
     def test_title(self):
         text = format_histogram([1.0], ["x"], title="H")
         assert text.splitlines()[0] == "H"
+
+
+class TestFormatProfile:
+    def test_canonical_order_and_total(self):
+        from repro.experiments.report import format_profile
+
+        text = format_profile({
+            "measure": {"seconds": 1.0, "calls": 2, "events": 100},
+            "populate": {"seconds": 3.0, "calls": 1, "events": 0},
+        })
+        lines = text.splitlines()
+        # Canonical run order, not dict/alpha order; total row last.
+        # (Line 0 title, 1 header, 2 separator, 3+ body.)
+        assert lines[3].startswith("populate")
+        assert lines[4].startswith("measure")
+        assert lines[-1].startswith("total")
+        assert "4.000" in lines[-1]
+        assert "75.0%" in lines[3]
+
+    def test_unknown_phase_appended(self):
+        from repro.experiments.report import format_profile
+
+        text = format_profile({
+            "custom": {"seconds": 1.0, "calls": 1, "events": 0},
+            "populate": {"seconds": 1.0, "calls": 1, "events": 0},
+        })
+        lines = [line.split()[0] for line in text.splitlines()[3:]]
+        assert lines == ["populate", "custom", "total"]
+
+    def test_empty_profile(self):
+        from repro.experiments.report import format_profile
+
+        text = format_profile({})
+        assert "total" in text

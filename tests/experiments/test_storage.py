@@ -36,6 +36,14 @@ class TestSaveLoad:
         row["a"] = 2
         assert load_rows(tmp_path / "r.json")["rows"] == [{"a": 1}]
 
+    def test_profile_travels_with_results(self, tmp_path):
+        profile = {"populate": {"seconds": 1.5, "calls": 1, "events": 0}}
+        path = save_rows(tmp_path / "p.json", "x", [], profile=profile)
+        assert load_rows(path)["profile"] == profile
+        # Omitted (or empty) profile leaves the document unchanged.
+        path = save_rows(tmp_path / "q.json", "x", [])
+        assert "profile" not in load_rows(path)
+
 
 class TestListResults:
     def test_empty_directory(self, tmp_path):

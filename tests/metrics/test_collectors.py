@@ -33,6 +33,30 @@ class TestQueryRecord:
         record.result = []
         assert record.completed
 
+    def test_matching_origin_excluded_from_overhead(self):
+        # The origin matched its own query: it is neither a hop nor
+        # overhead, even though it appears in received_by.
+        record = QueryRecord(query_id=(5, 0))
+        record.received_by = {5, 9}
+        record.matched_receivers = {5, 9}
+        assert record.routing_overhead() == 0
+        # ...and still zero when the origin received without matching.
+        record.matched_receivers = {9}
+        assert record.routing_overhead() == 0
+
+    def test_delivery_empty_expected_is_perfect(self):
+        record = QueryRecord(query_id=(0, 0))
+        assert record.delivery(set()) == 1.0
+        assert record.delivery([]) == 1.0
+
+    def test_anomaly_counters_accumulate_independently(self):
+        record = QueryRecord(query_id=(0, 0))
+        assert (record.duplicates, record.timeouts, record.drops) == (0, 0, 0)
+        record.duplicates += 2
+        record.timeouts += 1
+        record.drops += 3
+        assert (record.duplicates, record.timeouts, record.drops) == (2, 1, 3)
+
 
 class TestMetricsCollector:
     def test_event_accumulation(self):
@@ -89,3 +113,42 @@ class TestMetricsCollector:
         assert (0, 0) in collector.records
         collector.reset()
         assert collector.records == {}
+
+    def test_consume_opened_returns_single_new_record(self):
+        collector = MetricsCollector()
+        collector.query_sent(0, 1, (0, 0))
+        record = collector.consume_opened()
+        assert record is not None and record.query_id == (0, 0)
+        # Consumed: a second call has nothing new to report.
+        assert collector.consume_opened() is None
+        # Two records opened since the last consume: ambiguous -> None.
+        collector.query_sent(0, 1, (0, 1))
+        collector.query_sent(0, 2, (0, 2))
+        assert collector.consume_opened() is None
+
+    def test_reset_between_open_and_consume_drops_stale_record(self):
+        # Regression: a reset() must clear the opened-record tracking,
+        # otherwise consume_opened() hands back a record that is no
+        # longer in ``records``.
+        collector = MetricsCollector()
+        collector.query_sent(0, 1, (0, 0))
+        collector.reset()
+        assert collector.consume_opened() is None
+        # The next opened record after the reset is reported normally.
+        collector.query_sent(0, 1, (0, 7))
+        record = collector.consume_opened()
+        assert record is not None and record.query_id == (0, 7)
+
+    def test_delivery_of_and_mean_delivery(self):
+        collector = MetricsCollector()
+        collector.query_received(1, (0, 0), True)
+        collector.query_received(2, (0, 0), True)
+        collector.query_received(1, (0, 1), True)
+        assert collector.delivery_of((0, 0), {1, 2}) == 1.0
+        assert collector.delivery_of((0, 1), {1, 2}) == 0.5
+        # Unrecorded queries count as zero delivery, not as missing data.
+        assert collector.delivery_of((9, 9), {1}) == 0.0
+        assert collector.mean_delivery(
+            {(0, 0): {1, 2}, (0, 1): {1, 2}, (9, 9): {1}}
+        ) == (1.0 + 0.5 + 0.0) / 3
+        assert collector.mean_delivery({}) == 0.0

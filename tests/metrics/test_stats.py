@@ -31,6 +31,14 @@ class TestBasics:
         assert percentile([7], 30) == 7.0
         assert percentile([], 50) == 0.0
 
+    def test_percentile_subnormal_monotone(self):
+        # Regression: the symmetric interpolation lo*(1-w) + hi*w
+        # underflowed both products to 0.0 for subnormal inputs, making
+        # p50 == 0.0 while p25 == 5e-324 (hypothesis-found falsifier).
+        tiny = 5e-324
+        quantiles = [percentile([tiny, tiny], q) for q in (0, 25, 50, 75, 100)]
+        assert quantiles == [tiny] * 5
+
     def test_stddev(self):
         assert stddev([2, 2, 2]) == 0.0
         assert abs(stddev([0, 2]) - 1.0) < 1e-12

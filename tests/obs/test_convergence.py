@@ -1,0 +1,102 @@
+"""Tests for the convergence probe: slot-fill, view distance, repair."""
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.gossip.maintenance import GossipConfig
+from repro.obs.convergence import ConvergenceProbe
+from repro.obs.registry import MetricsRegistry
+from repro.sim.deployment import Deployment
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("x", 0, 80), numeric("y", 0, 80)], max_level=3
+    )
+
+
+def gossip_deployment(schema, size, seed=3, registry=None):
+    deployment = Deployment(
+        schema,
+        seed=seed,
+        gossip_config=GossipConfig(period=10.0),
+        registry=registry,
+    )
+    deployment.populate(uniform_sampler(schema), size)
+    deployment.start_gossip()
+    return deployment
+
+
+class TestSampling:
+    def test_bootstrap_deployment_has_zero_view_distance(self, schema):
+        deployment = Deployment(schema, seed=1)
+        deployment.populate(uniform_sampler(schema), 120)
+        deployment.bootstrap()
+        row = ConvergenceProbe(deployment).sample()
+        # bootstrap() fills every satisfiable slot by construction.
+        assert row["view_distance"] == 0.0
+        assert 0.0 < row["slot_fill"] <= 1.0
+        assert row["alive"] == 120
+
+    def test_periodic_rows_and_convergence_trend(self, schema):
+        deployment = gossip_deployment(schema, 100)
+        probe = ConvergenceProbe(deployment, interval=20.0)
+        probe.start()
+        deployment.run(300.0)
+        probe.stop()
+        assert len(probe.rows) == 1 + 300.0 // 20.0
+        assert [row["time"] for row in probe.rows] == sorted(
+            row["time"] for row in probe.rows
+        )
+        # Gossip converges: the last sample is much closer to ground
+        # truth than the first post-seed one.
+        assert probe.rows[-1].get("view_distance") < probe.rows[0]["view_distance"]
+        assert probe.rows[-1]["slot_fill"] > probe.rows[0]["slot_fill"]
+        # stop() really stops: no more rows accumulate.
+        count = len(probe.rows)
+        deployment.run(100.0)
+        assert len(probe.rows) == count
+
+    def test_repair_visible_after_node_removal(self, schema):
+        deployment = gossip_deployment(schema, 100)
+        deployment.run(300.0)  # converge first
+        probe = ConvergenceProbe(deployment, interval=10.0)
+        probe.start()
+        fill_before = probe.rows[0]["slot_fill"]
+        deployment.kill_fraction(0.25)
+        deployment.run(20.0)
+        damaged = probe.sample()
+        deployment.run(400.0)
+        probe.stop()
+        healed = probe.rows[-1]
+        # The kill broke links (filled -> empty transitions were seen)...
+        assert sum(row["broken"] for row in probe.rows) > 0
+        # ...and gossip repaired them afterwards (empty -> filled).
+        assert sum(row["repaired"] for row in probe.rows) > 0
+        # After repair the tables are close to the (new) ground truth.
+        # Right after the kill, stale links to dead nodes still count as
+        # filled, so slot_fill is not a fair damage signal; view_distance
+        # against the post-kill satisfiable set is.
+        assert healed["view_distance"] < 0.2
+        assert healed["alive"] == 75
+        assert fill_before > 0.0
+        assert damaged["alive"] == 75
+
+    def test_registry_overlay_series(self, schema):
+        registry = MetricsRegistry()
+        deployment = gossip_deployment(schema, 60, registry=registry)
+        probe = ConvergenceProbe(deployment, interval=10.0, registry=registry)
+        probe.start()
+        deployment.run(100.0)
+        probe.stop()
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["overlay.slot_fill"] == probe.rows[-1]["slot_fill"]
+        assert "overlay.view_distance" in snapshot["gauges"]
+        assert "overlay.links_repaired" in snapshot["counters"]
+        # The gossip stack reported through the same registry.
+        assert snapshot["counters"]["gossip.cycles"] > 0
+        assert snapshot["counters"]["cyclon.shuffles"] > 0
+        assert snapshot["counters"]["vicinity.exchanges"] > 0
+        assert snapshot["histograms"]["vicinity.payload_size"]["count"] > 0

@@ -1,0 +1,80 @@
+"""Unit tests for phase profiling and the module-level activation switch."""
+
+from repro.obs import profile
+from repro.obs.profile import PhaseProfiler, _NULL_PHASE
+
+
+class FakeSimulator:
+    """Just enough of Simulator for event attribution."""
+
+    def __init__(self):
+        self.processed_events = 0
+
+
+class TestPhaseProfiler:
+    def test_phase_records_time_calls_events(self):
+        profiler = PhaseProfiler()
+        simulator = FakeSimulator()
+        with profiler.phase("measure", simulator):
+            simulator.processed_events += 42
+        with profiler.phase("measure", simulator):
+            simulator.processed_events += 8
+        stats = profiler.phases["measure"]
+        assert stats.calls == 2
+        assert stats.events == 50
+        assert stats.seconds >= 0.0
+        assert profiler.total_seconds() == stats.seconds
+
+    def test_phase_without_simulator(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("populate"):
+            pass
+        assert profiler.phases["populate"].events == 0
+
+    def test_to_dict_and_absorb(self):
+        worker = PhaseProfiler()
+        worker.record("populate", 1.0, events=10)
+        worker.record("populate", 2.0, events=5)
+        worker.record("measure", 0.5)
+        parent = PhaseProfiler()
+        parent.record("measure", 0.25)
+        parent.absorb(worker.to_dict())
+        assert parent.phases["populate"].seconds == 3.0
+        assert parent.phases["populate"].calls == 2
+        assert parent.phases["populate"].events == 15
+        assert parent.phases["measure"].seconds == 0.75
+        assert parent.phases["measure"].calls == 2
+
+    def test_absorb_all(self):
+        parent = PhaseProfiler()
+        parent.absorb_all(
+            [{"a": {"seconds": 1.0, "calls": 1, "events": 0}}] * 3
+        )
+        assert parent.phases["a"].seconds == 3.0
+        assert parent.phases["a"].calls == 3
+
+
+class TestActivation:
+    def teardown_method(self):
+        profile.deactivate()
+
+    def test_inactive_phase_is_shared_noop(self):
+        profile.deactivate()
+        assert profile.active() is None
+        assert profile.phase("populate") is _NULL_PHASE
+        with profile.phase("populate"):
+            pass  # records nothing, raises nothing
+
+    def test_active_phase_records(self):
+        profiler = profile.activate()
+        assert profile.active() is profiler
+        with profile.phase("bootstrap"):
+            pass
+        assert profiler.phases["bootstrap"].calls == 1
+
+    def test_activate_existing_and_deactivate(self):
+        mine = PhaseProfiler()
+        assert profile.activate(mine) is mine
+        assert profile.deactivate() is mine
+        assert profile.active() is None
+        assert profile.deactivate() is None

@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry and its no-op fast path."""
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(0.2)
+        gauge.set(0.9)
+        assert gauge.value == 0.9
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (3.0, 5.0, 1.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 9.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+        assert histogram.mean() == 3.0
+        assert registry.histogram("empty").mean() == 0.0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("x") is registry.gauge("x")
+        assert registry.histogram("x") is registry.histogram("x")
+
+
+class TestNullRegistry:
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        a = NULL_REGISTRY.counter("a")
+        b = NULL_REGISTRY.counter("b")
+        assert a is b  # one shared null instrument, regardless of name
+        a.inc()
+        a.inc(100)
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(2.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestSnapshots:
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 0.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["mean"] == 4.0
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        # A post-reset counter starts over (new instrument).
+        assert registry.counter("c").value == 0
+
+    def test_merge_snapshots(self):
+        first = MetricsRegistry()
+        first.counter("c").inc(2)
+        first.histogram("h").observe(1.0)
+        second = MetricsRegistry()
+        second.counter("c").inc(3)
+        second.gauge("g").set(7.0)
+        second.histogram("h").observe(5.0)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["counters"] == {"c": 5}
+        assert merged["gauges"] == {"g": 7.0}
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["min"] == 1.0
+        assert merged["histograms"]["h"]["max"] == 5.0
+
+    def test_merge_empty(self):
+        assert merge_snapshots([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
