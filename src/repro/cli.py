@@ -8,12 +8,17 @@ Usage::
     python -m repro run table1
     python -m repro run traffic --size 600
     python -m repro trace --size 1000 --selectivity 0.125
+    python -m repro chaos --scenario partition-50 --seed 7
 
 Each ``run`` command regenerates one table/figure at a configurable scale
 and prints the same rows/series the paper reports; ``--profile`` appends a
-phase cost breakdown and ``run fig11 --telemetry`` adds the per-round
-overlay repair series. ``trace`` issues one query on a converged overlay
+phase cost breakdown, ``run fig11 --telemetry`` adds the per-round overlay
+repair series, and ``run fig11/fig12 --faults <scenario>`` layers a chaos
+scenario over the run. ``trace`` issues one query on a converged overlay
 and renders its reconstructed hop tree (see docs/OBSERVABILITY.md).
+``chaos`` runs a workload under a named fault scenario and checks the four
+resilience invariants (see docs/RESILIENCE.md); it exits nonzero on any
+violation, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -139,6 +144,8 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
         config=_config(args),
         duration=args.duration,
         telemetry=args.telemetry,
+        fault_scenario=args.faults or None,
+        fault_severity=args.fault_severity,
     )
     print(format_table(
         rows, ["time", "delivery", "expected"],
@@ -157,7 +164,11 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
 
 def _cmd_fig12(args: argparse.Namespace) -> int:
     rows = fig12_massive_failure.run(
-        fraction=args.fraction, config=_config(args), after=args.duration
+        fraction=args.fraction,
+        config=_config(args),
+        after=args.duration,
+        fault_scenario=args.faults or None,
+        fault_severity=args.fault_severity,
     )
     print(format_table(
         rows, ["time", "delivery", "after_failure"],
@@ -239,6 +250,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if once else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.faults import ChaosConfig, run_chaos
+    from repro.faults.scenarios import SCENARIOS, scenario_names
+
+    if args.list or not args.scenario:
+        print("Available chaos scenarios:")
+        for name in scenario_names():
+            spec = SCENARIOS[name]
+            print(f"  {name:16} {spec.summary}")
+        if not args.list:
+            print("\nRun one with: python -m repro chaos --scenario <name>",
+                  file=sys.stderr)
+            return 2
+        return 0
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from: "
+              + ", ".join(scenario_names()), file=sys.stderr)
+        return 2
+    config = ChaosConfig(
+        size=args.size,
+        seed=args.seed,
+        severity=args.severity,
+        sweep=not args.no_sweep,
+        hold=args.hold,
+        recovery=args.recovery,
+    )
+    report = run_chaos(args.scenario, config)
+    print("\n".join(report.summary_lines()))
+    if args.json:
+        payload = {
+            "scenario": report.scenario,
+            "severity": report.severity,
+            "seed": report.seed,
+            "size": report.size,
+            "ok": report.ok,
+            "invariants": [
+                dataclasses.asdict(result) for result in report.invariants
+            ],
+            "counters": report.counters,
+            "sweep": report.sweep_deliveries,
+            "rows": [
+                {
+                    "time": row.time,
+                    "phase": row.phase,
+                    "delivery": row.delivery,
+                    "expected": row.expected,
+                    "completed": row.completed,
+                }
+                for row in report.rows
+            ],
+            "metrics": report.metrics,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote report to {args.json}")
+    print("\nresult: " + ("ALL INVARIANTS PASS" if report.ok
+                          else "INVARIANT VIOLATION"))
+    return 0 if report.ok else 1
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table1": _cmd_table1,
     "fig06": _cmd_fig06,
@@ -298,6 +372,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print a phase cost breakdown after the run")
     run.add_argument("--telemetry", action="store_true",
                      help="emit per-round overlay repair telemetry (fig11)")
+    run.add_argument("--faults", type=str, default="",
+                     help="layer a named chaos scenario over the run "
+                     "(fig11/fig12; see 'repro chaos --list')")
+    run.add_argument("--fault-severity", type=float, default=None,
+                     help="severity for --faults (default: scenario's own)")
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a query workload under a fault scenario and check the "
+        "resilience invariants",
+    )
+    chaos.add_argument("--scenario", type=str, default="",
+                       help="scenario name (see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    chaos.add_argument("--size", type=int, default=256,
+                       help="network size N (default 256)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--severity", type=float, default=None,
+                       help="fault severity in (0, 1] "
+                       "(default: scenario's own)")
+    chaos.add_argument("--hold", type=float, default=300.0,
+                       help="seconds the fault stays active (default 300)")
+    chaos.add_argument("--recovery", type=float, default=600.0,
+                       help="post-heal measurement window (default 600)")
+    chaos.add_argument("--no-sweep", action="store_true",
+                       help="skip the severity ladder backing the "
+                       "monotonic-degradation invariant")
+    chaos.add_argument("--json", type=str, default="",
+                       help="also write the full report to this JSON file")
     trace = subparsers.add_parser(
         "trace",
         help="issue one traced query on a converged overlay and render "
@@ -327,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.profile:
         profiler = profile.activate()
         try:

@@ -63,6 +63,18 @@ class NodeConfig:
     budget_decay: float = 0.75
     #: Floor for the decayed timeout budget.
     min_timeout: float = 0.5
+    #: Minimum slack, in seconds, between a child's timeout budget and the
+    #: parent's failure timer. The decay margin ``budget * (1 - decay)``
+    #: ignores link latency entirely and shrinks to *zero* once budgets hit
+    #: the ``min_timeout`` floor, so deep branches over slow links time out
+    #: at the parent before the child's own reply can arrive, triggering
+    #: spurious retry storms. The failure timer is therefore never armed
+    #: closer than this headroom to the child's budget. Size it to one
+    #: round trip on the deployment's links and no larger: excess headroom
+    #: compounds down the tree (each floored child waits ``min_timeout +
+    #: headroom`` while its parent only allows one headroom of slack), so
+    #: over-sizing it makes parents abandon live branches.
+    latency_headroom: float = 0.25
     #: Re-forward to an alternate neighbor after a timeout (Section 4.3).
     #: The paper's churn experiments disable this ("the message is dropped")
     #: to avoid biasing delivery measurements.
@@ -81,6 +93,10 @@ class NodeConfig:
     defer_broken_links: Optional[float] = None
     #: Remember this many completed/seen query ids for duplicate detection.
     seen_history: int = 4096
+    #: Forget seen query ids older than this many seconds (None = keep
+    #: until the ``seen_history`` size bound evicts them). A long-running
+    #: node otherwise pins ``seen_history`` dead ids forever.
+    seen_ttl: Optional[float] = None
 
 
 @dataclass
@@ -111,6 +127,9 @@ class _PendingQuery:
     completed: bool = False
     #: Branches parked on a broken link awaiting gossip repair.
     deferred: int = 0
+    #: Live defer-retry timers, so completion can cancel parked branches
+    #: instead of leaking timers that fire into a finished query.
+    defer_timers: List[TimerHandle] = field(default_factory=list)
 
     def idle(self) -> bool:
         """No outstanding forwards and no parked branches."""
@@ -145,7 +164,9 @@ class ResourceNode:
             zero_capacity=self.config.zero_capacity,
         )
         self.pending: Dict[QueryId, _PendingQuery] = {}
-        self._seen: "OrderedDict[QueryId, None]" = OrderedDict()
+        #: Recently seen query ids → last-seen timestamp (LRU order, with
+        #: optional TTL expiry; see :meth:`_remember`).
+        self._seen: "OrderedDict[QueryId, float]" = OrderedDict()
         self._query_counter = itertools.count()
         #: Live, rapidly-changing local state checked against the dynamic
         #: constraints of queries (footnote 1 of the paper). Not gossiped,
@@ -238,7 +259,10 @@ class ResourceNode:
             # Stale links under churn can route a query here twice; the
             # paper observed zero duplicates with a converged overlay, and
             # our property tests assert the same. Reply empty so the parent
-            # does not block, and record the anomaly.
+            # does not block, and record the anomaly. Refresh the seen
+            # entry: an id still being duplicated is the one worth keeping.
+            if query_id in self._seen:
+                self._remember(query_id)
             self.observer.duplicate_query(self.address, query_id)
             self._send_reply(message.sender, query_id, ())
             return
@@ -357,6 +381,10 @@ class ResourceNode:
         dimensions: frozenset,
         slot: Optional[Tuple[int, int]],
     ) -> None:
+        child_budget = max(
+            self.config.min_timeout,
+            state.budget * self.config.budget_decay,
+        )
         message = QueryMessage(
             query_id=query_id,
             sender=self.address,
@@ -365,13 +393,19 @@ class ResourceNode:
             sigma=state.sigma,
             level=level,
             dimensions=dimensions,
-            budget=max(
-                self.config.min_timeout,
-                state.budget * self.config.budget_decay,
-            ),
+            budget=child_budget,
+        )
+        # The failure timer must outlast the child's own budget by enough
+        # to cover the round trip, or the parent declares the neighbor
+        # dead while its (partial) reply is still in flight and re-forwards
+        # — a retry storm under WAN latency. The decay margin provides
+        # that slack at the top of the tree but collapses to zero at the
+        # min_timeout floor, so enforce an explicit clamped headroom.
+        headroom = min(
+            max(self.config.latency_headroom, 0.0), self.config.query_timeout
         )
         timer = self.transport.call_later(
-            state.budget,
+            max(state.budget, child_budget + headroom),
             lambda: self._on_timeout(query_id, neighbor.address),
         )
         state.waiting[neighbor.address] = _Outstanding(
@@ -446,12 +480,19 @@ class ResourceNode:
         sent_dimensions: frozenset,
     ) -> None:
         state.deferred += 1
-        self.transport.call_later(
-            self.config.defer_broken_links,
-            lambda: self._retry_deferred(
-                query_id, slot, sent_level, sent_dimensions
-            ),
-        )
+        handle_box: List[TimerHandle] = []
+
+        def fire() -> None:
+            if handle_box:
+                try:
+                    state.defer_timers.remove(handle_box[0])
+                except ValueError:
+                    pass
+            self._retry_deferred(query_id, slot, sent_level, sent_dimensions)
+
+        handle = self.transport.call_later(self.config.defer_broken_links, fire)
+        handle_box.append(handle)
+        state.defer_timers.append(handle)
 
     def _retry_deferred(
         self,
@@ -489,6 +530,10 @@ class ResourceNode:
             if outstanding.timer is not None:
                 self.transport.cancel(outstanding.timer)
         state.waiting.clear()
+        for timer in state.defer_timers:
+            self.transport.cancel(timer)
+        state.defer_timers.clear()
+        state.deferred = 0
         self.pending.pop(query_id, None)
         descriptors = list(state.matching.values())
         if state.parent is None:
@@ -512,6 +557,40 @@ class ResourceNode:
         )
 
     def _remember(self, query_id: QueryId) -> None:
-        self._seen[query_id] = None
+        now = self.transport.now()
+        self._seen[query_id] = now
+        self._seen.move_to_end(query_id)
+        ttl = self.config.seen_ttl
+        if ttl is not None:
+            horizon = now - ttl
+            while self._seen:
+                oldest_id, stamp = next(iter(self._seen.items()))
+                if stamp >= horizon:
+                    break
+                del self._seen[oldest_id]
         while len(self._seen) > self.config.seen_history:
             self._seen.popitem(last=False)
+
+    # -- crash-restart ----------------------------------------------------------------
+
+    def restart(self) -> None:
+        """Forget all in-flight query state after a crash-restart.
+
+        The routing table is deliberately *kept*, stale links and all: a
+        restarted node rejoins under the same identity with whatever view
+        of the overlay it had at crash time, and must rely on gossip
+        repair and its neighbors' timeout machinery to become useful
+        again — the Section 6.6 recovery story, but for process restarts
+        rather than population turnover. Pending queries and the seen set
+        die with the process, exactly as they would in a real restart.
+        """
+        for state in self.pending.values():
+            state.completed = True
+            for outstanding in state.waiting.values():
+                if outstanding.timer is not None:
+                    self.transport.cancel(outstanding.timer)
+            for timer in state.defer_timers:
+                self.transport.cancel(timer)
+        self.pending.clear()
+        self._seen.clear()
+        self.dynamic_values.clear()

@@ -142,3 +142,14 @@ class DirectTransport(Transport):
     def pending_messages(self) -> int:
         """Number of queued, undelivered messages."""
         return len(self._queue)
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of scheduled, non-cancelled timers.
+
+        Leak-detector hook: after a query completes, every failure timer
+        it armed must have been cancelled or fired, so this returns to
+        zero on a quiescent transport. Cancelled timers still sitting in
+        the heap (they are pruned lazily) do not count.
+        """
+        return sum(1 for timer in self._timers if not timer.cancelled)

@@ -68,8 +68,17 @@ class ExperimentConfig:
         Section 6.6: "if a query cannot be propagated due to a broken link,
         the message is dropped" — the paper deliberately avoids masking
         churn with retries, so the churn figures pass ``False`` here.
+
+        The failure-timer headroom must cover one round trip: PlanetLab's
+        WAN latencies reach ~0.2 s one-way, the LAN-ish testbeds are
+        orders of magnitude below the default.
         """
-        return NodeConfig(query_timeout=20.0, retry_on_timeout=retry_on_timeout)
+        headroom = 0.5 if self.testbed == "planetlab" else 0.25
+        return NodeConfig(
+            query_timeout=20.0,
+            retry_on_timeout=retry_on_timeout,
+            latency_headroom=headroom,
+        )
 
     def scaled(self, network_size: int, **overrides) -> "ExperimentConfig":
         """A copy with a different size (and any other overrides)."""

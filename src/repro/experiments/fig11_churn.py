@@ -17,8 +17,48 @@ from repro.experiments.config import ExperimentConfig, PAPER_PEERSIM
 from repro.experiments.harness import build_deployment
 from repro.experiments.timeline import delivery_timeline
 from repro.sim.churn import ContinuousChurn
+from repro.sim.deployment import Deployment
 from repro.util.rng import derive_rng
 from repro.workloads.distributions import uniform_sampler
+
+
+def _arm_fault_scenario(
+    deployment: Deployment,
+    name: Optional[str],
+    severity: Optional[float],
+    duration: float,
+    seed: int,
+):
+    """Schedule a chaos scenario over the middle third of the window.
+
+    Returns a zero-arg *heal* callable that is safe to invoke after the
+    run regardless of whether the scenario ever activated.
+    """
+    if name is None:
+        return lambda: None
+    from repro.faults.scenarios import apply_scenario
+
+    box: Dict[str, object] = {}
+    start = deployment.simulator.now + duration / 3.0
+    end = deployment.simulator.now + 2.0 * duration / 3.0
+
+    def _arm() -> None:
+        box["active"] = apply_scenario(
+            deployment,
+            name,
+            severity=severity,
+            heal_at=end,
+            rng=derive_rng(seed, "fault-scenario"),
+        )
+
+    def _heal() -> None:
+        active = box.get("active")
+        if active is not None:
+            active.stop()
+
+    deployment.simulator.schedule_at(start, _arm)
+    deployment.simulator.schedule_at(end, _heal)
+    return _heal
 
 
 def run(
@@ -28,6 +68,8 @@ def run(
     duration: float = 1_500.0,
     churn_interval: float = 10.0,
     query_interval: float = 30.0,
+    fault_scenario: Optional[str] = None,
+    fault_severity: Optional[float] = None,
 ) -> List[Dict[str, float]]:
     """Run one churn scenario; returns the ``{time, delivery}`` series."""
     rows, _ = run_with_telemetry(
@@ -38,6 +80,8 @@ def run(
         churn_interval=churn_interval,
         query_interval=query_interval,
         telemetry=False,
+        fault_scenario=fault_scenario,
+        fault_severity=fault_severity,
     )
     return rows
 
@@ -51,6 +95,8 @@ def run_with_telemetry(
     query_interval: float = 30.0,
     telemetry: bool = True,
     telemetry_interval: Optional[float] = None,
+    fault_scenario: Optional[str] = None,
+    fault_severity: Optional[float] = None,
 ) -> Tuple[List[Dict[str, float]], List[Dict[str, float]]]:
     """Churn scenario with per-round convergence telemetry.
 
@@ -60,6 +106,11 @@ def run_with_telemetry(
     view-quality distance, and links repaired/broken since the previous
     sample, the fig11 time-series view of overlay self-repair. With
     ``telemetry=False`` the probe is skipped and the second list is empty.
+
+    *fault_scenario* layers a named chaos scenario (see
+    :mod:`repro.faults.scenarios`) on top of the churn: it activates over
+    the middle third of the measured window and heals afterwards, so each
+    run shows healthy, faulted, and recovering thirds in one series.
     """
     cfg = config or PAPER_PEERSIM
     schema = cfg.schema()
@@ -90,6 +141,9 @@ def run_with_telemetry(
         rng=derive_rng(cfg.seed, "churn"),
     )
     churn.start()
+    heal = _arm_fault_scenario(
+        deployment, fault_scenario, fault_severity, duration, cfg.seed
+    )
     rows = delivery_timeline(
         deployment,
         metrics,
@@ -99,6 +153,7 @@ def run_with_telemetry(
         selectivity=cfg.selectivity,
         seed=cfg.seed,
     )
+    heal()
     churn.stop()
     if probe is not None:
         probe.stop()

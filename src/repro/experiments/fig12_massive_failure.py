@@ -26,11 +26,19 @@ def run(
     before: float = 120.0,
     after: float = 1_200.0,
     query_interval: float = 30.0,
+    fault_scenario: Optional[str] = None,
+    fault_severity: Optional[float] = None,
 ) -> List[Dict[str, float]]:
     """Run one failure scenario; rows carry ``{time, delivery}``.
 
     The failure fires at ``warmup + before``; the timeline covers *before*
     seconds of steady state plus *after* seconds of recovery.
+
+    *fault_scenario* layers a named chaos scenario (see
+    :mod:`repro.faults.scenarios`) on top of the massive failure, active
+    from the failure instant until halfway through the recovery window —
+    recovery then has to fight the substrate fault as well as the dead
+    population.
     """
     cfg = config or PAPER_PEERSIM
     deployment, metrics = build_deployment(
@@ -44,6 +52,14 @@ def run(
         rng=derive_rng(cfg.seed, "failure"),
     )
     failure.arm()
+    heal = _arm_fault_scenario(
+        deployment,
+        fault_scenario,
+        fault_severity,
+        start=failure_time,
+        end=failure_time + after / 2.0,
+        seed=cfg.seed,
+    )
     rows = delivery_timeline(
         deployment,
         metrics,
@@ -53,6 +69,36 @@ def run(
         selectivity=cfg.selectivity,
         seed=cfg.seed,
     )
+    heal()
     for row in rows:
         row["after_failure"] = row["time"] >= failure_time
     return rows
+
+
+def _arm_fault_scenario(
+    deployment, name, severity, start: float, end: float, seed: int
+):
+    """Schedule a named chaos scenario over ``[start, end)``."""
+    if name is None:
+        return lambda: None
+    from repro.faults.scenarios import apply_scenario
+
+    box: Dict[str, object] = {}
+
+    def _arm() -> None:
+        box["active"] = apply_scenario(
+            deployment,
+            name,
+            severity=severity,
+            heal_at=end,
+            rng=derive_rng(seed, "fault-scenario"),
+        )
+
+    def _heal() -> None:
+        active = box.get("active")
+        if active is not None:
+            active.stop()
+
+    deployment.simulator.schedule_at(start, _arm)
+    deployment.simulator.schedule_at(end, _heal)
+    return _heal

@@ -1,0 +1,572 @@
+"""Resilience harness: run a query workload under a chaos scenario.
+
+``run_chaos`` builds a gossiping deployment, lets it converge, then drives
+a periodic query workload through three phases — *pre* (healthy baseline),
+*fault* (the named scenario active) and *recovery* (after healing) — and
+finally drains the simulator to quiescence. On the way it checks four
+resilience invariants, with evidence gathered through the observability
+stack (:class:`~repro.obs.tracer.TraceRecorder`,
+:class:`~repro.obs.registry.MetricsRegistry`,
+:class:`~repro.metrics.collectors.MetricsCollector`):
+
+I1 **termination** — every issued query either completes at its origin or
+   is accounted for (the origin crashed while it was in flight). Nothing
+   hangs silently.
+I2 **no leaks** — after the drain, every live node has an empty pending
+   table, no parked branches, a bounded seen-set, and the simulator's
+   event queue is empty: no timer or state survives its query.
+I3 **no double counting** — duplicate deliveries (injected or organic)
+   never inflate a result: candidate sets contain each node at most once,
+   every reported match actually received the query, and delivery never
+   exceeds 1.0.
+I4 **monotonic degradation** — re-running the fault phase across a ladder
+   of severities, mean delivery does not *increase* with severity (within
+   a slack for workload noise): the system degrades gracefully instead of
+   falling off a cliff at some severity.
+
+The ``repro chaos`` CLI subcommand is a thin wrapper over this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.descriptors import Address
+from repro.core.messages import QueryId
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import build_deployment
+from repro.faults.scenarios import SCENARIOS, ActiveScenario, apply_scenario
+from repro.metrics.collectors import MetricsCollector
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import TraceRecorder
+from repro.sim.deployment import Deployment
+from repro.util.rng import derive_rng
+from repro.workloads.queries import aligned_selectivity_query
+
+#: Bound on drain passes: each pass stops every maintenance stack and runs
+#: the simulator dry; restarts landing mid-pass re-arm gossip, so we sweep
+#: until truly idle (two passes in practice).
+_MAX_DRAIN_PASSES = 5
+_DRAIN_EVENT_BUDGET = 5_000_000
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one chaos run (scenario specs may override some)."""
+
+    size: int = 256
+    seed: int = 7
+    #: None = use the scenario's default severity.
+    severity: Optional[float] = None
+    testbed: str = "peersim"
+    selectivity: float = 0.125
+    query_interval: float = 30.0
+    #: Gossip convergence time before any measurement.
+    warmup: float = 240.0
+    #: Healthy-baseline window before the fault starts.
+    pre: float = 90.0
+    #: How long the fault stays active.
+    hold: float = 300.0
+    #: Post-heal window (the paper's recovery measurements live here).
+    recovery: float = 600.0
+    #: Extra settle time before the leak check.
+    drain_grace: float = 60.0
+    #: Run the severity ladder backing invariant I4.
+    sweep: bool = True
+    #: Shorter windows for the ladder runs (they only need fault-phase
+    #: delivery, not the full recovery tail).
+    sweep_pre: float = 60.0
+    sweep_hold: float = 180.0
+    sweep_recovery: float = 120.0
+    #: Tolerated delivery *increase* between adjacent ladder severities.
+    monotonic_slack: float = 0.12
+
+
+@dataclass
+class QueryRow:
+    """One workload query: issue-time context plus measured outcome."""
+
+    time: float
+    phase: str
+    query_id: QueryId
+    origin: Address
+    expected: int
+    delivery: float
+    completed: bool
+    origin_crashed: bool
+
+
+@dataclass
+class InvariantResult:
+    """Verdict for one resilience invariant."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Everything ``run_chaos`` measured and concluded."""
+
+    scenario: str
+    severity: float
+    seed: int
+    size: int
+    rows: List[QueryRow]
+    invariants: List[InvariantResult]
+    #: Network/fault-layer accounting (messages_lost vs dropped_dead etc).
+    counters: Dict[str, int]
+    #: Snapshot of the shared metrics registry (gossip + chaos series).
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: (severity, mean fault-phase delivery) pairs from the I4 ladder.
+    sweep_deliveries: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every invariant passed."""
+        return all(result.passed for result in self.invariants)
+
+    def mean_delivery(self, phase: Optional[str] = None) -> float:
+        """Mean delivery over all rows, or over one phase's rows."""
+        rows = [
+            row for row in self.rows if phase is None or row.phase == phase
+        ]
+        if not rows:
+            return 0.0
+        return sum(row.delivery for row in rows) / len(rows)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report for the CLI."""
+        lines = [
+            f"scenario {self.scenario} severity={self.severity:g} "
+            f"size={self.size} seed={self.seed}",
+            "phase deliveries: "
+            + "  ".join(
+                f"{phase}={self.mean_delivery(phase):.3f}"
+                for phase in ("pre", "fault", "recovery")
+            ),
+        ]
+        for key in (
+            "messages_sent",
+            "messages_lost",
+            "messages_lost_injected",
+            "messages_dropped_dead",
+            "messages_duplicated",
+        ):
+            lines.append(f"  {key}: {self.counters.get(key, 0)}")
+        if self.sweep_deliveries:
+            ladder = "  ".join(
+                f"s={severity:g}:{delivery:.3f}"
+                for severity, delivery in self.sweep_deliveries
+            )
+            lines.append(f"severity ladder: {ladder}")
+        for result in self.invariants:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(f"[{status}] {result.name}: {result.detail}")
+        return lines
+
+
+@dataclass
+class _Episode:
+    """Raw artefacts of one simulated chaos episode."""
+
+    deployment: Deployment
+    metrics: MetricsCollector
+    tracer: TraceRecorder
+    registry: MetricsRegistry
+    rows: List[QueryRow]
+    crashed: Set[Address]
+    active: ActiveScenario
+    drained: bool
+    leftover_events: int
+
+
+def _issue_queries(
+    deployment: Deployment,
+    phase: str,
+    start: float,
+    duration: float,
+    interval: float,
+    selectivity: float,
+    rng,
+    issued: List[dict],
+    registry: MetricsRegistry,
+    origins: Optional[Set[Address]] = None,
+) -> None:
+    """Fire-and-forget one query every *interval* seconds for *duration*."""
+    queries = registry.counter("chaos.queries_issued")
+    time = start
+    end = start + duration
+    while time < end:
+        deployment.simulator.run(until=time)
+        alive = deployment.alive_hosts()
+        if origins:
+            preferred = [host for host in alive if host.address in origins]
+            alive = preferred or alive
+        if not alive:
+            break
+        query = aligned_selectivity_query(deployment.schema, selectivity, rng)
+        expected = {
+            descriptor.address
+            for descriptor in deployment.matching_descriptors(query)
+        }
+        origin = rng.choice(alive)
+        query_id = origin.issue_query(query)  # no sigma: measure spread
+        queries.inc()
+        issued.append(
+            {
+                "time": time,
+                "phase": phase,
+                "query_id": query_id,
+                "origin": origin.address,
+                "expected": expected,
+            }
+        )
+        time += interval
+
+
+def _drain(deployment: Deployment, grace: float) -> Tuple[bool, int]:
+    """Run the deployment to quiescence; returns (drained, leftover).
+
+    Stops every gossip stack and churn-free periodic source, then runs the
+    event queue dry. Crash-restart scenarios can re-arm maintenance from a
+    restart event that was still in flight, so the stop-and-run sweep
+    repeats until the queue is genuinely empty.
+    """
+    deployment.run(grace)
+    for _ in range(_MAX_DRAIN_PASSES):
+        for host in deployment.hosts.values():
+            if host.maintenance is not None:
+                host.maintenance.stop()
+        deployment.simulator.run_until_idle(max_events=_DRAIN_EVENT_BUDGET)
+        if deployment.simulator.pending_events == 0:
+            return True, 0
+    return False, deployment.simulator.pending_events
+
+
+def _run_episode(
+    scenario: str,
+    severity: Optional[float],
+    config: ChaosConfig,
+    pre: float,
+    hold: float,
+    recovery: float,
+    seed_salt: str = "main",
+) -> _Episode:
+    """Build a deployment, run the three phases, drain, and measure."""
+    registry = MetricsRegistry()
+    tracer = TraceRecorder()
+    experiment = ExperimentConfig(
+        network_size=config.size, seed=config.seed, testbed=config.testbed
+    )
+    deployment, metrics = build_deployment(
+        experiment,
+        gossip=True,
+        # Section 6.6 measures delivery with retries disabled; the chaos
+        # invariants must hold in that harsher mode too.
+        retry_on_timeout=False,
+        warmup=config.warmup,
+        extra_observers=(tracer,),
+        registry=registry,
+    )
+    tracer.bind_clock(lambda: deployment.simulator.now)
+    crashed: Set[Address] = set()
+
+    def _watch(host, event: str) -> None:
+        if event == "fail":
+            crashed.add(host.address)
+
+    for host in deployment.hosts.values():
+        host.watch(_watch)
+
+    workload_rng = derive_rng(config.seed, f"chaos-workload:{seed_salt}")
+    fault_rng = derive_rng(config.seed, f"chaos-faults:{seed_salt}")
+    issued: List[dict] = []
+
+    start = deployment.simulator.now
+    _issue_queries(
+        deployment, "pre", start, pre, config.query_interval,
+        config.selectivity, workload_rng, issued, registry,
+    )
+    deployment.simulator.run(until=start + pre)
+    fault_start = deployment.simulator.now
+    active = apply_scenario(
+        deployment,
+        scenario,
+        severity=severity,
+        heal_at=fault_start + hold,
+        rng=fault_rng,
+    )
+    _issue_queries(
+        deployment, "fault", fault_start, hold, config.query_interval,
+        config.selectivity, workload_rng, issued, registry,
+        origins=active.preferred_origins,
+    )
+    deployment.simulator.run(until=fault_start + hold)
+    active.stop()
+    heal_time = deployment.simulator.now
+    _issue_queries(
+        deployment, "recovery", heal_time, recovery, config.query_interval,
+        config.selectivity, workload_rng, issued, registry,
+    )
+    deployment.simulator.run(until=heal_time + recovery)
+    drained, leftover = _drain(deployment, config.drain_grace)
+
+    delivery_metric = registry.histogram("chaos.delivery")
+    rows: List[QueryRow] = []
+    for item in issued:
+        query_id = item["query_id"]
+        expected = item["expected"]
+        record = metrics.records.get(query_id)
+        delivery = record.delivery(expected) if record else 0.0
+        delivery_metric.observe(delivery)
+        rows.append(
+            QueryRow(
+                time=item["time"],
+                phase=item["phase"],
+                query_id=query_id,
+                origin=item["origin"],
+                expected=len(expected),
+                delivery=delivery,
+                completed=bool(record and record.completed),
+                origin_crashed=item["origin"] in crashed,
+            )
+        )
+    return _Episode(
+        deployment=deployment,
+        metrics=metrics,
+        tracer=tracer,
+        registry=registry,
+        rows=rows,
+        crashed=crashed,
+        active=active,
+        drained=drained,
+        leftover_events=leftover,
+    )
+
+
+# -- invariant checks ---------------------------------------------------------------
+
+
+def _check_termination(episode: _Episode) -> InvariantResult:
+    """I1: every issued query completed or its origin is accounted dead."""
+    hanging = [
+        row.query_id
+        for row in episode.rows
+        if not row.completed and not row.origin_crashed
+    ]
+    completed = sum(1 for row in episode.rows if row.completed)
+    accounted = sum(
+        1 for row in episode.rows if not row.completed and row.origin_crashed
+    )
+    if hanging:
+        sample = ", ".join(str(query_id) for query_id in hanging[:5])
+        return InvariantResult(
+            "termination",
+            False,
+            f"{len(hanging)}/{len(episode.rows)} queries neither completed "
+            f"nor accounted (e.g. {sample})",
+        )
+    return InvariantResult(
+        "termination",
+        True,
+        f"{completed} completed, {accounted} accounted to crashed origins, "
+        f"0 hanging of {len(episode.rows)} issued",
+    )
+
+
+def _check_no_leaks(episode: _Episode) -> InvariantResult:
+    """I2: empty pending tables, no parked branches, empty event queue."""
+    problems: List[str] = []
+    if not episode.drained:
+        problems.append(
+            f"simulator not drained ({episode.leftover_events} events left)"
+        )
+    pending_nodes = 0
+    parked = 0
+    oversize_seen = 0
+    for host in episode.deployment.alive_hosts():
+        node = host.node
+        if node.pending:
+            pending_nodes += 1
+        parked += sum(
+            state.deferred + len(state.defer_timers)
+            for state in node.pending.values()
+        )
+        if len(node._seen) > node.config.seen_history:
+            oversize_seen += 1
+    if pending_nodes:
+        problems.append(f"{pending_nodes} nodes with non-empty pending tables")
+    if parked:
+        problems.append(f"{parked} parked branches / defer timers")
+    if oversize_seen:
+        problems.append(f"{oversize_seen} nodes with oversize seen-sets")
+    if problems:
+        return InvariantResult("no-leaks", False, "; ".join(problems))
+    return InvariantResult(
+        "no-leaks",
+        True,
+        "all pending tables empty, no defer timers, event queue empty "
+        "after drain",
+    )
+
+
+def _check_no_double_counting(episode: _Episode) -> InvariantResult:
+    """I3: duplicate delivery never inflates results or delivery."""
+    problems: List[str] = []
+    duplicates_seen = 0
+    for row in episode.rows:
+        record = episode.metrics.records.get(row.query_id)
+        if record is None:
+            continue
+        duplicates_seen += record.duplicates
+        if row.delivery > 1.0 + 1e-9:
+            problems.append(f"{row.query_id}: delivery {row.delivery:.3f} > 1")
+        if record.result is None:
+            continue
+        addresses = [descriptor.address for descriptor in record.result]
+        if len(addresses) != len(set(addresses)):
+            problems.append(f"{row.query_id}: duplicate nodes in result")
+        ghosts = set(addresses) - record.received_by - {row.origin}
+        if ghosts:
+            problems.append(
+                f"{row.query_id}: {len(ghosts)} result nodes never "
+                "received the query"
+            )
+    if problems:
+        return InvariantResult(
+            "no-double-counting", False, "; ".join(problems[:5])
+        )
+    injected = episode.active.injected_duplicates
+    return InvariantResult(
+        "no-double-counting",
+        True,
+        f"results consistent across {len(episode.rows)} queries "
+        f"({injected} duplicate copies injected, {duplicates_seen} "
+        "duplicate receptions suppressed)",
+    )
+
+
+def _check_monotonic(
+    ladder: Sequence[Tuple[float, float]], slack: float
+) -> InvariantResult:
+    """I4: fault-phase delivery non-increasing along the severity ladder."""
+    if len(ladder) < 2:
+        return InvariantResult(
+            "monotonic-degradation", True, "severity sweep skipped"
+        )
+    violations = [
+        f"s={low:g}->{high:g}: {d_low:.3f}->{d_high:.3f}"
+        for (low, d_low), (high, d_high) in zip(ladder, ladder[1:])
+        if d_high > d_low + slack
+    ]
+    readout = "  ".join(f"s={s:g}:{d:.3f}" for s, d in ladder)
+    if violations:
+        return InvariantResult(
+            "monotonic-degradation",
+            False,
+            f"delivery rose with severity ({'; '.join(violations)})",
+        )
+    return InvariantResult(
+        "monotonic-degradation",
+        True,
+        f"delivery non-increasing within slack {slack:g} ({readout})",
+    )
+
+
+# -- entry point ---------------------------------------------------------------------
+
+
+def _effective_config(scenario: str, config: ChaosConfig) -> ChaosConfig:
+    """Apply the scenario's overrides to fields still at their defaults."""
+    spec = SCENARIOS[scenario]
+    if not spec.overrides:
+        return config
+    defaults = ChaosConfig()
+    updates = {
+        name: value
+        for name, value in spec.overrides.items()
+        if getattr(config, name) == getattr(defaults, name)
+    }
+    return dataclasses.replace(config, **updates) if updates else config
+
+
+def run_chaos(
+    scenario: str, config: Optional[ChaosConfig] = None
+) -> ChaosReport:
+    """Run *scenario* under *config* and evaluate the four invariants."""
+    config = _effective_config(scenario, config or ChaosConfig())
+    spec = SCENARIOS[scenario]
+    severity = (
+        spec.default_severity if config.severity is None else config.severity
+    )
+
+    episode = _run_episode(
+        scenario, severity, config, config.pre, config.hold, config.recovery
+    )
+
+    ladder: List[Tuple[float, float]] = []
+    if config.sweep:
+        for step in spec.sweep:
+            sweep_episode = _run_episode(
+                scenario,
+                step,
+                config,
+                config.sweep_pre,
+                config.sweep_hold,
+                config.sweep_recovery,
+                seed_salt=f"sweep:{step:g}",
+            )
+            fault_rows = [
+                row for row in sweep_episode.rows if row.phase == "fault"
+            ]
+            delivery = (
+                sum(row.delivery for row in fault_rows) / len(fault_rows)
+                if fault_rows
+                else 0.0
+            )
+            ladder.append((step, delivery))
+
+    invariants = [
+        _check_termination(episode),
+        _check_no_leaks(episode),
+        _check_no_double_counting(episode),
+        _check_monotonic(ladder, config.monotonic_slack),
+    ]
+
+    network = episode.deployment.network
+    counters: Dict[str, int] = {
+        "messages_sent": network.messages_sent,
+        "messages_delivered": network.messages_delivered,
+        "messages_lost": network.messages_lost,
+        "messages_lost_injected": network.messages_lost_injected,
+        "messages_dropped_dead": network.messages_dropped_dead,
+        "messages_duplicated": network.messages_duplicated,
+        "crashed_hosts": len(episode.crashed),
+    }
+    if episode.active.schedule is not None:
+        counters["injected_drops"] = episode.active.schedule.injected_drops
+        counters["injected_duplicates"] = (
+            episode.active.schedule.injected_duplicates
+        )
+        counters["injected_delays"] = episode.active.schedule.delayed
+    for driver in episode.active.drivers:
+        for attribute in ("crashes", "restarts"):
+            value = getattr(driver, attribute, None)
+            if value is not None:
+                counters[attribute] = value
+
+    return ChaosReport(
+        scenario=scenario,
+        severity=severity,
+        seed=config.seed,
+        size=config.size,
+        rows=episode.rows,
+        invariants=invariants,
+        counters=counters,
+        metrics=episode.registry.snapshot(),
+        sweep_deliveries=ladder,
+    )

@@ -1,0 +1,350 @@
+"""Fault primitives and their composition into a schedule.
+
+Each :class:`Fault` inspects one message about to be transferred and
+returns an :class:`Effect`: drop it, delay it, or deliver extra copies.
+A :class:`FaultSchedule` composes several faults — drops win, extra
+delays add up, duplicates multiply — and is installed on a
+:class:`~repro.sim.network.SimNetwork` via
+:meth:`~repro.sim.network.SimNetwork.install_faults`, so the protocol
+stack above never knows it is being sabotaged.
+
+All faults are windowed (``start``/``end`` in simulated seconds) so a
+scenario can script "partition at t=300, heal at t=600" style timelines;
+an ``end`` of ``None`` means the fault never clears on its own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.core.descriptors import Address
+
+#: Directed link key: (sender, receiver).
+Link = Tuple[Address, Address]
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One fault's verdict on one message."""
+
+    drop: bool = False
+    #: Extra delay (seconds) added to every copy of the message.
+    extra_delay: float = 0.0
+    #: Extra delays, one per *additional* copy to deliver (duplication).
+    copy_delays: Tuple[float, ...] = ()
+
+
+#: Shared no-op verdict (the common case on the hot path).
+NO_EFFECT = Effect()
+#: Shared drop verdict.
+DROP = Effect(drop=True)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """The composed outcome for one message."""
+
+    drop: bool
+    #: Extra delay per delivered copy (``(0.0,)`` = one on-time copy).
+    delays: Tuple[float, ...] = (0.0,)
+
+
+#: Shared pass-through outcome.
+PASS = Delivery(drop=False)
+#: Shared dropped outcome.
+DROPPED = Delivery(drop=True, delays=())
+
+
+class Fault:
+    """Base class: a windowed, per-message failure mode."""
+
+    def __init__(self, start: float = 0.0, end: Optional[float] = None) -> None:
+        if end is not None and end < start:
+            raise ValueError(f"fault window ends before it starts ({end} < {start})")
+        self.start = start
+        self.end = end
+
+    def active(self, now: float) -> bool:
+        """True while the fault window covers *now*."""
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def apply(
+        self,
+        sender: Address,
+        receiver: Address,
+        now: float,
+        rng: random.Random,
+    ) -> Effect:
+        """Judge one message (only called while :meth:`active`)."""
+        raise NotImplementedError
+
+
+class PartitionFault(Fault):
+    """Group partition: messages crossing group boundaries are dropped.
+
+    *groups* maps each address to a group id; addresses not listed (e.g.
+    nodes that join mid-partition) fall into group 0. ``end`` is the heal
+    time: from then on the fault is inert and traffic flows again.
+    """
+
+    def __init__(
+        self,
+        groups: Mapping[Address, int],
+        start: float = 0.0,
+        heal_at: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=heal_at)
+        self.groups = dict(groups)
+
+    @classmethod
+    def isolate(
+        cls,
+        addresses: Iterable[Address],
+        fraction: float,
+        rng: random.Random,
+        start: float = 0.0,
+        heal_at: Optional[float] = None,
+    ) -> "PartitionFault":
+        """Split *fraction* of the addresses into a minority island."""
+        pool = sorted(addresses)
+        count = int(round(len(pool) * fraction))
+        island = set(rng.sample(pool, min(count, len(pool))))
+        groups = {address: (1 if address in island else 0) for address in pool}
+        return cls(groups, start=start, heal_at=heal_at)
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        if self.groups.get(sender, 0) != self.groups.get(receiver, 0):
+            return DROP
+        return NO_EFFECT
+
+
+class LinkLossFault(Fault):
+    """Per-link *directed* loss rates (asymmetric by construction).
+
+    ``rates[(a, b)]`` is the loss probability for messages a→b; the
+    reverse direction b→a uses its own entry (or *default*). This models
+    the asymmetric paths real WANs exhibit, which uniform ``loss_rate``
+    cannot.
+    """
+
+    def __init__(
+        self,
+        rates: Mapping[Link, float],
+        default: float = 0.0,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=end)
+        for link, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate for {link} out of [0, 1]: {rate}")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default loss rate out of [0, 1]: {default}")
+        self.rates = dict(rates)
+        self.default = default
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        rate = self.rates.get((sender, receiver), self.default)
+        if rate and rng.random() < rate:
+            return DROP
+        return NO_EFFECT
+
+
+class GilbertElliottFault(Fault):
+    """Two-state Markov (Gilbert-Elliott) burst loss, one chain per link.
+
+    Each directed link carries an independent good/bad chain advanced per
+    message: in the good state messages drop with *loss_good* (usually 0),
+    in the bad state with *loss_bad* (usually 1), and the chain flips with
+    *p_enter_burst* / *p_exit_burst*. Bursts of consecutive losses are
+    what break timeout machinery that uniform loss never exercises.
+    """
+
+    def __init__(
+        self,
+        p_enter_burst: float = 0.05,
+        p_exit_burst: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=end)
+        for name, p in (
+            ("p_enter_burst", p_enter_burst),
+            ("p_exit_burst", p_exit_burst),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {p}")
+        self.p_enter_burst = p_enter_burst
+        self.p_exit_burst = p_exit_burst
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        #: Links currently in the bad (burst) state.
+        self._bursting: Set[Link] = set()
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        link = (sender, receiver)
+        if link in self._bursting:
+            if rng.random() < self.p_exit_burst:
+                self._bursting.discard(link)
+                rate = self.loss_good
+            else:
+                rate = self.loss_bad
+        elif rng.random() < self.p_enter_burst:
+            self._bursting.add(link)
+            rate = self.loss_bad
+        else:
+            rate = self.loss_good
+        if rate and rng.random() < rate:
+            return DROP
+        return NO_EFFECT
+
+
+class LatencySpikeFault(Fault):
+    """Every message in the window arrives *extra* (+ jitter) late.
+
+    With jitter larger than the inter-message spacing this also reorders
+    messages, since copies scheduled later can overtake earlier ones.
+    """
+
+    def __init__(
+        self,
+        extra: float,
+        jitter: float = 0.0,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=end)
+        if extra < 0 or jitter < 0:
+            raise ValueError("latency spike must be non-negative")
+        self.extra = extra
+        self.jitter = jitter
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        delay = self.extra + (rng.random() * self.jitter if self.jitter else 0.0)
+        return Effect(extra_delay=delay)
+
+
+class StragglerFault(Fault):
+    """Messages touching a straggler node are slowed by *extra* seconds.
+
+    Models overloaded or badly-connected hosts: every message to or from
+    a listed address pays the penalty, in both directions.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Address],
+        extra: float,
+        jitter: float = 0.0,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=end)
+        if extra < 0 or jitter < 0:
+            raise ValueError("straggler penalty must be non-negative")
+        self.nodes = set(nodes)
+        self.extra = extra
+        self.jitter = jitter
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        if sender in self.nodes or receiver in self.nodes:
+            delay = self.extra + (
+                rng.random() * self.jitter if self.jitter else 0.0
+            )
+            return Effect(extra_delay=delay)
+        return NO_EFFECT
+
+
+class DuplicateFault(Fault):
+    """Randomly duplicate messages; the copy arrives late (reordered).
+
+    With probability *rate* a message is delivered twice, the duplicate
+    delayed by up to *delay_spread* extra seconds. Exercises the
+    duplicate-suppression and idempotent-merge paths that an exactly-once
+    simulator never touches.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        delay_spread: float = 0.1,
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> None:
+        super().__init__(start=start, end=end)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"duplication rate out of [0, 1]: {rate}")
+        if delay_spread < 0:
+            raise ValueError("delay_spread must be non-negative")
+        self.rate = rate
+        self.delay_spread = delay_spread
+
+    def apply(self, sender, receiver, now, rng) -> Effect:
+        if self.rate and rng.random() < self.rate:
+            return Effect(copy_delays=(rng.random() * self.delay_spread,))
+        return NO_EFFECT
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered composition of faults plus injection accounting.
+
+    Composition rules: the first active fault that drops wins; extra
+    delays accumulate across faults and apply to every copy; each
+    duplication adds one more copy. Counters record what was injected so
+    experiment reports can separate *injected* failures from organic ones.
+    """
+
+    faults: list = field(default_factory=list)
+    injected_drops: int = 0
+    injected_duplicates: int = 0
+    delayed: int = 0
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        """Append a fault; returns self for chaining."""
+        self.faults.append(fault)
+        return self
+
+    def active_faults(self, now: float) -> list:
+        """The faults whose windows cover *now*."""
+        return [fault for fault in self.faults if fault.active(now)]
+
+    def apply(
+        self,
+        sender: Address,
+        receiver: Address,
+        message: object,
+        now: float,
+        rng: random.Random,
+    ) -> Delivery:
+        """Judge one message against every active fault."""
+        extra = 0.0
+        copies: list = []
+        touched = False
+        for fault in self.faults:
+            if not fault.active(now):
+                continue
+            effect = fault.apply(sender, receiver, now, rng)
+            if effect.drop:
+                self.injected_drops += 1
+                return DROPPED
+            if effect.extra_delay:
+                extra += effect.extra_delay
+                touched = True
+            if effect.copy_delays:
+                copies.extend(effect.copy_delays)
+                touched = True
+        if not touched:
+            return PASS
+        if copies:
+            self.injected_duplicates += len(copies)
+        if extra:
+            self.delayed += 1
+        delays = (extra,) + tuple(extra + copy for copy in copies)
+        return Delivery(drop=False, delays=delays)

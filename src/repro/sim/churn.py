@@ -9,6 +9,9 @@ These drive the experiments of Sections 6.6 and 6.7:
   network (Fig. 12).
 * :class:`RepeatedFailure` — the PlanetLab stress test: kill 10% of the
   network every 20 minutes *without replacement* (Fig. 13).
+* :class:`CrashRestartChurn` — process restarts rather than population
+  turnover: victims come back after a downtime under the *same* identity
+  with their stale routing state (the chaos suite's recovery scenario).
 """
 
 from __future__ import annotations
@@ -66,6 +69,70 @@ class ContinuousChurn:
             self.events += 1
             if self.rejoin:
                 self.deployment.join(self.sampler(self.rng), rng=self.rng)
+        self.deployment.simulator.schedule(self.interval, self._tick)
+
+
+class CrashRestartChurn:
+    """Rate-based crash-and-recover churn (same identity, stale state).
+
+    Every *interval* seconds a fraction of the live nodes crash; each
+    victim restarts *downtime* seconds later via
+    :meth:`~repro.sim.host.SimHost.restart`, keeping its address and its
+    now-stale routing table. This models flaky processes (OOM-kills,
+    reboots) as opposed to :class:`ContinuousChurn`'s permanent
+    leave-and-rejoin-as-new population turnover.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        rate: float,
+        interval: float = 10.0,
+        downtime: float = 30.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"churn rate must be in [0, 1), got {rate}")
+        if downtime <= 0:
+            raise ValueError(f"downtime must be positive, got {downtime}")
+        self.deployment = deployment
+        self.rate = rate
+        self.interval = interval
+        self.downtime = downtime
+        self.rng = rng or random.Random(23)
+        self.crashes = 0
+        self.restarts = 0
+        self._running = False
+        self._carry = 0.0
+
+    def start(self) -> None:
+        """Begin the crash/restart schedule."""
+        self._running = True
+        self.deployment.simulator.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop future crashes (already-scheduled restarts still happen)."""
+        self._running = False
+
+    def _restart(self, host) -> None:
+        if not host.alive:
+            host.restart()
+            self.restarts += 1
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        alive = self.deployment.alive_hosts()
+        exact = len(alive) * self.rate + self._carry
+        count = int(exact)
+        self._carry = exact - count
+        victims = self.rng.sample(alive, min(count, len(alive)))
+        for host in victims:
+            host.fail()
+            self.crashes += 1
+            self.deployment.simulator.schedule(
+                self.downtime, lambda host=host: self._restart(host)
+            )
         self.deployment.simulator.schedule(self.interval, self._tick)
 
 

@@ -170,6 +170,9 @@ class Deployment:
         if event == "fail":
             self.index.discard(host.address)
             self._alive.pop(host.address, None)
+        elif event == "restart":  # same identity, back in the ground truth
+            self._alive[host.address] = host
+            self.index.add(host.descriptor)
         else:  # attribute update: re-bucket the new descriptor
             if host.alive:
                 self.index.add(host.descriptor)
@@ -235,6 +238,12 @@ class Deployment:
         host = self.hosts.get(address)
         if host is not None and host.alive:
             host.fail()
+
+    def restart(self, address: Address) -> None:
+        """Bring a crashed host back under its original identity."""
+        host = self.hosts.get(address)
+        if host is not None and not host.alive:
+            host.restart()
 
     def kill_fraction(
         self, fraction: float, rng: Optional[random.Random] = None

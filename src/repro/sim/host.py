@@ -100,10 +100,11 @@ class SimHost:
         """Register a lifecycle watcher.
 
         *callback* is invoked with ``(host, event)`` where event is
-        ``"fail"`` (the host crashed) or ``"update"`` (its attributes —
-        and thus its descriptor — changed). The deployment uses this to
-        keep its cell index and alive caches consistent even when
-        ``fail()`` is called directly, e.g. by the churn scenarios.
+        ``"fail"`` (the host crashed), ``"restart"`` (it came back under
+        the same identity) or ``"update"`` (its attributes — and thus its
+        descriptor — changed). The deployment uses this to keep its cell
+        index and alive caches consistent even when ``fail()`` is called
+        directly, e.g. by the churn scenarios.
         """
         self._watchers.append(callback)
 
@@ -126,6 +127,26 @@ class SimHost:
         if self.maintenance is not None:
             self.maintenance.stop()
         self._notify("fail")
+
+    def restart(self) -> None:
+        """Crash-recovery: rejoin under the *same* identity.
+
+        Unlike :meth:`~repro.sim.deployment.Deployment.join` (a fresh
+        node), a restarted host keeps its address and its now-stale
+        routing table, but loses every in-flight query — exactly what a
+        process restart looks like. Timers armed before the crash stay
+        dead (the network bumps the host's incarnation on re-attach), and
+        gossip maintenance resumes from the stale views, which is the
+        repair path the paper's churn experiments exercise.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.network.attach(self.address, self.handle_message)
+        self.node.restart()
+        if self.maintenance is not None:
+            self.maintenance.start()
+        self._notify("restart")
 
     def update_attributes(self, values: Mapping[str, AttributeValue]) -> None:
         """Change this node's attributes in place (no registry involved)."""

@@ -4,14 +4,25 @@ The network owns node liveness. Messages to a node that is dead at
 *delivery* time vanish silently — exactly how an ungraceful departure looks
 to the rest of a real system. Per-message latency comes from a pluggable
 :data:`~repro.sim.latency.LatencyModel`; optional uniform message loss
-models an unreliable wide-area substrate.
+models an unreliable wide-area substrate, and a pluggable fault layer
+(:mod:`repro.faults`) can script partitions, burst loss, stragglers and
+message duplication on top.
+
+Loss accounting separates the two ways a message can die:
+
+* ``messages_lost`` — substrate loss (uniform ``loss_rate`` plus any
+  injected fault drops), i.e. the network ate the message;
+* ``messages_dropped_dead`` — the message arrived, but the receiver had
+  crashed. Conflating the two skews overhead/traffic accounting under
+  churn (crashes masquerade as a lossy substrate), so they are reported
+  separately.
 """
 
 from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, Optional, Protocol, Set
 
 from repro.core.descriptors import Address
 from repro.core.transport import TimerHandle, Transport
@@ -19,6 +30,21 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.latency import LatencyModel, constant_latency
 
 MessageHandler = Callable[[Address, Any], None]
+
+
+class FaultLayer(Protocol):
+    """Anything that can judge a message (see :mod:`repro.faults.model`)."""
+
+    def apply(
+        self,
+        sender: Address,
+        receiver: Address,
+        message: Any,
+        now: float,
+        rng: random.Random,
+    ) -> Any:
+        """Judge one delivery; returns a Delivery (drop flag + delay list)."""
+        ...
 
 
 class SimNetwork:
@@ -39,9 +65,22 @@ class SimNetwork:
         self.rng = rng or random.Random(0)
         self._handlers: Dict[Address, MessageHandler] = {}
         self._alive: Set[Address] = set()
+        #: Per-address attach generation; bumped on every (re)attach so
+        #: timers armed before a crash cannot fire into the next life of
+        #: a restarted node (see :meth:`SimTransport.call_later`).
+        self._incarnations: Dict[Address, int] = {}
+        #: Scripted fault injection (None = healthy substrate).
+        self.faults: Optional[FaultLayer] = None
         self.messages_sent = 0
         self.messages_delivered = 0
+        #: Messages eaten by the substrate (uniform loss + injected drops).
         self.messages_lost = 0
+        #: Of ``messages_lost``, how many were injected by the fault layer.
+        self.messages_lost_injected = 0
+        #: Messages that arrived at a crashed (detached) receiver.
+        self.messages_dropped_dead = 0
+        #: Extra copies delivered by the fault layer's duplication.
+        self.messages_duplicated = 0
         #: Messages sent, keyed by message class name (traffic accounting).
         self.type_counts: Counter = Counter()
         #: Per-sender message counts by class name.
@@ -53,6 +92,7 @@ class SimNetwork:
         """Register a live host and its message handler."""
         self._handlers[address] = handler
         self._alive.add(address)
+        self._incarnations[address] = self._incarnations.get(address, 0) + 1
 
     def detach(self, address: Address) -> None:
         """Remove a host (crash): all traffic to it is silently dropped."""
@@ -63,10 +103,24 @@ class SimNetwork:
         """True if *address* is currently attached."""
         return address in self._alive
 
+    def incarnation(self, address: Address) -> int:
+        """The attach generation of *address* (0 = never attached)."""
+        return self._incarnations.get(address, 0)
+
     @property
     def alive_addresses(self) -> Set[Address]:
         """Snapshot of the currently live addresses."""
         return set(self._alive)
+
+    # -- fault injection -----------------------------------------------------------
+
+    def install_faults(self, layer: Optional[FaultLayer]) -> None:
+        """Install (or, with None, remove) a scripted fault layer."""
+        self.faults = layer
+
+    def clear_faults(self) -> None:
+        """Remove the fault layer (the substrate heals instantly)."""
+        self.faults = None
 
     # -- transfer ---------------------------------------------------------------------
 
@@ -79,14 +133,31 @@ class SimNetwork:
             self.messages_lost += 1
             return
         delay = self.latency(sender, receiver, self.rng)
-        self.simulator.schedule(
-            delay, lambda: self._deliver(sender, receiver, message)
+        if self.faults is None:
+            self.simulator.schedule(
+                delay, lambda: self._deliver(sender, receiver, message)
+            )
+            return
+        delivery = self.faults.apply(
+            sender, receiver, message, self.simulator.now, self.rng
         )
+        if delivery.drop:
+            self.messages_lost += 1
+            self.messages_lost_injected += 1
+            return
+        self.messages_duplicated += len(delivery.delays) - 1
+        for extra in delivery.delays:
+            self.simulator.schedule(
+                delay + extra,
+                lambda: self._deliver(sender, receiver, message),
+            )
 
     def _deliver(self, sender: Address, receiver: Address, message: Any) -> None:
         handler = self._handlers.get(receiver)
         if handler is None:
-            self.messages_lost += 1
+            # The receiver crashed while the message was in flight: this
+            # is a crash drop, not substrate loss — account it apart.
+            self.messages_dropped_dead += 1
             return
         self.messages_delivered += 1
         handler(sender, message)
@@ -96,7 +167,10 @@ class SimTransport(Transport):
     """Per-node :class:`Transport` view over the shared network.
 
     Timer callbacks are suppressed once the owning node has been detached,
-    so a crashed node's pending timeouts cannot resurrect protocol activity.
+    so a crashed node's pending timeouts cannot resurrect protocol
+    activity. Each timer is also pinned to the node's attach incarnation:
+    a timer armed before a crash stays dead even after the node restarts
+    under the same address, instead of firing into the fresh process state.
     """
 
     def __init__(self, network: SimNetwork, address: Address) -> None:
@@ -112,8 +186,13 @@ class SimTransport(Transport):
     def call_later(
         self, delay: float, callback: Callable[[], None]
     ) -> TimerHandle:
+        incarnation = self.network.incarnation(self.address)
+
         def guarded() -> None:
-            if self.network.is_alive(self.address):
+            if (
+                self.network.is_alive(self.address)
+                and self.network.incarnation(self.address) == incarnation
+            ):
                 callback()
 
         return self.network.simulator.schedule(delay, guarded)

@@ -1,0 +1,98 @@
+"""Regression tests for the retry-timer latency headroom in _send_query.
+
+The failure timer used to be armed at ``max(budget, child_budget)``. Once
+budgets decay to the ``min_timeout`` floor, parent and child budgets are
+equal, so the parent's timer carried *zero* slack for the link round trip:
+over a slow link the parent declared the neighbor dead while the reply was
+still in flight, dropped the branch, and lost its results. The fix adds an
+explicit ``latency_headroom`` (clamped to ``query_timeout``) on top of the
+child's budget.
+"""
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.node import NodeConfig, ResourceNode
+from repro.core.query import Query
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.latency import constant_latency
+from repro.sim.network import SimNetwork, SimTransport
+
+#: One-way link latency. The round trip (0.6 s) exceeds the 0.5 s floored
+#: budget, which is exactly the regime where the unprotected timer misfired.
+LATENCY = 0.3
+
+
+def build_pair(config):
+    simulator = Simulator()
+    network = SimNetwork(simulator, latency=constant_latency(LATENCY))
+    schema = AttributeSchema.regular(
+        [numeric("d0", 0, 8), numeric("d1", 0, 8)], max_level=3
+    )
+    descriptors = [
+        NodeDescriptor.build(0, schema, {"d0": 0.5, "d1": 0.5}),
+        NodeDescriptor.build(1, schema, {"d0": 7.5, "d1": 7.5}),
+    ]
+    metrics = MetricsCollector()
+    nodes = []
+    for descriptor in descriptors:
+        transport = SimTransport(network, descriptor.address)
+        node = ResourceNode(
+            descriptor, schema, transport, config=config, observer=metrics
+        )
+        node.routing.bulk_load(descriptors)
+        network.attach(descriptor.address, node.handle_message)
+        nodes.append(node)
+    return simulator, network, schema, metrics, nodes
+
+
+def issue(simulator, schema, origin):
+    results = {}
+    origin.issue_query(
+        Query.where(schema, d0=(7, None)),
+        on_complete=lambda qid, found: results.update(qid=qid, found=found),
+    )
+    simulator.run_until_idle()
+    return results
+
+
+class TestHeadroomRegression:
+    def test_zero_headroom_reproduces_the_spurious_timeout(self):
+        # Pre-fix behavior, reproduced by disabling the headroom: budget
+        # floored at 0.5 s, reply lands at 0.6 s, timer fires at 0.5 s.
+        config = NodeConfig(query_timeout=0.5, latency_headroom=0.0)
+        simulator, network, schema, metrics, nodes = build_pair(config)
+        results = issue(simulator, schema, nodes[0])
+        record = metrics.records[results["qid"]]
+        assert record.timeouts > 0  # neighbor falsely declared dead
+        assert results["found"] == []  # in-flight reply was discarded
+
+    def test_default_headroom_waits_out_the_round_trip(self):
+        # Same topology and budgets: the fix alone flips the outcome.
+        config = NodeConfig(query_timeout=0.5)
+        simulator, network, schema, metrics, nodes = build_pair(config)
+        results = issue(simulator, schema, nodes[0])
+        record = metrics.records[results["qid"]]
+        assert record.timeouts == 0
+        assert [d.address for d in results["found"]] == [1]
+
+    def test_headroom_does_not_slow_dead_neighbor_detection_unboundedly(self):
+        # The headroom is clamped to query_timeout so a misconfigured value
+        # cannot stall failure detection for minutes.
+        config = NodeConfig(query_timeout=0.5, latency_headroom=100.0)
+        simulator, network, schema, metrics, nodes = build_pair(config)
+        network.detach(1)
+        results = issue(simulator, schema, nodes[0])
+        assert results["found"] == []  # completed despite the dead neighbor
+        # budget (0.5) + clamped headroom (0.5): fired at 1.0 s, not 100.5 s.
+        assert simulator.now < 2.0
+
+    def test_deep_chain_keeps_headroom_at_the_budget_floor(self):
+        # child_budget stays >= min_timeout forever; the timer must keep a
+        # round trip of slack at every depth, not only at the first hop.
+        config = NodeConfig(query_timeout=0.5, latency_headroom=0.5)
+        simulator, network, schema, metrics, nodes = build_pair(config)
+        results = issue(simulator, schema, nodes[0])
+        assert results["found"]  # sanity: delivery still works
+        record = metrics.records[results["qid"]]
+        assert record.timeouts == 0

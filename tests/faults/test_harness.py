@@ -1,0 +1,164 @@
+"""End-to-end tests of the chaos harness and its resilience invariants."""
+
+import pytest
+
+from repro.faults.harness import (
+    ChaosConfig,
+    _check_monotonic,
+    _effective_config,
+    run_chaos,
+)
+
+#: Small-but-real configuration: big enough for the overlay to converge,
+#: small enough for the tier-1 suite.
+QUICK = ChaosConfig(
+    size=64,
+    seed=7,
+    warmup=120.0,
+    pre=60.0,
+    hold=120.0,
+    recovery=180.0,
+    sweep=False,
+)
+
+
+@pytest.fixture(scope="module")
+def partition_report():
+    return run_chaos("partition-50", QUICK)
+
+
+class TestInvariants:
+    def test_partition_passes_all_invariants(self, partition_report):
+        report = partition_report
+        assert report.ok, [r.detail for r in report.invariants if not r.passed]
+        assert [r.name for r in report.invariants] == [
+            "termination",
+            "no-leaks",
+            "no-double-counting",
+            "monotonic-degradation",
+        ]
+
+    def test_partition_dents_fault_phase_delivery(self, partition_report):
+        report = partition_report
+        assert report.mean_delivery("pre") > 0.95
+        assert report.mean_delivery("fault") < report.mean_delivery("pre")
+        assert report.mean_delivery("recovery") > 0.9
+
+    def test_injected_drops_accounted_as_substrate_loss(
+        self, partition_report
+    ):
+        counters = partition_report.counters
+        assert counters["injected_drops"] > 0
+        assert counters["messages_lost_injected"] == counters["messages_lost"]
+        # Nobody crashed in a pure partition: no dead-receiver drops.
+        assert counters["messages_dropped_dead"] == 0
+        assert counters["crashed_hosts"] == 0
+
+    def test_duplicate_storm_exercises_suppression(self):
+        report = run_chaos("duplicate-storm", QUICK)
+        assert report.ok, [r.detail for r in report.invariants if not r.passed]
+        assert report.counters["injected_duplicates"] > 0
+        assert report.counters["messages_duplicated"] > 0
+        # Delivery is unharmed: duplicates are suppressed, not counted.
+        assert report.mean_delivery("fault") > 0.95
+
+    def test_crash_restart_counts_dead_drops_separately(self):
+        report = run_chaos("crash-restart", QUICK)
+        assert report.ok, [r.detail for r in report.invariants if not r.passed]
+        assert report.counters["crashes"] > 0
+        assert report.counters["restarts"] == report.counters["crashes"]
+        assert report.counters["messages_dropped_dead"] > 0
+        assert report.counters["messages_lost"] == 0
+
+
+class TestFig12Shape:
+    def test_massive_50_recovers_like_fig12(self):
+        # The paper: "in the case of 50% simultaneous node failures, the
+        # system needs only 15 minutes to recover completely." Queries
+        # issued ~15 simulated minutes after the kill must again reach
+        # (nearly) every live matching node.
+        config = ChaosConfig(
+            size=64, seed=7, warmup=180.0, pre=60.0, sweep=False
+        )
+        report = run_chaos("massive-50", config)
+        assert report.ok, [r.detail for r in report.invariants if not r.passed]
+        # Scenario overrides kick in: short hold, 960 s recovery window.
+        fault_start = min(
+            row.time for row in report.rows if row.phase != "pre"
+        )
+        tail = [
+            row.delivery
+            for row in report.rows
+            if row.time >= fault_start + 900.0
+        ]
+        assert tail, "recovery window too short to cover the 15-minute mark"
+        assert sum(tail) / len(tail) >= 0.9
+
+    def test_massive_50_dips_right_after_the_kill(self):
+        config = ChaosConfig(
+            size=64, seed=7, warmup=180.0, pre=60.0, sweep=False
+        )
+        report = run_chaos("massive-50", config)
+        fault_rows = [row for row in report.rows if row.phase == "fault"]
+        assert fault_rows
+        assert min(row.delivery for row in fault_rows) < 1.0
+
+
+class TestSeveritySweep:
+    def test_burst_loss_ladder_is_monotone(self):
+        # Burst loss scales per-message drop probability smoothly with
+        # severity, so even a short ladder separates the rungs cleanly
+        # (a partition ladder at this size is dominated by which nodes
+        # happened to be islanded).
+        config = ChaosConfig(
+            size=64,
+            seed=7,
+            warmup=120.0,
+            pre=40.0,
+            hold=120.0,
+            recovery=90.0,
+            sweep=True,
+            sweep_pre=40.0,
+            sweep_hold=120.0,
+            sweep_recovery=60.0,
+        )
+        report = run_chaos("burst-loss", config)
+        assert len(report.sweep_deliveries) == 3
+        monotonic = next(
+            r for r in report.invariants if r.name == "monotonic-degradation"
+        )
+        assert monotonic.passed, monotonic.detail
+        deliveries = [d for _, d in report.sweep_deliveries]
+        assert deliveries[0] > deliveries[-1]  # severe hurts more than mild
+
+
+class TestMonotonicCheck:
+    def test_short_ladder_is_vacuously_true(self):
+        assert _check_monotonic([], 0.1).passed
+        assert _check_monotonic([(0.5, 0.9)], 0.1).passed
+
+    def test_rising_delivery_fails(self):
+        result = _check_monotonic([(0.2, 0.5), (0.8, 0.9)], 0.1)
+        assert not result.passed
+        assert "rose" in result.detail
+
+    def test_slack_tolerates_noise(self):
+        assert _check_monotonic([(0.2, 0.80), (0.8, 0.85)], 0.1).passed
+
+
+class TestConfigOverrides:
+    def test_scenario_overrides_apply_to_default_fields(self):
+        config = _effective_config("massive-50", ChaosConfig())
+        assert config.hold == 60.0
+        assert config.recovery == 960.0
+
+    def test_user_settings_beat_scenario_overrides(self):
+        config = _effective_config(
+            "massive-50", ChaosConfig(hold=45.0, recovery=300.0)
+        )
+        assert config.hold == 45.0
+        assert config.recovery == 300.0
+
+    def test_scenarios_without_overrides_keep_config(self):
+        config = ChaosConfig(hold=77.0)
+        assert _effective_config("burst-loss", config) is config

@@ -1,0 +1,209 @@
+"""Unit tests for the fault primitives and their composition."""
+
+import random
+
+import pytest
+
+from repro.faults.model import (
+    DROPPED,
+    PASS,
+    DuplicateFault,
+    Fault,
+    FaultSchedule,
+    GilbertElliottFault,
+    LatencySpikeFault,
+    LinkLossFault,
+    PartitionFault,
+    StragglerFault,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(11)
+
+
+class TestWindows:
+    def test_active_within_window_only(self):
+        fault = LatencySpikeFault(extra=1.0, start=10.0, end=20.0)
+        assert not fault.active(9.9)
+        assert fault.active(10.0)
+        assert fault.active(19.9)
+        assert not fault.active(20.0)
+
+    def test_open_ended_window(self):
+        fault = LatencySpikeFault(extra=1.0, start=5.0)
+        assert fault.active(1e9)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Fault(start=10.0, end=5.0)
+
+
+class TestPartition:
+    def test_cross_group_messages_drop(self, rng):
+        fault = PartitionFault({1: 0, 2: 0, 3: 1})
+        assert fault.apply(1, 3, 0.0, rng).drop
+        assert fault.apply(3, 2, 0.0, rng).drop
+        assert not fault.apply(1, 2, 0.0, rng).drop
+
+    def test_unlisted_addresses_fall_into_group_zero(self, rng):
+        fault = PartitionFault({3: 1})
+        assert not fault.apply(7, 8, 0.0, rng).drop
+        assert fault.apply(7, 3, 0.0, rng).drop
+
+    def test_isolate_splits_a_fraction(self, rng):
+        fault = PartitionFault.isolate(range(100), fraction=0.3, rng=rng)
+        island = [a for a, g in fault.groups.items() if g == 1]
+        assert len(island) == 30
+
+    def test_heal_at_ends_the_partition(self, rng):
+        fault = PartitionFault({1: 0, 2: 1}, start=0.0, heal_at=50.0)
+        schedule = FaultSchedule().add(fault)
+        assert schedule.apply(1, 2, "m", 10.0, rng).drop
+        assert not schedule.apply(1, 2, "m", 60.0, rng).drop
+
+
+class TestLinkLoss:
+    def test_loss_is_directed(self, rng):
+        fault = LinkLossFault({(1, 2): 1.0})
+        assert fault.apply(1, 2, 0.0, rng).drop
+        assert not fault.apply(2, 1, 0.0, rng).drop
+
+    def test_default_rate_applies_to_unlisted_links(self, rng):
+        fault = LinkLossFault({}, default=1.0)
+        assert fault.apply(5, 6, 0.0, rng).drop
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            LinkLossFault({(1, 2): 1.5})
+        with pytest.raises(ValueError):
+            LinkLossFault({}, default=-0.1)
+
+
+class TestGilbertElliott:
+    def test_no_bursts_means_no_loss(self, rng):
+        fault = GilbertElliottFault(p_enter_burst=0.0, loss_good=0.0)
+        assert all(
+            not fault.apply(1, 2, 0.0, rng).drop for _ in range(100)
+        )
+
+    def test_permanent_burst_drops_everything(self, rng):
+        fault = GilbertElliottFault(
+            p_enter_burst=1.0, p_exit_burst=0.0, loss_bad=1.0
+        )
+        assert all(fault.apply(1, 2, 0.0, rng).drop for _ in range(100))
+
+    def test_losses_come_in_bursts(self):
+        rng = random.Random(42)
+        fault = GilbertElliottFault(p_enter_burst=0.05, p_exit_burst=0.3)
+        outcomes = [fault.apply(1, 2, 0.0, rng).drop for _ in range(2000)]
+        losses = sum(outcomes)
+        runs = sum(
+            1
+            for i, dropped in enumerate(outcomes)
+            if dropped and (i == 0 or not outcomes[i - 1])
+        )
+        assert losses > 0
+        # Mean burst length must exceed 1: that is the whole point of the
+        # Gilbert-Elliott model vs uniform loss.
+        assert losses / runs > 1.5
+
+    def test_chains_are_per_link(self):
+        rng = random.Random(3)
+        fault = GilbertElliottFault(p_enter_burst=1.0, p_exit_burst=0.0)
+        fault.apply(1, 2, 0.0, rng)
+        assert (1, 2) in fault._bursting
+        assert (2, 1) not in fault._bursting
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottFault(p_enter_burst=1.5)
+
+
+class TestDelays:
+    def test_latency_spike_delays_within_bounds(self, rng):
+        fault = LatencySpikeFault(extra=0.5, jitter=0.2)
+        for _ in range(50):
+            effect = fault.apply(1, 2, 0.0, rng)
+            assert 0.5 <= effect.extra_delay <= 0.7
+            assert not effect.drop
+
+    def test_straggler_only_penalises_listed_nodes(self, rng):
+        fault = StragglerFault([5], extra=1.0)
+        assert fault.apply(5, 6, 0.0, rng).extra_delay == 1.0
+        assert fault.apply(6, 5, 0.0, rng).extra_delay == 1.0
+        assert fault.apply(6, 7, 0.0, rng).extra_delay == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySpikeFault(extra=-1.0)
+        with pytest.raises(ValueError):
+            StragglerFault([1], extra=1.0, jitter=-0.5)
+
+
+class TestDuplicate:
+    def test_duplicates_at_rate_one(self, rng):
+        fault = DuplicateFault(rate=1.0, delay_spread=0.1)
+        effect = fault.apply(1, 2, 0.0, rng)
+        assert len(effect.copy_delays) == 1
+        assert 0.0 <= effect.copy_delays[0] <= 0.1
+
+    def test_no_duplicates_at_rate_zero(self, rng):
+        fault = DuplicateFault(rate=0.0)
+        assert fault.apply(1, 2, 0.0, rng).copy_delays == ()
+
+
+class TestSchedule:
+    def test_empty_schedule_passes_everything(self, rng):
+        schedule = FaultSchedule()
+        assert schedule.apply(1, 2, "m", 0.0, rng) is PASS
+
+    def test_first_drop_wins_and_counts(self, rng):
+        schedule = (
+            FaultSchedule()
+            .add(LinkLossFault({}, default=1.0))
+            .add(LatencySpikeFault(extra=5.0))
+        )
+        delivery = schedule.apply(1, 2, "m", 0.0, rng)
+        assert delivery is DROPPED
+        assert schedule.injected_drops == 1
+        assert schedule.delayed == 0
+
+    def test_delays_accumulate_across_faults(self, rng):
+        schedule = (
+            FaultSchedule()
+            .add(LatencySpikeFault(extra=0.3))
+            .add(LatencySpikeFault(extra=0.2))
+        )
+        delivery = schedule.apply(1, 2, "m", 0.0, rng)
+        assert delivery.delays == (0.5,)
+        assert schedule.delayed == 1
+
+    def test_duplication_adds_delayed_copies(self, rng):
+        schedule = (
+            FaultSchedule()
+            .add(LatencySpikeFault(extra=1.0))
+            .add(DuplicateFault(rate=1.0, delay_spread=0.1))
+        )
+        delivery = schedule.apply(1, 2, "m", 0.0, rng)
+        assert len(delivery.delays) == 2
+        assert delivery.delays[0] == 1.0
+        assert delivery.delays[1] >= 1.0  # copy inherits the base delay
+        assert schedule.injected_duplicates == 1
+
+    def test_inactive_faults_are_skipped(self, rng):
+        schedule = FaultSchedule().add(
+            LinkLossFault({}, default=1.0, start=100.0, end=200.0)
+        )
+        assert not schedule.apply(1, 2, "m", 50.0, rng).drop
+        assert schedule.apply(1, 2, "m", 150.0, rng).drop
+        assert not schedule.apply(1, 2, "m", 250.0, rng).drop
+
+    def test_active_faults_listing(self):
+        early = LatencySpikeFault(extra=1.0, start=0.0, end=10.0)
+        late = LatencySpikeFault(extra=1.0, start=20.0, end=30.0)
+        schedule = FaultSchedule().add(early).add(late)
+        assert schedule.active_faults(5.0) == [early]
+        assert schedule.active_faults(25.0) == [late]
+        assert schedule.active_faults(15.0) == []

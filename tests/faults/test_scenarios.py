@@ -1,0 +1,138 @@
+"""Tests for the named scenario registry and its deployment wiring."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import build_deployment
+from repro.faults.scenarios import SCENARIOS, apply_scenario, scenario_names
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def deployment_factory():
+    def build(size=32, gossip=False, warmup=0.0, seed=3):
+        config = ExperimentConfig(network_size=size, seed=seed)
+        deployment, metrics = build_deployment(
+            config, gossip=gossip, warmup=warmup
+        )
+        return deployment, metrics
+
+    return build
+
+
+class TestRegistry:
+    def test_all_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "partition-50",
+            "burst-loss",
+            "flaky-links",
+            "stragglers",
+            "duplicate-storm",
+            "crash-restart",
+            "massive-50",
+            "wan-degraded",
+        ):
+            assert expected in names
+
+    def test_specs_have_summaries_and_severities(self):
+        for spec in SCENARIOS.values():
+            assert spec.summary
+            assert 0.0 < spec.default_severity <= 1.0
+            assert all(0.0 < s <= 1.0 for s in spec.sweep)
+
+    def test_unknown_scenario_raises(self, deployment_factory):
+        deployment, _ = deployment_factory()
+        with pytest.raises(KeyError):
+            apply_scenario(deployment, "no-such-scenario")
+
+    def test_severity_validated(self, deployment_factory):
+        deployment, _ = deployment_factory()
+        with pytest.raises(ValueError):
+            apply_scenario(deployment, "burst-loss", severity=1.5)
+
+
+class TestPartitionScenario:
+    def test_installs_schedule_and_mainland_origins(self, deployment_factory):
+        deployment, _ = deployment_factory()
+        active = apply_scenario(
+            deployment, "partition-50", severity=0.5, heal_at=100.0,
+            rng=derive_rng(1, "t"),
+        )
+        assert deployment.network.faults is active.schedule
+        assert active.preferred_origins is not None
+        assert len(active.preferred_origins) == 16  # mainland half
+        active.stop()
+        assert deployment.network.faults is None
+
+    def test_stop_is_idempotent(self, deployment_factory):
+        deployment, _ = deployment_factory()
+        active = apply_scenario(deployment, "burst-loss")
+        active.stop()
+        active.stop()
+        assert deployment.network.faults is None
+
+
+class TestMassiveScenario:
+    def test_kills_fraction_immediately(self, deployment_factory):
+        deployment, _ = deployment_factory()
+        before = len(deployment.alive_hosts())
+        apply_scenario(deployment, "massive-50", severity=0.5)
+        after = len(deployment.alive_hosts())
+        assert after == before - round(before * 0.5)
+
+
+class TestCrashRestartScenario:
+    def test_victims_restart_with_same_identity(self, deployment_factory):
+        deployment, _ = deployment_factory(gossip=True, warmup=60.0)
+        addresses_before = {h.address for h in deployment.alive_hosts()}
+        active = apply_scenario(
+            deployment, "crash-restart", severity=1.0,
+            rng=derive_rng(2, "t"),
+        )
+        churn = active.drivers[0]
+        deployment.run(120.0)
+        active.stop()
+        assert churn.crashes > 0
+        deployment.run(60.0)  # let outstanding restarts land
+        assert churn.restarts == churn.crashes
+        # Same identities as before: nothing joined, everything came back.
+        assert {
+            h.address for h in deployment.alive_hosts()
+        } == addresses_before
+
+
+class TestFaultedQueries:
+    def test_partition_reduces_delivery_and_heals(self, deployment_factory):
+        from repro.workloads.queries import aligned_selectivity_query
+
+        deployment, metrics = deployment_factory()
+        rng = derive_rng(9, "queries")
+
+        def measure():
+            query = aligned_selectivity_query(deployment.schema, 0.25, rng)
+            expected = {
+                d.address for d in deployment.matching_descriptors(query)
+            }
+            origin = next(
+                h for h in deployment.alive_hosts()
+                if active is None or h.address in active.preferred_origins
+            )
+            found = deployment.execute_query(query, origin=origin.address)
+            return len(expected), len(
+                {d.address for d in found} & expected
+            )
+
+        active = None
+        expected, reached = measure()
+        assert reached == expected  # healthy baseline finds everything
+        active = apply_scenario(
+            deployment, "partition-50", severity=0.5,
+            rng=derive_rng(4, "t"),
+        )
+        expected, reached = measure()
+        assert reached < expected  # islanders are unreachable
+        active.stop()
+        active = None
+        expected, reached = measure()
+        assert reached == expected  # healed

@@ -1,0 +1,127 @@
+"""Quiescence property: no pending state or live timers survive a drain.
+
+This is invariant I2 of the resilience harness, tested standalone on a
+gossiping deployment under combined substrate loss and churn: after every
+query has been issued and the deployment is drained, every live node's
+pending table is empty, no branch is parked awaiting a deferral timer,
+the seen-set is within its bound, and the simulator's event queue itself
+is dry. Any timer or pending-table leak in the query state machine shows
+up here as a nonzero residue.
+"""
+
+from repro.core.node import NodeConfig
+from repro.faults.harness import _drain
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.churn import ContinuousChurn, CrashRestartChurn
+from repro.sim.deployment import Deployment
+from repro.sim.latency import constant_latency
+from repro.util.rng import derive_rng
+from repro.workloads.distributions import uniform_sampler
+from repro.workloads.queries import aligned_selectivity_query
+
+
+def build_lossy_gossip_deployment(size=96, seed=5, loss_rate=0.15):
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig(network_size=size, seed=seed)
+    schema = config.schema()
+    metrics = MetricsCollector()
+    deployment = Deployment(
+        schema,
+        seed=seed,
+        latency=constant_latency(0.02),
+        loss_rate=loss_rate,
+        node_config=NodeConfig(
+            query_timeout=10.0, min_timeout=0.5, retry_on_timeout=True
+        ),
+        gossip_config=config.gossip_config(),
+        observer=metrics,
+    )
+    deployment.populate(uniform_sampler(schema), size)
+    deployment.start_gossip()
+    deployment.run(120.0)  # converge
+    return deployment, metrics
+
+
+def issue_workload(deployment, rounds, interval, rng):
+    """Fire-and-forget queries from random alive origins while running."""
+    issued = []
+    for _ in range(rounds):
+        origin = rng.choice(deployment.alive_hosts())
+        query = aligned_selectivity_query(deployment.schema, 0.25, rng)
+        issued.append(origin.issue_query(query))
+        deployment.run(interval)
+    return issued
+
+
+def assert_quiescent(deployment):
+    drained, leftover = _drain(deployment, grace=60.0)
+    assert drained, f"{leftover} events still queued after drain"
+    assert deployment.simulator.pending_events == 0
+    for host in deployment.alive_hosts():
+        node = host.node
+        assert node.pending == {}, (
+            f"node {host.address} leaked pending queries: "
+            f"{sorted(node.pending)}"
+        )
+        for state in node.pending.values():
+            assert not state.defer_timers
+        assert len(node._seen) <= node.config.seen_history
+
+
+class TestDrainQuiescence:
+    def test_loss_alone_leaves_no_residue(self):
+        deployment, metrics = build_lossy_gossip_deployment()
+        rng = derive_rng(5, "workload")
+        issued = issue_workload(deployment, rounds=10, interval=15.0, rng=rng)
+        assert_quiescent(deployment)
+        # Loss without churn: every query must have completed at its origin.
+        for query_id in issued:
+            assert metrics.records[query_id].result is not None
+
+    def test_loss_plus_rejoin_churn_leaves_no_residue(self):
+        deployment, metrics = build_lossy_gossip_deployment(seed=6)
+        churn = ContinuousChurn(
+            deployment,
+            rate=0.02,
+            sampler=uniform_sampler(deployment.schema),
+            interval=10.0,
+            rng=derive_rng(6, "churn"),
+        )
+        churn.start()
+        rng = derive_rng(6, "workload")
+        issue_workload(deployment, rounds=12, interval=15.0, rng=rng)
+        churn.stop()
+        assert churn.events > 0  # the run actually churned
+        assert_quiescent(deployment)
+
+    def test_loss_plus_crash_restart_churn_leaves_no_residue(self):
+        deployment, metrics = build_lossy_gossip_deployment(seed=7)
+        crashed_origins = set()
+        for host in deployment.hosts.values():
+            host.watch(
+                lambda h, event: event == "fail"
+                and crashed_origins.add(h.address)
+            )
+        churn = CrashRestartChurn(
+            deployment,
+            rate=0.04,
+            interval=10.0,
+            downtime=25.0,
+            rng=derive_rng(7, "churn"),
+        )
+        churn.start()
+        rng = derive_rng(7, "workload")
+        issued = issue_workload(deployment, rounds=12, interval=15.0, rng=rng)
+        churn.stop()
+        assert churn.crashes > 0
+        assert_quiescent(deployment)
+        # Every query is accounted for: it completed at the origin, or the
+        # origin crashed mid-query (a restart wipes in-flight state, so
+        # its on_complete legitimately never fires). Nothing just hangs.
+        for query_id in issued:
+            record = metrics.records[query_id]
+            assert (
+                record.result is not None
+                or record.origin in crashed_origins
+            )

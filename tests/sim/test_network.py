@@ -29,14 +29,19 @@ class TestDelivery:
         simulator.run(until=0.6)
         assert inbox == [(0, "hello")]
 
-    def test_message_to_detached_node_is_lost(self, simulator, network):
+    def test_message_to_detached_node_counts_as_dead_drop(
+        self, simulator, network
+    ):
         inbox = []
         network.attach(1, lambda sender, msg: inbox.append(msg))
         network.send(0, 1, "a")
         network.detach(1)
         simulator.run_until_idle()
         assert inbox == []
-        assert network.messages_lost == 1
+        assert network.messages_dropped_dead == 1
+        # Regression: crash drops used to masquerade as substrate loss,
+        # conflating churn effects with an unreliable network.
+        assert network.messages_lost == 0
 
     def test_detach_during_flight_drops_message(self, simulator, network):
         inbox = []
@@ -46,6 +51,7 @@ class TestDelivery:
         network.detach(1)  # crash while the message is in flight
         simulator.run_until_idle()
         assert inbox == []
+        assert network.messages_dropped_dead == 1
 
     def test_counters(self, simulator, network):
         network.attach(1, lambda sender, msg: None)
@@ -76,6 +82,25 @@ class TestLoss:
         assert 50 < len(received) < 150
         assert network.messages_lost == 200 - len(received)
 
+    def test_substrate_loss_and_dead_drops_accounted_separately(
+        self, simulator
+    ):
+        network = SimNetwork(
+            simulator,
+            latency=constant_latency(0.01),
+            loss_rate=0.5,
+            rng=random.Random(4),
+        )
+        network.attach(1, lambda sender, msg: None)
+        for i in range(100):
+            network.send(0, 1, i)
+        network.detach(1)  # every surviving message now hits a dead node
+        simulator.run_until_idle()
+        assert network.messages_lost + network.messages_dropped_dead == 100
+        assert network.messages_lost > 0
+        assert network.messages_dropped_dead > 0
+        assert network.messages_delivered == 0
+
 
 class TestLatencyModels:
     def test_lan_is_submillisecond(self):
@@ -96,6 +121,75 @@ class TestLatencyModels:
         samples = [model(i, i + 1, rng) for i in range(200)]
         assert min(samples) >= 0.010
         assert max(samples) <= 0.210 + 0.020
+
+
+class TestFaultInjection:
+    def test_installed_fault_layer_can_drop(self, simulator, network):
+        from repro.faults.model import FaultSchedule, LinkLossFault
+
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append(msg))
+        network.install_faults(
+            FaultSchedule().add(LinkLossFault({(0, 1): 1.0}))
+        )
+        network.send(0, 1, "a")
+        network.send(1, 0, "b")  # reverse direction unaffected
+        simulator.run_until_idle()
+        assert inbox == []
+        assert network.messages_lost == 1
+        assert network.messages_lost_injected == 1
+
+    def test_duplicating_fault_delivers_extra_copies(self, simulator, network):
+        from repro.faults.model import DuplicateFault, FaultSchedule
+
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append(msg))
+        network.install_faults(
+            FaultSchedule().add(DuplicateFault(rate=1.0, delay_spread=0.1))
+        )
+        network.send(0, 1, "a")
+        simulator.run_until_idle()
+        assert inbox == ["a", "a"]
+        assert network.messages_duplicated == 1
+
+    def test_clear_faults_heals_instantly(self, simulator, network):
+        from repro.faults.model import FaultSchedule, LinkLossFault
+
+        inbox = []
+        network.attach(1, lambda sender, msg: inbox.append(msg))
+        network.install_faults(
+            FaultSchedule().add(LinkLossFault({}, default=1.0))
+        )
+        network.send(0, 1, "a")
+        network.clear_faults()
+        network.send(0, 1, "b")
+        simulator.run_until_idle()
+        assert inbox == ["b"]
+
+
+class TestIncarnations:
+    def test_attach_bumps_incarnation(self, network):
+        assert network.incarnation(1) == 0
+        network.attach(1, lambda sender, msg: None)
+        assert network.incarnation(1) == 1
+        network.detach(1)
+        network.attach(1, lambda sender, msg: None)
+        assert network.incarnation(1) == 2
+
+    def test_pre_crash_timer_stays_dead_after_restart(
+        self, simulator, network
+    ):
+        # A timer armed before a crash must not fire into the next life of
+        # a node that restarted under the same address.
+        fired = []
+        network.attach(1, lambda sender, msg: None)
+        transport = SimTransport(network, 1)
+        transport.call_later(1.0, lambda: fired.append("stale"))
+        network.detach(1)
+        network.attach(1, lambda sender, msg: None)  # same identity restart
+        transport.call_later(2.0, lambda: fired.append("fresh"))
+        simulator.run_until_idle()
+        assert fired == ["fresh"]
 
 
 class TestSimTransport:
