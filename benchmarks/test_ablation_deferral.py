@@ -27,12 +27,20 @@ CHURN = 0.002
 
 def run_mode(defer: bool):
     config = ExperimentConfig(network_size=SIZE, seed=37)
+    # Hedged forwards rescue broken-link branches in *both* modes, which
+    # confounds the variable this ablation isolates (defer vs. drop), so
+    # the speculative layer is pinned off here.
     if defer:
         node_config = NodeConfig(
-            query_timeout=20.0, retry_on_timeout=True, defer_broken_links=12.0
+            query_timeout=20.0,
+            retry_on_timeout=True,
+            defer_broken_links=12.0,
+            hedge=False,
         )
     else:
-        node_config = NodeConfig(query_timeout=20.0, retry_on_timeout=False)
+        node_config = NodeConfig(
+            query_timeout=20.0, retry_on_timeout=False, hedge=False
+        )
     deployment, metrics = build_deployment(
         config, gossip=True, node_config=node_config, warmup=300.0
     )

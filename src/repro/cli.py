@@ -278,9 +278,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         sweep=not args.no_sweep,
         hold=args.hold,
         recovery=args.recovery,
+        compare_static=args.compare_static,
     )
     report = run_chaos(args.scenario, config)
     print("\n".join(report.summary_lines()))
+    if args.compare_static:
+        adaptive = report.counters.get("spurious_timeouts", 0)
+        static = report.counters.get("spurious_timeouts_static", 0)
+        saved = static - adaptive
+        percent = (100.0 * saved / static) if static else 0.0
+        print(
+            f"\nI5 delta: {static} spurious timeouts static -> {adaptive} "
+            f"adaptive ({saved:+d} saved, {percent:.0f}% reduction)"
+        )
     if args.json:
         payload = {
             "scenario": report.scenario,
@@ -399,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-sweep", action="store_true",
                        help="skip the severity ladder backing the "
                        "monotonic-degradation invariant")
+    chaos.add_argument("--compare-static", action="store_true",
+                       help="replay the episode with static timers / no "
+                       "hedging and check invariant I5 (adaptive failure "
+                       "detection) against it")
     chaos.add_argument("--json", type=str, default="",
                        help="also write the full report to this JSON file")
     trace = subparsers.add_parser(

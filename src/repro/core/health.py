@@ -1,0 +1,390 @@
+"""Adaptive failure detection: per-neighbor RTT estimation and breakers.
+
+The paper's query routing declares a neighbor failed after a *static*
+timeout ``T(q)`` (Section 4.3). Static timers are brittle: under latency
+spikes and stragglers they fire while the neighbor's reply is still in
+flight (a *spurious* timeout), dropping live branches and re-forwarding
+into retry storms. This module replaces the static detector with the
+standard production trio:
+
+* :class:`RttEstimator` — Jacobson/Karn smoothed RTT plus variance per
+  neighbor, with three robustness twists: it can be *seeded* from the
+  simulation's latency model (a cold estimator falls back to the static
+  timer), a sample far above the current estimate *re-initialises* the
+  filter ("fast up, slow down" — one slow reply is enough to adapt to a
+  latency spike, while recovery decays gently), and timeouts apply Karn
+  exponential backoff that only a genuine sample clears. Samples are
+  Karn-ambiguity-safe by construction: the protocol never retransmits to
+  the same neighbor (retries go to *alternates*), so every reply matched
+  to an outstanding forward measures exactly one exchange.
+* :class:`CircuitBreaker` — per-neighbor three-state breaker: ``closed``
+  until :attr:`~HealthConfig.breaker_threshold` consecutive failures,
+  then ``open`` (the neighbor is not selected for forwards) until
+  :attr:`~HealthConfig.breaker_reset` seconds pass without a failure,
+  then ``half-open`` (eligible for one gossip liveness probe; a success
+  closes it, a failure re-arms the open window).
+* :class:`HealthMonitor` — the per-node facade shared by the query layer
+  (:mod:`repro.core.node`) and gossip maintenance
+  (:mod:`repro.gossip.maintenance`), owning the per-neighbor state and
+  the observability series (rto histograms, breaker gauge, hedge and
+  spurious-timeout counters).
+
+Both consumers feed the same estimators: gossip answer round trips warm
+a neighbor's estimate before any query travels its link, and query reply
+times (which include the neighbor's subtree exploration) dominate once
+traffic flows — which is the quantity the failure timer actually waits
+for.
+
+Per-neighbor samples are sparse — a node exchanges with only a couple of
+peers per gossip cycle, so most neighbors' private estimators have never
+sampled the current network weather when a query needs them. Every sample
+therefore also feeds a node-wide *ambient* estimator, and the timeout and
+hedge estimates take the conservative maximum of the two: a global
+latency spike is caught by the first slow answer from anyone, while a
+single slow neighbor still stands out through its own filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.core.descriptors import Address
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+
+#: Breaker state names (also used in telemetry and tests).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs for RTT estimation, hedging, and circuit breakers."""
+
+    #: Floor for the adaptive retransmission timeout (seconds). Keeps a
+    #: freshly trained estimator over a fast link from arming hair-trigger
+    #: timers that fire on the first scheduling hiccup.
+    rto_min: float = 0.25
+    #: Ceiling for the adaptive timeout: bounds how long a spike-inflated
+    #: estimate can stall failure detection (invariant I1 depends on every
+    #: failure timer eventually firing).
+    rto_max: float = 15.0
+    #: EWMA gain for the smoothed RTT (Jacobson's 1/8).
+    rto_alpha: float = 0.125
+    #: EWMA gain for the mean deviation (Jacobson's 1/4).
+    rto_beta: float = 0.25
+    #: Deviations of slack in the timeout: ``rto = srtt + k * rttvar``.
+    rto_deviations: float = 4.0
+    #: Karn backoff cap: after repeated timeouts the rto is multiplied by
+    #: at most this factor (cleared by the next genuine sample).
+    backoff_cap: float = 8.0
+    #: Deviations used for the hedge delay (a p99-style quantile bound:
+    #: wider than the timeout slack, so hedges fire later than the typical
+    #: reply but well before the failure timer).
+    hedge_deviations: float = 6.0
+    #: Minimum samples before a neighbor's estimate may arm a hedge.
+    hedge_min_samples: int = 3
+    #: The hedge delay never undercuts this fraction of the child's budget
+    #: window: estimators trained on fast exchanges (gossip answers, leaf
+    #: replies) must not speculate against a deep forward whose reply
+    #: legitimately takes longer than any individual round trip.
+    hedge_fraction: float = 0.5
+    #: Consecutive failures that trip a neighbor's breaker open.
+    breaker_threshold: int = 3
+    #: Seconds after the last failure before an open breaker turns
+    #: half-open (eligible for a gossip probe).
+    breaker_reset: float = 30.0
+    #: Optional a-priori round-trip estimate (e.g. from the simulation's
+    #: latency model) used to seed cold estimators. Not counted as a
+    #: sample: hedging stays disabled until real traffic confirms it.
+    initial_rtt: Optional[float] = None
+
+
+class RttEstimator:
+    """Jacobson/Karn RTT filter for one neighbor."""
+
+    __slots__ = ("config", "srtt", "rttvar", "samples", "backoff")
+
+    def __init__(
+        self, config: HealthConfig, initial_rtt: Optional[float] = None
+    ) -> None:
+        self.config = config
+        seed = initial_rtt if initial_rtt is not None else config.initial_rtt
+        #: Smoothed RTT (None until seeded or sampled).
+        self.srtt: Optional[float] = seed
+        #: Smoothed mean deviation.
+        self.rttvar: float = seed / 2.0 if seed is not None else 0.0
+        #: Number of genuine samples observed (seeding does not count).
+        self.samples: int = 0
+        #: Karn multiplier: doubled per timeout, reset by a sample.
+        self.backoff: float = 1.0
+
+    def observe(self, rtt: float) -> None:
+        """Fold one measured round trip into the estimate.
+
+        The first genuine sample (and any sample exceeding the current
+        timeout estimate — "fast up") re-initialises the filter with
+        Jacobson's cold-start rule; everything else is the standard EWMA
+        update. A sample always clears the Karn backoff: the neighbor
+        demonstrably answered.
+        """
+        rtt = max(0.0, rtt)
+        cold = self.samples == 0
+        above = (
+            self.srtt is not None
+            and rtt
+            > self.srtt + self.config.rto_deviations * self.rttvar
+        )
+        if cold or above or self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar += self.config.rto_beta * (
+                abs(self.srtt - rtt) - self.rttvar
+            )
+            self.srtt += self.config.rto_alpha * (rtt - self.srtt)
+        self.samples += 1
+        self.backoff = 1.0
+
+    def on_timeout(self) -> None:
+        """Karn backoff: double the timeout multiplier (capped)."""
+        self.backoff = min(self.backoff * 2.0, self.config.backoff_cap)
+
+    def rto(self) -> Optional[float]:
+        """The retransmission timeout, or None while cold (unseeded)."""
+        if self.srtt is None:
+            return None
+        raw = self.srtt + self.config.rto_deviations * self.rttvar
+        clamped = min(max(raw, self.config.rto_min), self.config.rto_max)
+        return min(clamped * self.backoff, self.config.rto_max)
+
+    def hedge_delay(self) -> Optional[float]:
+        """A p99-style reply-time bound, or None below the sample floor."""
+        if self.samples < self.config.hedge_min_samples or self.srtt is None:
+            return None
+        return self.srtt + self.config.hedge_deviations * self.rttvar
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one neighbor.
+
+    State is derived, not stored: ``closed`` below the failure threshold;
+    at or above it, ``open`` until :attr:`HealthConfig.breaker_reset`
+    seconds pass since the last failure, then ``half-open``. A half-open
+    breaker admits probes; their outcome either closes it (success) or
+    re-arms the open window (failure, which refreshes ``last_failure``).
+    """
+
+    __slots__ = ("config", "failures", "last_failure")
+
+    def __init__(self, config: HealthConfig) -> None:
+        self.config = config
+        #: Consecutive failures since the last success.
+        self.failures: int = 0
+        #: Time of the most recent failure (None = never failed).
+        self.last_failure: Optional[float] = None
+
+    def state(self, now: float) -> str:
+        """Current state name: ``closed``, ``open`` or ``half-open``."""
+        if self.failures < self.config.breaker_threshold:
+            return CLOSED
+        if (
+            self.last_failure is not None
+            and now - self.last_failure >= self.config.breaker_reset
+        ):
+            return HALF_OPEN
+        return OPEN
+
+    def record_failure(self, now: float) -> bool:
+        """Count one failure; True iff this transition tripped it open."""
+        self.failures += 1
+        self.last_failure = now
+        return self.failures == self.config.breaker_threshold
+
+    def record_success(self) -> bool:
+        """Reset on success; True iff a tripped breaker just closed."""
+        was_tripped = self.failures >= self.config.breaker_threshold
+        self.failures = 0
+        self.last_failure = None
+        return was_tripped
+
+
+class HealthMonitor:
+    """Per-node failure-detection state shared by queries and gossip.
+
+    One monitor per node, keyed by neighbor address. The query layer
+    feeds it reply round trips and timeouts; gossip maintenance feeds it
+    answer round trips, answer timeouts, and drives half-open probes.
+    All instruments live in the supplied registry (the shared no-op
+    :data:`~repro.obs.registry.NULL_REGISTRY` by default), so a fleet of
+    monitors aggregates into fleet-wide series.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HealthConfig] = None,
+        initial_rtt: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or HealthConfig()
+        self.initial_rtt = (
+            initial_rtt if initial_rtt is not None else self.config.initial_rtt
+        )
+        self._estimators: Dict[Address, RttEstimator] = {}
+        #: Node-wide estimator fed by every sample: the fallback (and
+        #: conservative companion) for neighbors whose private estimator
+        #: has not sampled the current network weather yet.
+        self._ambient = RttEstimator(self.config, self.initial_rtt)
+        self._breakers: Dict[Address, CircuitBreaker] = {}
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._rtt_hist = registry.histogram("health.rtt")
+        self._rto_hist = registry.histogram("health.rto")
+        self._breaker_opened = registry.counter("health.breaker_opened")
+        self._breaker_closed = registry.counter("health.breaker_closed")
+        self._open_gauge = registry.gauge("health.breakers_open")
+        self._hedges_launched = registry.counter("health.hedges_launched")
+        self._hedges_won = registry.counter("health.hedges_won")
+        self._hedges_lost = registry.counter("health.hedges_lost")
+        self._hedges_cancelled = registry.counter("health.hedges_cancelled")
+        self._spurious = registry.counter("health.spurious_timeouts")
+        self._probes = registry.counter("health.probes_sent")
+
+    # -- per-neighbor state ------------------------------------------------------
+
+    def estimator(self, address: Address) -> RttEstimator:
+        """The (lazily created, possibly seeded) estimator for *address*."""
+        estimator = self._estimators.get(address)
+        if estimator is None:
+            estimator = RttEstimator(self.config, self.initial_rtt)
+            self._estimators[address] = estimator
+        return estimator
+
+    def breaker(self, address: Address) -> CircuitBreaker:
+        """The (lazily created) breaker for *address*."""
+        breaker = self._breakers.get(address)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config)
+            self._breakers[address] = breaker
+        return breaker
+
+    # -- evidence intake ---------------------------------------------------------
+
+    def observe_rtt(self, address: Address, rtt: float) -> None:
+        """A reply/answer round trip for *address*: sample + success."""
+        self._rtt_hist.observe(rtt)
+        self.estimator(address).observe(rtt)
+        self._ambient.observe(rtt)
+        self.record_success(address)
+
+    def record_success(self, address: Address) -> None:
+        """Evidence that *address* is alive (closes a tripped breaker)."""
+        breaker = self._breakers.get(address)
+        if breaker is not None and breaker.record_success():
+            self._breaker_closed.inc()
+            self._open_gauge.add(-1.0)
+
+    def record_failure(self, address: Address, now: float) -> None:
+        """A timeout on *address*: Karn backoff plus a breaker failure."""
+        estimator = self._estimators.get(address)
+        if estimator is not None:
+            estimator.on_timeout()
+        if self.breaker(address).record_failure(now):
+            self._breaker_opened.inc()
+            self._open_gauge.add(1.0)
+
+    # -- consumption -------------------------------------------------------------
+
+    def rto(self, address: Address) -> Optional[float]:
+        """The adaptive failure timeout for *address* (None while cold).
+
+        The conservative maximum of the neighbor's own estimate and the
+        node-wide ambient one: the private filter knows this neighbor's
+        history, the ambient filter knows what the network looks like
+        *right now* (per-pair samples are too sparse to catch a global
+        spike through the private filter alone).
+        """
+        estimator = self._estimators.get(address)
+        candidates = [
+            value
+            for value in (
+                estimator.rto() if estimator is not None else None,
+                self._ambient.rto(),
+            )
+            if value is not None
+        ]
+        if not candidates:
+            return None
+        value = max(candidates)
+        self._rto_hist.observe(value)
+        return value
+
+    def hedge_delay(self, address: Address) -> Optional[float]:
+        """p99-style reply bound for *address* (None below sample floor).
+
+        Like :meth:`rto`, the maximum of the private and ambient bounds —
+        an ambient bound alone (trained network, unsampled neighbor) is
+        enough to speculate against, and under a global spike the ambient
+        term keeps hedges from firing on the network norm.
+        """
+        estimator = self._estimators.get(address)
+        candidates = [
+            value
+            for value in (
+                estimator.hedge_delay() if estimator is not None else None,
+                self._ambient.hedge_delay(),
+            )
+            if value is not None
+        ]
+        return max(candidates) if candidates else None
+
+    def usable(self, address: Address, now: float) -> bool:
+        """False iff the neighbor's breaker is currently open."""
+        breaker = self._breakers.get(address)
+        return breaker is None or breaker.state(now) != OPEN
+
+    def open_addresses(self, now: float) -> Set[Address]:
+        """Addresses whose breaker is currently open (skip for forwards)."""
+        return {
+            address
+            for address, breaker in self._breakers.items()
+            if breaker.state(now) == OPEN
+        }
+
+    def probe_candidate(self, now: float) -> Optional[Address]:
+        """One half-open neighbor due for a liveness probe, if any."""
+        for address, breaker in self._breakers.items():
+            if breaker.state(now) == HALF_OPEN:
+                return address
+        return None
+
+    def breaker_state(self, address: Address, now: float) -> str:
+        """State name of the breaker for *address* (``closed`` if unknown)."""
+        breaker = self._breakers.get(address)
+        return CLOSED if breaker is None else breaker.state(now)
+
+    # -- telemetry taps ----------------------------------------------------------
+
+    def hedge_launched(self) -> None:
+        """Count a speculative forward being sent."""
+        self._hedges_launched.inc()
+
+    def hedge_won(self) -> None:
+        """Count a hedge whose copy answered (it saved the branch)."""
+        self._hedges_won.inc()
+
+    def hedge_lost(self) -> None:
+        """Count a wasted hedge (the primary answered, or the copy died)."""
+        self._hedges_lost.inc()
+
+    def hedge_cancelled(self) -> None:
+        """Count a hedge cancelled by query completion."""
+        self._hedges_cancelled.inc()
+
+    def spurious_timeout(self) -> None:
+        """Count a live-path detected spurious timeout."""
+        self._spurious.inc()
+
+    def probe_sent(self) -> None:
+        """Count a half-open liveness probe issued by gossip."""
+        self._probes.inc()

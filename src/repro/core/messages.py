@@ -51,3 +51,15 @@ class ReplyMessage:
     query_id: QueryId
     sender: Address
     matching: Tuple[NodeDescriptor, ...]
+    #: Fraction of the subtree below the sender that was actually explored
+    #: (1.0 on a clean run). Drops below 1 when branches were abandoned —
+    #: broken links with no alternates, open breakers, partitioned regions
+    #: — letting the origin report an honest *partial* result instead of
+    #: presenting a degraded candidate set as complete.
+    coverage: float = 1.0
+    #: True when this reply acknowledges a *duplicate* reception (the
+    #: receiver had already seen the query and did not explore again).
+    #: Hedged forwards use this to tell "the cell was already covered by
+    #: the primary's subtree" apart from a genuine answer, so a fast
+    #: duplicate ack never cancels the live primary branch of a pair.
+    duplicate: bool = False

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.attributes import AttributeSchema
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.health import HealthConfig, HealthMonitor
 from repro.core.messages import QueryId, QueryMessage, ReplyMessage
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
@@ -97,6 +98,21 @@ class NodeConfig:
     #: until the ``seen_history`` size bound evicts them). A long-running
     #: node otherwise pins ``seen_history`` dead ids forever.
     seen_ttl: Optional[float] = None
+    #: Stretch failure timers by the per-neighbor RTT estimate (Jacobson
+    #: ``srtt + 4*rttvar`` with Karn backoff), scaled by the depth of the
+    #: subtree the timer guards, when that exceeds the static decayed
+    #: budget; and skip neighbors whose circuit breaker is open. The
+    #: static formula is the floor (a subtree reply may legitimately take
+    #: the whole budget window) and the span-scaled ``rto_max`` the
+    #: ceiling, so a spike-inflated estimate can never stall failure
+    #: detection indefinitely.
+    adaptive_timeouts: bool = True
+    #: Speculatively re-forward a slow branch to the best alternate after a
+    #: p99-derived hedge delay (first reply wins; the seen-LRU suppresses
+    #: the duplicate exploration on the receiving side, preserving I3).
+    hedge: bool = True
+    #: Estimator/breaker/hedging knobs (see :mod:`repro.core.health`).
+    health: HealthConfig = field(default_factory=HealthConfig)
 
 
 @dataclass
@@ -107,6 +123,15 @@ class _Outstanding:
     slot: Optional[Tuple[int, int]]
     sent_level: int
     sent_dimensions: frozenset
+    #: Send time, for RTT sampling when the reply comes back.
+    sent_at: float = 0.0
+    #: True when this entry is a speculative (hedged) copy of a branch.
+    hedged: bool = False
+    #: The other member of a hedge pair (primary <-> hedge), if both are
+    #: still outstanding. First reply wins: it cancels the partner.
+    partner: Optional[Address] = None
+    #: Pending speculation timer for this entry (primaries only).
+    hedge_timer: Optional[TimerHandle] = None
 
 
 @dataclass
@@ -130,6 +155,13 @@ class _PendingQuery:
     #: Live defer-retry timers, so completion can cancel parked branches
     #: instead of leaking timers that fire into a finished query.
     defer_timers: List[TimerHandle] = field(default_factory=list)
+    #: Distinct branches actually opened below this node (fresh
+    #: forwards). Denominator of the coverage estimate: a branch that
+    #: never reports back (timed out dry, breaker-blocked, deferral
+    #: expired) depresses the estimate.
+    branch_total: int = 0
+    #: Sum of the coverage fractions reported back by completed branches.
+    branch_coverage: float = 0.0
 
     def idle(self) -> bool:
         """No outstanding forwards and no parked branches."""
@@ -138,6 +170,20 @@ class _PendingQuery:
     def sigma_met(self) -> bool:
         """True once enough candidates have been collected."""
         return self.sigma is not None and len(self.matching) >= self.sigma
+
+    def coverage(self) -> float:
+        """Estimated fraction of the subtree actually explored.
+
+        Counts this node as one unit plus one unit per opened branch;
+        branches contribute the coverage their replies reported, so
+        abandoned branches (timeouts without alternates, open breakers,
+        broken links) depress the estimate recursively up the tree.
+        """
+        if self.branch_total <= 0:
+            return 1.0
+        return min(
+            1.0, (1.0 + self.branch_coverage) / (1.0 + self.branch_total)
+        )
 
 
 class ResourceNode:
@@ -150,11 +196,16 @@ class ResourceNode:
         transport: Transport,
         config: Optional[NodeConfig] = None,
         observer: Optional[ProtocolObserver] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.schema = schema
         self.transport = transport
         self.config = config or NodeConfig()
         self.observer = observer or ProtocolObserver()
+        #: Per-neighbor failure-detection state, shared with the gossip
+        #: layer when the embedding (e.g. :class:`~repro.sim.host.SimHost`)
+        #: passes one in; standalone nodes build their own cold monitor.
+        self.health = health or HealthMonitor(self.config.health)
         self.descriptor = descriptor
         self.routing = RoutingTable(
             descriptor,
@@ -264,7 +315,7 @@ class ResourceNode:
             if query_id in self._seen:
                 self._remember(query_id)
             self.observer.duplicate_query(self.address, query_id)
-            self._send_reply(message.sender, query_id, ())
+            self._send_reply(message.sender, query_id, (), duplicate=True)
             return
         state = _PendingQuery(
             query=message.query,
@@ -292,17 +343,84 @@ class ResourceNode:
         state = self.pending.get(query_id)
         if state is None or state.completed:
             return  # stale reply (query already answered or timed out away)
+        sender = message.sender
         for descriptor in message.matching:
             state.matching.setdefault(descriptor.address, descriptor)
-        outstanding = state.waiting.pop(message.sender, None)
-        if outstanding is not None and outstanding.timer is not None:
-            self.transport.cancel(outstanding.timer)
+        outstanding = state.waiting.pop(sender, None)
+        if outstanding is None:
+            if sender in state.failed:
+                # The "failed" neighbor answered after all: the timeout was
+                # spurious. Rehabilitate it (breaker success) and let
+                # retries pick it again.
+                self.observer.spurious_timeout(self.address, sender, query_id)
+                self.health.spurious_timeout()
+                self.health.record_success(sender)
+                state.failed.discard(sender)
+            return
+        self._cancel_entry(outstanding)
+        if outstanding.sent_level < 0:
+            # A C0 fan-out reply is an immediate echo — the one reply
+            # whose latency is a clean link round trip. Replies to slot
+            # forwards measure the child's whole subtree exploration, a
+            # span-dependent quantity that must NOT train the link
+            # estimator (the failure timer reconstructs subtree time from
+            # link time by span-scaling; feeding it subtree samples would
+            # compound the span twice).
+            self.health.observe_rtt(
+                sender, self.transport.now() - outstanding.sent_at
+            )
+        else:
+            self.health.record_success(sender)
+        if outstanding.partner is not None:
+            # First reply of a live hedge pair: merge and *detach* — never
+            # cancel the survivor. The seen-LRU splits the subtree between
+            # the two copies (each node under the slot answers whichever
+            # copy reached it first and duplicate-rejects the other), so
+            # the two replies carry disjoint shares of the matches and
+            # both must be awaited; cancelling the one still in flight
+            # would forfeit its share. Cancellation is only ever applied
+            # where it is safe: query completion.
+            partner = state.waiting.get(outstanding.partner)
+            if partner is not None:
+                partner.partner = None
+                if outstanding.hedged:
+                    # Hedge first: its share is merged now (the latency
+                    # win); the primary still carries the branch's
+                    # coverage bookkeeping, so stop here.
+                    if message.matching and not message.duplicate:
+                        self.health.hedge_won()
+                    else:
+                        self.health.hedge_lost()
+                    return
+                # Primary first: the speculation saved no latency. The
+                # detached copy is awaited like a normal branch from here
+                # on (its share merges on reply), so swap its
+                # maximum-patience timer for an ordinary failure window.
+                partner.hedged = False
+                self._rearm_survivor(
+                    query_id, state, outstanding.partner, partner
+                )
+                self.health.hedge_lost()
+        elif outstanding.hedged:
+            # Sole survivor of a pair whose primary already timed out:
+            # the speculation is what kept the branch alive.
+            self.health.hedge_won()
+        state.branch_coverage += max(0.0, min(1.0, message.coverage))
         if not state.idle():
             return
         if not state.sigma_met() and state.level >= 0:
             self._forward(query_id, state)
         else:
             self._complete(query_id, state)
+
+    def _cancel_entry(self, outstanding: _Outstanding) -> None:
+        """Cancel the timers attached to one ``waiting`` entry."""
+        if outstanding.timer is not None:
+            self.transport.cancel(outstanding.timer)
+            outstanding.timer = None
+        if outstanding.hedge_timer is not None:
+            self.transport.cancel(outstanding.hedge_timer)
+            outstanding.hedge_timer = None
 
     # -- forwarding (Figure 5, ``forward``) ----------------------------------------
 
@@ -341,7 +459,11 @@ class ResourceNode:
                 # this query; the paper's churn runs drop it the same way.
                 # (An unfilled slot is locally indistinguishable from an
                 # empty cell, so the defer-on-broken-link option applies
-                # only where breakage is *observable*: the timeout path.)
+                # only where breakage is *observable*: the timeout path.
+                # For the same reason it does not count against the
+                # coverage estimate: on a converged overlay an unfilled
+                # slot is a genuinely empty cell, and charging it would
+                # mark every clean sparse-overlay query as degraded.)
                 self.observer.query_dropped(self.address, query_id)
                 continue
             self._send_query(
@@ -368,9 +490,33 @@ class ResourceNode:
         self, state: _PendingQuery, level: int, dim: int
     ) -> Optional[NodeDescriptor]:
         neighbor = self.routing.neighbor(level, dim)
-        if neighbor is None or neighbor.address in state.failed:
-            return self.routing.alternative(level, dim, state.failed)
-        return neighbor
+        if neighbor is not None and neighbor.address not in self._excluded(state):
+            return neighbor
+        return self._pick_alternative(state, level, dim)
+
+    def _pick_alternative(
+        self, state: _PendingQuery, level: int, dim: int
+    ) -> Optional[NodeDescriptor]:
+        """Fail-over choice for a slot, avoiding open-circuit peers.
+
+        Preference order: any inhabitant whose breaker is not open, then —
+        when every candidate is suspect — an open-circuit inhabitant after
+        all. Trying a suspect peer costs one (adaptively sized) timeout;
+        dropping the region outright forfeits its matches, so breakers
+        only ever *reorder* fail-over, never shrink reachability.
+        """
+        exclude = self._excluded(state)
+        choice = self.routing.alternative(level, dim, exclude)
+        if choice is None and exclude is not state.failed:
+            choice = self.routing.alternative(level, dim, state.failed)
+        return choice
+
+    def _excluded(self, state: _PendingQuery) -> Set[Address]:
+        """Addresses not to forward to: failed this query or open-circuit."""
+        if not self.config.adaptive_timeouts:
+            return state.failed
+        open_now = self.health.open_addresses(self.transport.now())
+        return state.failed | open_now if open_now else state.failed
 
     def _send_query(
         self,
@@ -380,6 +526,8 @@ class ResourceNode:
         level: int,
         dimensions: frozenset,
         slot: Optional[Tuple[int, int]],
+        fresh: bool = True,
+        hedge_of: Optional[Address] = None,
     ) -> None:
         child_budget = max(
             self.config.min_timeout,
@@ -395,22 +543,32 @@ class ResourceNode:
             dimensions=dimensions,
             budget=child_budget,
         )
-        # The failure timer must outlast the child's own budget by enough
-        # to cover the round trip, or the parent declares the neighbor
-        # dead while its (partial) reply is still in flight and re-forwards
-        # — a retry storm under WAN latency. The decay margin provides
-        # that slack at the top of the tree but collapses to zero at the
-        # min_timeout floor, so enforce an explicit clamped headroom.
-        headroom = min(
-            max(self.config.latency_headroom, 0.0), self.config.query_timeout
+        delay, floor = self._failure_delay(
+            state, level, neighbor.address, hedge=hedge_of is not None
         )
+        now = self.transport.now()
         timer = self.transport.call_later(
-            max(state.budget, child_budget + headroom),
+            delay,
             lambda: self._on_timeout(query_id, neighbor.address),
         )
-        state.waiting[neighbor.address] = _Outstanding(
-            timer=timer, slot=slot, sent_level=level, sent_dimensions=dimensions
+        entry = _Outstanding(
+            timer=timer,
+            slot=slot,
+            sent_level=level,
+            sent_dimensions=dimensions,
+            sent_at=now,
+            hedged=hedge_of is not None,
         )
+        state.waiting[neighbor.address] = entry
+        if fresh:
+            state.branch_total += 1
+        if hedge_of is not None:
+            entry.partner = hedge_of
+            primary = state.waiting.get(hedge_of)
+            if primary is not None:
+                primary.partner = neighbor.address
+        elif slot is not None:
+            self._maybe_arm_hedge(query_id, state, entry, neighbor.address, floor, delay)
         self.observer.query_sent(self.address, neighbor.address, query_id)
         self.observer.query_forwarded(
             self.address,
@@ -422,6 +580,160 @@ class ResourceNode:
         )
         self.transport.send(self.address, neighbor.address, message)
 
+    def _failure_delay(
+        self,
+        state: _PendingQuery,
+        level: int,
+        address: Address,
+        hedge: bool,
+    ) -> Tuple[float, float]:
+        """Failure-timer delay for a forward, plus the child budget floor.
+
+        The failure timer must outlast the child's own budget by enough
+        to cover the round trip, or the parent declares the neighbor
+        dead while its (partial) reply is still in flight and re-forwards
+        — a retry storm under WAN latency. The decay margin provides
+        that slack at the top of the tree but collapses to zero at the
+        min_timeout floor, so enforce an explicit clamped headroom.
+
+        Per-neighbor adaptive timeout: the static decayed budget is the
+        floor — the reply this timer guards is a whole subtree
+        (including the child's own retries), so no RTT estimate, however
+        confident, may undercut the budget window the retry math is
+        sized for. The measured estimate only *extends* the wait, and is
+        scaled by the subtree *span* (hop-layers below the child: levels
+        ``level-1 .. 0`` plus the C0 fan-out) because the reply travels
+        the critical path of that whole subtree, not one round trip — a
+        spike that inflates every hop inflates the top-level reply
+        span-fold. The span-scaled ``rto_max`` bounds the stretch so
+        failure detection never stalls (invariant I1).
+
+        A live hedge copy gets the ceiling outright: while its primary's
+        (normal) timer guards the branch, the copy is a speculative
+        bonus whose only timing duty is to eventually unblock completion
+        if both pair members die. A tight timer on it would re-create
+        the spurious timeouts hedging exists to absorb — the copy's late
+        reply contradicting its own timer. When the copy becomes the
+        branch's sole carrier, ``_rearm_survivor`` restores a normal
+        window.
+        """
+        child_budget = max(
+            self.config.min_timeout,
+            state.budget * self.config.budget_decay,
+        )
+        headroom = min(
+            max(self.config.latency_headroom, 0.0), self.config.query_timeout
+        )
+        floor = child_budget + headroom
+        static_timer = max(state.budget, floor)
+        delay = static_timer
+        if self.config.adaptive_timeouts:
+            rto = self.health.rto(address)
+            if rto is not None:
+                span = max(1, level + 2)
+                ceiling = max(static_timer, span * self.config.health.rto_max)
+                if hedge:
+                    delay = ceiling
+                else:
+                    delay = min(max(static_timer, span * rto), ceiling)
+        return delay, floor
+
+    def _rearm_survivor(
+        self,
+        query_id: QueryId,
+        state: _PendingQuery,
+        address: Address,
+        entry: _Outstanding,
+    ) -> None:
+        """Give a detached hedge copy a normal failure window from now.
+
+        A hedge copy is armed with maximum patience while its primary's
+        timer guards the branch. The moment the copy becomes the
+        branch's sole carrier — the primary replied or timed out — that
+        patience would turn into stalled failure detection (a copy sent
+        to a dead alternate would hold completion open for the full
+        ceiling), so its timer is re-armed with the ordinary adaptive
+        delay, measured from now.
+        """
+        if entry.timer is not None:
+            self.transport.cancel(entry.timer)
+        delay, _ = self._failure_delay(
+            state, entry.sent_level, address, hedge=False
+        )
+        entry.timer = self.transport.call_later(
+            delay, lambda: self._on_timeout(query_id, address)
+        )
+
+    # -- hedged forwards ---------------------------------------------------------------
+
+    def _maybe_arm_hedge(
+        self,
+        query_id: QueryId,
+        state: _PendingQuery,
+        entry: _Outstanding,
+        neighbor: Address,
+        floor: float,
+        timer_delay: float,
+    ) -> None:
+        """Arm a speculation timer for a slot forward, when evidence allows.
+
+        A hedge fires only when the neighbor's estimator has real samples
+        (a p99-style reply-time bound exists), and the hedge delay is both
+        floored at a fraction of the child's budget window — estimators
+        trained on fast exchanges must not speculate against a deep
+        forward whose reply legitimately takes longer than any single
+        round trip — and required to undercut the failure timer by a
+        margin (a hedge firing just before the timeout saves nothing).
+        """
+        if not self.config.hedge:
+            return
+        bound = self.health.hedge_delay(neighbor)
+        if bound is None:
+            return
+        # The estimator's bound is per-link; a slot forward's reply covers
+        # a whole subtree whose depth grows with the level, so scale the
+        # bound by the same span factor the failure timer uses. Without
+        # this, a top-level forward is hedged after a link-scale delay and
+        # the overlay speculates constantly during global slowdowns.
+        span = max(1, entry.sent_level + 2)
+        hedge_delay = max(span * bound, self.config.health.hedge_fraction * floor)
+        if hedge_delay >= 0.9 * timer_delay:
+            return
+        entry.hedge_timer = self.transport.call_later(
+            hedge_delay, lambda: self._fire_hedge(query_id, neighbor)
+        )
+
+    def _fire_hedge(self, query_id: QueryId, primary: Address) -> None:
+        """Speculatively re-forward a slow branch to the best alternate."""
+        state = self.pending.get(query_id)
+        if state is None or state.completed:
+            return
+        outstanding = state.waiting.get(primary)
+        if outstanding is None or outstanding.partner is not None:
+            return
+        outstanding.hedge_timer = None
+        slot = outstanding.slot
+        if slot is None or state.sigma_met():
+            return
+        exclude = self._excluded(state) | set(state.waiting)
+        alternate = self.routing.alternative(slot[0], slot[1], exclude)
+        if alternate is None:
+            return
+        self.observer.query_hedged(
+            self.address, primary, alternate.address, query_id
+        )
+        self.health.hedge_launched()
+        self._send_query(
+            query_id,
+            state,
+            alternate,
+            outstanding.sent_level,
+            outstanding.sent_dimensions,
+            slot=slot,
+            fresh=False,
+            hedge_of=primary,
+        )
+
     # -- timeouts --------------------------------------------------------------------
 
     def _on_timeout(self, query_id: QueryId, neighbor: Address) -> None:
@@ -431,12 +743,30 @@ class ResourceNode:
         outstanding = state.waiting.pop(neighbor, None)
         if outstanding is None:
             return
+        self._cancel_entry(outstanding)
         state.failed.add(neighbor)
         self.observer.neighbor_timeout(self.address, neighbor, query_id)
         self.routing.remove(neighbor)
+        self.health.record_failure(neighbor, self.transport.now())
+        if outstanding.partner is not None:
+            # The other member of the hedge pair is still in flight and
+            # keeps the branch alive; no retry, no deferral, no drop.
+            partner = state.waiting.get(outstanding.partner)
+            if partner is not None:
+                partner.partner = None
+                if partner.hedged:
+                    # The hedge copy is now the branch's sole carrier:
+                    # trade its maximum-patience timer for an ordinary
+                    # failure window so detection doesn't stall.
+                    self._rearm_survivor(
+                        query_id, state, outstanding.partner, partner
+                    )
+            if outstanding.hedged:
+                self.health.hedge_lost()
+            return
         if self.config.retry_on_timeout and outstanding.slot is not None:
             level, dim = outstanding.slot
-            alternate = self.routing.alternative(level, dim, state.failed)
+            alternate = self._pick_alternative(state, level, dim)
             if alternate is not None:
                 self._send_query(
                     query_id,
@@ -445,6 +775,7 @@ class ResourceNode:
                     outstanding.sent_level,
                     outstanding.sent_dimensions,
                     slot=outstanding.slot,
+                    fresh=False,
                 )
                 return
         if (
@@ -462,6 +793,10 @@ class ResourceNode:
                 outstanding.sent_dimensions,
             )
             return
+        # The branch is abandoned for good: no alternate to retry and no
+        # deferral window. Account it exactly once, on this path — the
+        # same event the forward-time drop and the deferral give-up emit.
+        self.observer.query_dropped(self.address, query_id)
         if not state.idle():
             return
         if not state.sigma_met() and state.level >= 0:
@@ -480,6 +815,7 @@ class ResourceNode:
         sent_dimensions: frozenset,
     ) -> None:
         state.deferred += 1
+        self.observer.branch_deferred(self.address, query_id)
         handle_box: List[TimerHandle] = []
 
         def fire() -> None:
@@ -506,11 +842,11 @@ class ResourceNode:
             return
         state.deferred -= 1
         level, dim = slot
-        neighbor = self.routing.alternative(level, dim, state.failed)
+        neighbor = self._pick_alternative(state, level, dim)
         if neighbor is not None and not state.sigma_met():
             self._send_query(
                 query_id, state, neighbor, sent_level, sent_dimensions,
-                slot=slot,
+                slot=slot, fresh=False,
             )
             return
         if neighbor is None:
@@ -527,8 +863,9 @@ class ResourceNode:
     def _complete(self, query_id: QueryId, state: _PendingQuery) -> None:
         state.completed = True
         for outstanding in state.waiting.values():
-            if outstanding.timer is not None:
-                self.transport.cancel(outstanding.timer)
+            self._cancel_entry(outstanding)
+            if outstanding.hedged:
+                self.health.hedge_cancelled()
         state.waiting.clear()
         for timer in state.defer_timers:
             self.transport.cancel(timer)
@@ -536,24 +873,43 @@ class ResourceNode:
         state.deferred = 0
         self.pending.pop(query_id, None)
         descriptors = list(state.matching.values())
+        # σ met means the job is done regardless of unexplored regions; a
+        # full coverage estimate otherwise reports honestly how much of
+        # the subtree the candidates were actually drawn from.
+        coverage = 1.0 if state.sigma_met() else state.coverage()
         if state.parent is None:
+            if coverage < 1.0:
+                # Explicit graceful degradation instead of a silent
+                # partial answer: every alternate was open-circuit, a
+                # region was partitioned, or branches timed out dry.
+                self.observer.query_degraded(self.address, query_id, coverage)
             self.observer.query_completed(self.address, query_id, descriptors)
             if state.on_complete is not None:
                 state.on_complete(query_id, descriptors)
         else:
-            self._send_reply(state.parent, query_id, tuple(descriptors))
+            self._send_reply(
+                state.parent, query_id, tuple(descriptors), coverage=coverage
+            )
 
     def _send_reply(
         self,
         parent: Address,
         query_id: QueryId,
         matching: Tuple[NodeDescriptor, ...],
+        coverage: float = 1.0,
+        duplicate: bool = False,
     ) -> None:
         self.observer.reply_sent(self.address, parent, query_id)
         self.transport.send(
             self.address,
             parent,
-            ReplyMessage(query_id=query_id, sender=self.address, matching=matching),
+            ReplyMessage(
+                query_id=query_id,
+                sender=self.address,
+                matching=matching,
+                coverage=coverage,
+                duplicate=duplicate,
+            ),
         )
 
     def _remember(self, query_id: QueryId) -> None:
@@ -587,8 +943,7 @@ class ResourceNode:
         for state in self.pending.values():
             state.completed = True
             for outstanding in state.waiting.values():
-                if outstanding.timer is not None:
-                    self.transport.cancel(outstanding.timer)
+                self._cancel_entry(outstanding)
             for timer in state.defer_timers:
                 self.transport.cancel(timer)
         self.pending.clear()

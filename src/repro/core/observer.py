@@ -70,6 +70,31 @@ class ProtocolObserver:
     def query_dropped(self, node: "Address", query_id: "QueryId") -> None:
         """A QUERY could not be propagated further due to a broken link."""
 
+    def query_hedged(
+        self,
+        node: "Address",
+        primary: "Address",
+        alternate: "Address",
+        query_id: "QueryId",
+    ) -> None:
+        """A branch was speculatively re-forwarded to *alternate* because
+        *primary*'s reply is past its p99-derived hedge delay."""
+
+    def spurious_timeout(
+        self, node: "Address", neighbor: "Address", query_id: "QueryId"
+    ) -> None:
+        """A reply arrived from a neighbor already declared failed — the
+        earlier ``neighbor_timeout`` was spurious (the peer was alive)."""
+
+    def query_degraded(
+        self, origin: "Address", query_id: "QueryId", coverage: float
+    ) -> None:
+        """The query completed *partially*: σ was not met and at least one
+        branch was abandoned; *coverage* estimates the explored fraction."""
+
+    def branch_deferred(self, node: "Address", query_id: "QueryId") -> None:
+        """A branch was parked on a broken link awaiting gossip repair."""
+
 
 class FanoutObserver(ProtocolObserver):
     """Broadcasts every event to several observers, in order.
@@ -125,3 +150,23 @@ class FanoutObserver(ProtocolObserver):
         """Fan out to every observer."""
         for observer in self.observers:
             observer.query_dropped(node, query_id)
+
+    def query_hedged(self, node, primary, alternate, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_hedged(node, primary, alternate, query_id)
+
+    def spurious_timeout(self, node, neighbor, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.spurious_timeout(node, neighbor, query_id)
+
+    def query_degraded(self, origin, query_id, coverage) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.query_degraded(origin, query_id, coverage)
+
+    def branch_deferred(self, node, query_id) -> None:
+        """Fan out to every observer."""
+        for observer in self.observers:
+            observer.branch_deferred(node, query_id)

@@ -89,7 +89,11 @@ class RoutingTable:
 
         Self-descriptors are ignored. A descriptor replaces the primary for
         its slot only when the slot is empty; otherwise it is kept as an
-        alternate (evicting an arbitrary older alternate when full).
+        alternate. Alternates are kept in least-recently-refreshed order:
+        when a slot is full the *oldest* alternate is evicted and a refresh
+        moves the entry to the back, so fail-over targets are deterministic
+        for a given gossip history (seed-stable retries) and biased toward
+        recently advertised — hence probably alive — inhabitants.
         """
         address = descriptor.address
         if address == self.owner.address:
@@ -110,7 +114,10 @@ class RoutingTable:
                     if primary is not None and primary.address == address:
                         self._primary[slot] = descriptor
                     else:
-                        self._alternates[slot][address] = descriptor
+                        # Refresh = re-advertisement: move to the LRU back.
+                        alternates = self._alternates[slot]
+                        del alternates[address]
+                        alternates[address] = descriptor
                 return True
             # A known address whose new attributes place it in a *different*
             # slot (the node's resources changed) must not linger in the old
@@ -132,7 +139,13 @@ class RoutingTable:
             return True
         alternates = self._alternates.setdefault(slot, {})
         if len(alternates) >= self.alternates_per_slot:
-            return False
+            if self.alternates_per_slot <= 0:
+                return False
+            # Deterministic LRU eviction: drop the least recently
+            # refreshed alternate (dict order = refresh order).
+            evicted = next(iter(alternates))
+            del alternates[evicted]
+            self._by_address.pop(evicted, None)
         alternates[address] = descriptor
         self._by_address[address] = (slot, descriptor)
         return True

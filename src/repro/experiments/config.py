@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.core.attributes import AttributeSchema, numeric
+from repro.core.health import HealthConfig
 from repro.core.node import NodeConfig
 from repro.gossip.maintenance import GossipConfig
 
@@ -71,13 +72,22 @@ class ExperimentConfig:
 
         The failure-timer headroom must cover one round trip: PlanetLab's
         WAN latencies reach ~0.2 s one-way, the LAN-ish testbeds are
-        orders of magnitude below the default.
+        orders of magnitude below the default. The health knobs follow the
+        same logic: the rto floor covers a worst-case WAN round trip, and
+        a tripped circuit breaker stays open for three gossip periods —
+        long enough that the half-open probe rides a fresh maintenance
+        cycle, short enough that a recovered peer is back in rotation
+        before its links age out of the routing table.
         """
         headroom = 0.5 if self.testbed == "planetlab" else 0.25
         return NodeConfig(
             query_timeout=20.0,
             retry_on_timeout=retry_on_timeout,
             latency_headroom=headroom,
+            health=HealthConfig(
+                rto_min=0.5 if self.testbed == "planetlab" else 0.25,
+                breaker_reset=3.0 * self.gossip_period,
+            ),
         )
 
     def scaled(self, network_size: int, **overrides) -> "ExperimentConfig":

@@ -23,6 +23,15 @@ I4 **monotonic degradation** — re-running the fault phase across a ladder
    of severities, mean delivery does not *increase* with severity (within
    a slack for workload noise): the system degrades gracefully instead of
    falling off a cliff at some severity.
+I5 **adaptive failure detection** (``compare_static=True`` only) — the
+   whole episode is replayed with the adaptive machinery disabled
+   (static failure timers, no hedging, static gossip answer timeouts)
+   under the identical workload and fault stream. The adaptive run must
+   cut spurious timeouts — timeouts contradicted by a reply the presumed
+   dead neighbor actually sent — by at least half, without regressing
+   mean delivery by more than five points. This is the invariant that
+   makes slow-but-alive (latency spikes, stragglers) distinguishable
+   from dead.
 
 The ``repro chaos`` CLI subcommand is a thin wrapper over this module.
 """
@@ -39,6 +48,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import build_deployment
 from repro.faults.scenarios import SCENARIOS, ActiveScenario, apply_scenario
 from repro.metrics.collectors import MetricsCollector
+from repro.obs import events as ev
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import TraceRecorder
 from repro.sim.deployment import Deployment
@@ -82,6 +92,9 @@ class ChaosConfig:
     sweep_recovery: float = 120.0
     #: Tolerated delivery *increase* between adjacent ladder severities.
     monotonic_slack: float = 0.12
+    #: Replay the main episode with static timers / no hedging / static
+    #: gossip answer timeouts and check invariant I5 against it.
+    compare_static: bool = False
 
 
 @dataclass
@@ -155,8 +168,18 @@ class ChaosReport:
             "messages_lost_injected",
             "messages_dropped_dead",
             "messages_duplicated",
+            "spurious_timeouts",
         ):
             lines.append(f"  {key}: {self.counters.get(key, 0)}")
+        if "spurious_timeouts_static" in self.counters:
+            static = self.counters["spurious_timeouts_static"]
+            adaptive = self.counters.get("spurious_timeouts", 0)
+            saved = static - adaptive
+            percent = (100.0 * saved / static) if static else 0.0
+            lines.append(
+                f"  spurious_timeouts_static: {static} "
+                f"(adaptive saves {saved}, {percent:.0f}%)"
+            )
         if self.sweep_deliveries:
             ladder = "  ".join(
                 f"s={severity:g}:{delivery:.3f}"
@@ -255,13 +278,28 @@ def _run_episode(
     hold: float,
     recovery: float,
     seed_salt: str = "main",
+    static: bool = False,
 ) -> _Episode:
-    """Build a deployment, run the three phases, drain, and measure."""
+    """Build a deployment, run the three phases, drain, and measure.
+
+    With ``static=True`` the adaptive failure-detection stack is disabled
+    end to end (static per-hop timers, no hedged forwards, and — via the
+    host wiring — static gossip answer timeouts): the I5 baseline. The
+    same ``seed_salt`` keeps workload and fault streams identical, so the
+    two episodes differ only in the machinery under test.
+    """
     registry = MetricsRegistry()
     tracer = TraceRecorder()
     experiment = ExperimentConfig(
         network_size=config.size, seed=config.seed, testbed=config.testbed
     )
+    node_config = None
+    if static:
+        node_config = dataclasses.replace(
+            experiment.node_config(retry_on_timeout=False),
+            adaptive_timeouts=False,
+            hedge=False,
+        )
     deployment, metrics = build_deployment(
         experiment,
         gossip=True,
@@ -269,6 +307,7 @@ def _run_episode(
         # invariants must hold in that harsher mode too.
         retry_on_timeout=False,
         warmup=config.warmup,
+        node_config=node_config,
         extra_observers=(tracer,),
         registry=registry,
     )
@@ -450,6 +489,70 @@ def _check_no_double_counting(episode: _Episode) -> InvariantResult:
     )
 
 
+def _count_spurious(tracer: TraceRecorder) -> int:
+    """Timeouts contradicted by a reply the timed-out neighbor sent.
+
+    A ``TIMEOUT`` at node A about peer B is *spurious* when the same
+    query's trace also holds a ``REPLY`` from B to A: B was alive and
+    answered, the timer just beat the answer (or its delivery). Counting
+    from the trace — rather than the protocol's own spurious-timeout
+    hook — keeps the measure identical for adaptive and static episodes,
+    including replies that arrive after the query already completed.
+    """
+    spurious = 0
+    for trace in tracer.traces.values():
+        replied = {
+            (event.node, event.peer)
+            for event in trace.events
+            if event.kind == ev.REPLY
+        }
+        spurious += sum(
+            1
+            for event in trace.events
+            if event.kind == ev.TIMEOUT
+            and (event.peer, event.node) in replied
+        )
+    return spurious
+
+
+def _check_adaptive(
+    episode: _Episode, baseline: _Episode
+) -> InvariantResult:
+    """I5: adaptive detection halves spurious timeouts, delivery holds."""
+    spurious = _count_spurious(episode.tracer)
+    spurious_static = _count_spurious(baseline.tracer)
+    delivery = (
+        sum(row.delivery for row in episode.rows) / len(episode.rows)
+        if episode.rows
+        else 0.0
+    )
+    delivery_static = (
+        sum(row.delivery for row in baseline.rows) / len(baseline.rows)
+        if baseline.rows
+        else 0.0
+    )
+    problems = []
+    if spurious_static > 0 and spurious > 0.5 * spurious_static:
+        problems.append(
+            f"spurious timeouts {spurious} > 50% of static baseline "
+            f"{spurious_static}"
+        )
+    if delivery < delivery_static - 0.05:
+        problems.append(
+            f"mean delivery {delivery:.3f} regressed vs static "
+            f"{delivery_static:.3f}"
+        )
+    readout = (
+        f"spurious {spurious} vs {spurious_static} static, "
+        f"delivery {delivery:.3f} vs {delivery_static:.3f} static"
+    )
+    if problems:
+        return InvariantResult(
+            "adaptive-failure-detection", False, "; ".join(problems)
+        )
+    return InvariantResult("adaptive-failure-detection", True, readout)
+
+
 def _check_monotonic(
     ladder: Sequence[Tuple[float, float]], slack: float
 ) -> InvariantResult:
@@ -507,6 +610,17 @@ def run_chaos(
     episode = _run_episode(
         scenario, severity, config, config.pre, config.hold, config.recovery
     )
+    baseline: Optional[_Episode] = None
+    if config.compare_static:
+        baseline = _run_episode(
+            scenario,
+            severity,
+            config,
+            config.pre,
+            config.hold,
+            config.recovery,
+            static=True,
+        )
 
     ladder: List[Tuple[float, float]] = []
     if config.sweep:
@@ -536,9 +650,12 @@ def run_chaos(
         _check_no_double_counting(episode),
         _check_monotonic(ladder, config.monotonic_slack),
     ]
+    if baseline is not None:
+        invariants.append(_check_adaptive(episode, baseline))
 
     network = episode.deployment.network
     counters: Dict[str, int] = {
+        "spurious_timeouts": _count_spurious(episode.tracer),
         "messages_sent": network.messages_sent,
         "messages_delivered": network.messages_delivered,
         "messages_lost": network.messages_lost,
@@ -558,6 +675,10 @@ def run_chaos(
             value = getattr(driver, attribute, None)
             if value is not None:
                 counters[attribute] = value
+    if baseline is not None:
+        counters["spurious_timeouts_static"] = _count_spurious(
+            baseline.tracer
+        )
 
     return ChaosReport(
         scenario=scenario,

@@ -133,6 +133,18 @@ def _build_flaky_links(deployment, severity, now, heal_at, rng):
     return FaultSchedule().add(fault), [], None
 
 
+def _build_latency_spike(deployment, severity, now, heal_at, rng):
+    # A global delay surge with heavy jitter: nothing is lost, nothing is
+    # down, every message is just late. The scenario that separates an
+    # adaptive failure detector from a static one — static timers declare
+    # live neighbors dead wholesale (spurious timeouts), adaptive ones
+    # stretch with the measured round trips (invariant I5).
+    fault = LatencySpikeFault(
+        extra=2.0 * severity, jitter=1.5 * severity, start=now, end=heal_at
+    )
+    return FaultSchedule().add(fault), [], None
+
+
 def _build_stragglers(deployment, severity, now, heal_at, rng):
     alive = [host.address for host in deployment.alive_hosts()]
     count = max(1, int(round(len(alive) * severity)))
@@ -220,6 +232,12 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             builder=_build_flaky_links,
             default_severity=0.3,
             sweep=(0.1, 0.3, 0.6),
+        ),
+        ScenarioSpec(
+            name="latency-spike",
+            summary="every message delayed by a severity-scaled surge",
+            builder=_build_latency_spike,
+            default_severity=0.5,
         ),
         ScenarioSpec(
             name="stragglers",

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.health import HealthMonitor
 from repro.core.node import ResourceNode
 from repro.core.transport import TimerHandle, Transport
 from repro.gossip.cyclon import CyclonProtocol
@@ -50,11 +51,19 @@ class TwoLayerMaintenance:
         rng: random.Random,
         config: Optional[GossipConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.node = node
         self.transport = transport
         self.rng = rng
         self.config = config or GossipConfig()
+        #: Shared failure-detection state (usually the node's own monitor):
+        #: gossip answer round trips warm the per-neighbor RTT estimators
+        #: before any query travels a link, answer timeouts feed the
+        #: breakers, and each cycle probes one half-open neighbor. ``None``
+        #: keeps the gossip layer fully static (the compare-static mode of
+        #: the chaos harness).
+        self.health = health
         registry = registry if registry is not None else NULL_REGISTRY
         self.cyclon = CyclonProtocol(
             descriptor=node.descriptor,
@@ -78,7 +87,8 @@ class TwoLayerMaintenance:
         self._answer_timeouts = registry.counter("gossip.answer_timeouts")
         self._running = False
         self._cycle_timer: Optional[TimerHandle] = None
-        self._answer_timers: Dict[Address, TimerHandle] = {}
+        #: Per-peer (timer, sent_at) for outstanding exchange answers.
+        self._answer_timers: Dict[Address, Tuple[TimerHandle, float]] = {}
         self.cycles_run = 0
 
     # -- lifecycle -----------------------------------------------------------------
@@ -102,7 +112,7 @@ class TwoLayerMaintenance:
         if self._cycle_timer is not None:
             self.transport.cancel(self._cycle_timer)
             self._cycle_timer = None
-        for timer in self._answer_timers.values():
+        for timer, _ in self._answer_timers.values():
             self.transport.cancel(timer)
         self._answer_timers.clear()
 
@@ -125,22 +135,63 @@ class TwoLayerMaintenance:
         vicinity_peer = self.vicinity.initiate_exchange()
         if vicinity_peer is not None and vicinity_peer != cyclon_peer:
             self._arm_answer_timer(vicinity_peer, layer="vicinity")
+        self._probe_half_open(cyclon_peer, vicinity_peer)
         self._cycle_timer = self.transport.call_later(
             self.config.period, self._cycle
         )
 
+    def _probe_half_open(
+        self, cyclon_peer: Optional[Address], vicinity_peer: Optional[Address]
+    ) -> None:
+        """Send one liveness probe to a half-open neighbor, if any is due.
+
+        The circuit-breaker state machine needs an out-of-band way back to
+        ``closed``: queries skip open-circuit peers, so without probes a
+        breaker tripped by a transient fault would pin its peer suspect
+        forever. Gossip maintenance is the natural prober — one extra
+        Vicinity exchange per cycle, answer-timed like any other, whose
+        reply closes the breaker (and whose silence re-opens it).
+        """
+        if self.health is None:
+            return
+        probe = self.health.probe_candidate(self.transport.now())
+        if (
+            probe is None
+            or probe == cyclon_peer
+            or probe == vicinity_peer
+            or probe in self._answer_timers
+        ):
+            return
+        self.vicinity.probe(probe)
+        self.health.probe_sent()
+        self._arm_answer_timer(probe, layer="vicinity")
+
     def _arm_answer_timer(self, peer: Address, layer: str) -> None:
         existing = self._answer_timers.pop(peer, None)
         if existing is not None:
-            self.transport.cancel(existing)
-        self._answer_timers[peer] = self.transport.call_later(
-            self.config.answer_timeout,
-            lambda: self._answer_timeout(peer, layer),
+            self.transport.cancel(existing[0])
+        delay = self.config.answer_timeout
+        if self.health is not None:
+            # Under a latency spike a static answer timeout declares live
+            # peers dead wholesale and shreds routing tables. Let the
+            # learned per-peer rto extend the wait, bounded so a dead peer
+            # still gets purged within a few nominal timeouts.
+            rto = self.health.rto(peer)
+            if rto is not None:
+                delay = min(max(delay, rto), 3.0 * self.config.answer_timeout)
+        now = self.transport.now()
+        self._answer_timers[peer] = (
+            self.transport.call_later(
+                delay, lambda: self._answer_timeout(peer, layer)
+            ),
+            now,
         )
 
     def _answer_timeout(self, peer: Address, layer: str) -> None:
         self._answer_timeouts.inc()
         self._answer_timers.pop(peer, None)
+        if self.health is not None:
+            self.health.record_failure(peer, self.transport.now())
         if layer == "cyclon":
             self.cyclon.shuffle_timed_out(peer)
         else:
@@ -150,9 +201,12 @@ class TwoLayerMaintenance:
         self.cyclon.view.remove(peer)
 
     def _clear_answer_timer(self, peer: Address) -> None:
-        timer = self._answer_timers.pop(peer, None)
-        if timer is not None:
+        entry = self._answer_timers.pop(peer, None)
+        if entry is not None:
+            timer, sent_at = entry
             self.transport.cancel(timer)
+            if self.health is not None:
+                self.health.observe_rtt(peer, self.transport.now() - sent_at)
 
     # -- message plumbing ----------------------------------------------------------------
 

@@ -137,6 +137,22 @@ class VicinityProtocol:
         self.send(target, VicinityRequest(entries=tuple(payload)))
         return target
 
+    def probe(self, address: Address) -> None:
+        """Send one unsolicited exchange to *address* as a liveness probe.
+
+        Used by the maintenance layer to test a half-open circuit-breaker
+        peer: the request is a normal Vicinity exchange (so even the probe
+        does useful repair work), but ``_outstanding`` is left untouched —
+        a concurrent regular exchange must not have its completion
+        swallowed by a probe reply. The caller arms the answer timer.
+        """
+        payload = self._exchange_payload(
+            exclude=address, peer=self._descriptor_of(address)
+        )
+        self._exchanges.inc()
+        self._payload_sizes.observe(len(payload))
+        self.send(address, VicinityRequest(entries=tuple(payload)))
+
     def handle_request(self, sender: Address, message: VicinityRequest) -> None:
         """Passive side: answer with our own sample, absorb theirs.
 

@@ -35,6 +35,15 @@ class QueryRecord:
     duplicates: int = 0
     drops: int = 0
     timeouts: int = 0
+    #: Timeouts later contradicted by a reply (the neighbor was alive).
+    spurious_timeouts: int = 0
+    #: Speculative (hedged) re-forwards launched for this query.
+    hedges: int = 0
+    #: Branches parked on broken links awaiting gossip repair.
+    deferrals: int = 0
+    #: Coverage estimate reported at completion when the query degraded
+    #: (None = completed fully; below 1.0 = explicit partial result).
+    coverage: Optional[float] = None
     result: Optional[List[NodeDescriptor]] = None
 
     @property
@@ -133,6 +142,28 @@ class MetricsCollector(ProtocolObserver):
     def query_dropped(self, node: Address, query_id: QueryId) -> None:
         self._record(query_id).drops += 1
 
+    def query_hedged(
+        self,
+        node: Address,
+        primary: Address,
+        alternate: Address,
+        query_id: QueryId,
+    ) -> None:
+        self._record(query_id).hedges += 1
+
+    def spurious_timeout(
+        self, node: Address, neighbor: Address, query_id: QueryId
+    ) -> None:
+        self._record(query_id).spurious_timeouts += 1
+
+    def query_degraded(
+        self, origin: Address, query_id: QueryId, coverage: float
+    ) -> None:
+        self._record(query_id).coverage = coverage
+
+    def branch_deferred(self, node: Address, query_id: QueryId) -> None:
+        self._record(query_id).deferrals += 1
+
     # -- aggregates ----------------------------------------------------------------
 
     def mean_routing_overhead(self) -> float:
@@ -169,6 +200,27 @@ class MetricsCollector(ProtocolObserver):
     def total_duplicates(self) -> int:
         """Total duplicate receptions (zero on a converged overlay)."""
         return sum(record.duplicates for record in self.records.values())
+
+    def total_spurious_timeouts(self) -> int:
+        """Timeouts contradicted by a late reply, across all queries."""
+        return sum(
+            record.spurious_timeouts for record in self.records.values()
+        )
+
+    def total_hedges(self) -> int:
+        """Speculative re-forwards launched, across all queries."""
+        return sum(record.hedges for record in self.records.values())
+
+    def total_deferrals(self) -> int:
+        """Branches parked on broken links, across all queries."""
+        return sum(record.deferrals for record in self.records.values())
+
+    def degraded_queries(self) -> int:
+        """Queries that completed with an explicit partial result."""
+        return sum(
+            1 for record in self.records.values()
+            if record.coverage is not None
+        )
 
     def load_distribution(self) -> List[int]:
         """Messages dispatched per node, ascending."""

@@ -48,6 +48,15 @@ class GaugeMetric:
         """Record the current value."""
         self.value = value
 
+    def add(self, delta: float) -> None:
+        """Shift the value by *delta* (may be negative).
+
+        Lets many writers share one up/down series — e.g. every node's
+        health monitor bumping ``health.breakers_open`` — where ``set``
+        semantics would make the last writer clobber the fleet total.
+        """
+        self.value += delta
+
 
 class HistogramMetric:
     """Running summary of an observed distribution (count/total/min/max)."""
@@ -91,6 +100,9 @@ class _NullGauge:
 
     def set(self, value: float) -> None:
         """Discard the value."""
+
+    def add(self, delta: float) -> None:
+        """Discard the shift."""
 
 
 class _NullHistogram:

@@ -7,11 +7,13 @@ from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.attributes import AttributeSchema, AttributeValue
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.health import HealthMonitor
 from repro.core.node import CompletionCallback, NodeConfig, ResourceNode
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
 from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
 from repro.obs.registry import MetricsRegistry
+from repro.sim.latency import nominal_rtt
 from repro.sim.network import SimNetwork, SimTransport
 
 
@@ -45,12 +47,23 @@ class SimHost:
         self._rng_factory = None if isinstance(rng, random.Random) else rng
         self._watchers: List[Callable[["SimHost", str], None]] = []
         self.transport = SimTransport(network, descriptor.address)
+        config = node_config or NodeConfig()
+        #: Per-neighbor failure-detection state, shared between the query
+        #: protocol and gossip maintenance and seeded from the network's
+        #: nominal round trip so failure timers adapt from the first
+        #: forward (hedging still waits for real samples).
+        self.health = HealthMonitor(
+            config.health,
+            initial_rtt=nominal_rtt(network.latency),
+            registry=registry,
+        )
         self.node = ResourceNode(
             descriptor,
             schema,
             self.transport,
             config=node_config,
             observer=observer,
+            health=self.health,
         )
         self.maintenance: Optional[TwoLayerMaintenance] = None
         if gossip_config is not None:
@@ -60,6 +73,10 @@ class SimHost:
                 self.rng,
                 gossip_config,
                 registry=registry,
+                # A static-timeout node gets a static gossip layer too, so
+                # the chaos harness's compare-static episodes measure the
+                # whole adaptive stack against the whole static one.
+                health=self.health if config.adaptive_timeouts else None,
             )
         network.attach(descriptor.address, self.handle_message)
         self.alive = True

@@ -28,6 +28,7 @@ def constant_latency(delay: float = 0.01) -> LatencyModel:
     def model(sender: Address, receiver: Address, rng: random.Random) -> float:
         return delay
 
+    model.nominal = delay
     return model
 
 
@@ -37,6 +38,7 @@ def uniform_latency(low: float, high: float) -> LatencyModel:
     def model(sender: Address, receiver: Address, rng: random.Random) -> float:
         return rng.uniform(low, high)
 
+    model.nominal = (low + high) / 2.0
     return model
 
 
@@ -46,6 +48,7 @@ def lan_latency(base: float = 0.0002, jitter: float = 0.0003) -> LatencyModel:
     def model(sender: Address, receiver: Address, rng: random.Random) -> float:
         return base + rng.random() * jitter
 
+    model.nominal = base + jitter / 2.0
     return model
 
 
@@ -75,4 +78,17 @@ def wan_latency(
         base = minimum + spread * fraction * fraction  # quadratic skew
         return base + rng.random() * jitter
 
+    # Mean of the quadratic skew is spread/3; jitter is uniform.
+    model.nominal = minimum + spread / 3.0 + jitter / 2.0
     return model
+
+
+def nominal_rtt(model: LatencyModel) -> "float | None":
+    """The model's a-priori round-trip estimate, if it advertises one.
+
+    Models built by this module attach a ``nominal`` one-way delay;
+    externally supplied callables may not, in which case health monitors
+    start cold and fall back to static timers until real samples arrive.
+    """
+    nominal = getattr(model, "nominal", None)
+    return 2.0 * nominal if nominal is not None else None

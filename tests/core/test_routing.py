@@ -104,6 +104,67 @@ class TestAdd:
         assert capped.zero_count() == 2
 
 
+class TestAlternateLru:
+    """Deterministic least-recently-refreshed retention of alternates.
+
+    Fail-over order must be a pure function of the gossip history (no set
+    iteration, no hashing): identical advertisement sequences yield
+    identical retry targets, which keeps chaos runs seed-stable.
+    """
+
+    def fill(self, schema, table):
+        # Address 1 becomes the (3, 0) primary; 2, 3, 4 its alternates.
+        for address in range(1, 5):
+            table.add(descriptor(schema, address, 4.5 + 0.01 * address, 0.5))
+
+    def test_oldest_alternate_evicted_when_slot_is_full(self, schema, table):
+        self.fill(schema, table)
+        table.add(descriptor(schema, 5, 4.5, 0.5))
+        assert table.get(2) is None  # least recently refreshed
+        assert {d.address for d in table.descriptors()} == {1, 3, 4, 5}
+
+    def test_refresh_moves_alternate_to_the_back(self, schema, table):
+        self.fill(schema, table)
+        # Re-advertising 2 (fresh attribute snapshot, same cell) renews it...
+        table.add(descriptor(schema, 2, 4.6, 0.5))
+        table.add(descriptor(schema, 6, 4.5, 0.5))
+        # ...so the eviction falls on 3, now the oldest entry.
+        assert table.get(2) is not None
+        assert table.get(3) is None
+
+    def test_failover_order_is_advertisement_order(self, schema, table):
+        self.fill(schema, table)
+        assert table.alternative(3, 0, exclude={1}).address == 2
+        assert table.alternative(3, 0, exclude={1, 2}).address == 3
+        assert table.alternative(3, 0, exclude={1, 2, 3}).address == 4
+        assert table.alternative(3, 0, exclude={1, 2, 3, 4}) is None
+
+    def test_identical_histories_expose_identical_failover(self, schema):
+        """Seed-stability regression: two tables fed the same sequence of
+        adds, refreshes and removals agree on every fail-over choice."""
+        def replay():
+            owner = descriptor(schema, 0, 0.5, 0.5)
+            table = RoutingTable(owner, schema.dimensions, schema.max_level)
+            for address in (1, 2, 3, 4, 5):  # overflows the slot once
+                table.add(descriptor(schema, address, 4.5, 0.5))
+            table.add(descriptor(schema, 3, 4.7, 0.5))  # refresh
+            table.remove(1)  # promote an alternate
+            return table
+
+        first, second = replay(), replay()
+        exclude = set()
+        chain = []
+        while True:
+            choice = first.alternative(3, 0, exclude)
+            other = second.alternative(3, 0, exclude)
+            assert (choice and choice.address) == (other and other.address)
+            if choice is None:
+                break
+            chain.append(choice.address)
+            exclude.add(choice.address)
+        assert len(chain) == len(set(chain)) >= 3
+
+
 class TestRemove:
     def test_remove_promotes_alternate(self, schema, table):
         first = descriptor(schema, 1, 7.5, 7.5)

@@ -87,6 +87,56 @@ class TestChurnRepair:
         assert newcomer.address in {d.address for d in found}
 
 
+class TestHealthIntegration:
+    """Gossip maintenance as the health monitor's second evidence source:
+    answer round trips train the RTT estimators, answer timeouts feed the
+    breakers, and each cycle probes one half-open neighbor."""
+
+    def test_gossip_answers_train_the_rtt_estimators(self, schema):
+        deployment, _ = gossip_deployment(schema, 30)
+        deployment.run(100.0)
+        sampled = sum(
+            host.health._ambient.samples
+            for host in deployment.alive_hosts()
+        )
+        # ~2 exchanges per node per 10 s cycle over 100 s: every answered
+        # exchange must have contributed a round-trip sample.
+        assert sampled > len(deployment.alive_hosts())
+
+    def test_answer_timeouts_trip_breakers_on_dead_peers(self, schema):
+        deployment, _ = gossip_deployment(schema, 60)
+        deployment.run(200.0)
+        victims = set(deployment.kill_fraction(0.2))
+        deployment.run(120.0)
+        charged = 0
+        for host in deployment.alive_hosts():
+            now = host.node.transport.now()
+            charged += sum(
+                1
+                for victim in victims
+                if host.health._breakers.get(victim) is not None
+                and host.health._breakers[victim].failures > 0
+            )
+        # Unanswered exchanges with the dead fifth of the overlay must
+        # have been charged as failures somewhere.
+        assert charged > 0
+
+    def test_half_open_probe_closes_the_breaker_of_a_live_peer(self, schema):
+        deployment, _ = gossip_deployment(schema, 30)
+        deployment.run(100.0)
+        prober, peer = deployment.alive_hosts()[:2]
+        now = prober.node.transport.now()
+        for offset in (0.0, 1.0, 2.0):
+            prober.health.record_failure(peer.address, now + offset)
+        assert not prober.health.usable(peer.address, now + 2.0)
+        # breaker_reset (30 s) passes, a later cycle probes the half-open
+        # peer, and its vicinity answer closes the breaker again.
+        deployment.run(90.0)
+        later = prober.node.transport.now()
+        assert prober.health.usable(peer.address, later)
+        assert prober.health.breaker_state(peer.address, later) == "closed"
+
+
 class TestGracefulStop:
     def test_stop_cancels_timers(self, schema):
         deployment, _ = gossip_deployment(schema, 20)

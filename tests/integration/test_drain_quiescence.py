@@ -20,7 +20,9 @@ from repro.workloads.distributions import uniform_sampler
 from repro.workloads.queries import aligned_selectivity_query
 
 
-def build_lossy_gossip_deployment(size=96, seed=5, loss_rate=0.15):
+def build_lossy_gossip_deployment(
+    size=96, seed=5, loss_rate=0.15, defer_broken_links=None
+):
     from repro.experiments.config import ExperimentConfig
 
     config = ExperimentConfig(network_size=size, seed=seed)
@@ -32,7 +34,10 @@ def build_lossy_gossip_deployment(size=96, seed=5, loss_rate=0.15):
         latency=constant_latency(0.02),
         loss_rate=loss_rate,
         node_config=NodeConfig(
-            query_timeout=10.0, min_timeout=0.5, retry_on_timeout=True
+            query_timeout=10.0,
+            min_timeout=0.5,
+            retry_on_timeout=True,
+            defer_broken_links=defer_broken_links,
         ),
         gossip_config=config.gossip_config(),
         observer=metrics,
@@ -93,6 +98,31 @@ class TestDrainQuiescence:
         issue_workload(deployment, rounds=12, interval=15.0, rng=rng)
         churn.stop()
         assert churn.events > 0  # the run actually churned
+        assert_quiescent(deployment)
+
+    def test_deferral_under_churn_leaves_no_residue(self):
+        """With defer_broken_links on, parked branches arm retry timers;
+        completion (and σ) must cancel every one of them — a leaked defer
+        timer fires into a finished query and shows up as queue residue
+        or a pending-table entry here."""
+        deployment, metrics = build_lossy_gossip_deployment(
+            seed=11, defer_broken_links=5.0
+        )
+        churn = ContinuousChurn(
+            deployment,
+            rate=0.04,
+            sampler=uniform_sampler(deployment.schema),
+            interval=10.0,
+            rng=derive_rng(11, "churn"),
+        )
+        churn.start()
+        rng = derive_rng(11, "workload")
+        issue_workload(deployment, rounds=12, interval=15.0, rng=rng)
+        churn.stop()
+        assert churn.events > 0
+        # The run must actually have parked branches, or the test proves
+        # nothing about defer-timer hygiene.
+        assert metrics.total_deferrals() > 0
         assert_quiescent(deployment)
 
     def test_loss_plus_crash_restart_churn_leaves_no_residue(self):
