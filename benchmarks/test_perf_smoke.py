@@ -85,3 +85,64 @@ def test_ground_truth_lookup_is_indexed(benchmark):
     # from the handful of overlapping cells. A full-scan regression costs
     # 200 * 5,000 matches() calls and blows straight through this.
     assert elapsed < 2.0
+
+
+def test_memory_footprint_per_node(benchmark):
+    """Compact-state gate: tracemalloc-attributed bytes per node.
+
+    The whole per-node cost of a converged deployment — descriptor, host,
+    node, routing table, links — measured with tracemalloc so the number
+    is stable across machines (unlike RSS). Observed ~7.7 KB/node after
+    the slots/interning work; reverting NodeDescriptor/RoutingTable to
+    dict-backed instances costs 1.5-2 KB/node and trips this ceiling.
+    """
+    from repro.util.memory import traced_allocation
+
+    holder: list = []
+
+    def build_traced():
+        with traced_allocation(holder):
+            return build_deployment(PAPER_PEERSIM.scaled(SMOKE_N))
+
+    deployment, _ = run_once(benchmark, build_traced)
+    assert len(deployment.alive_hosts()) == SMOKE_N
+    bytes_per_node = holder[0] / SMOKE_N
+    assert bytes_per_node < 9_500, (
+        f"per-node footprint regressed: {bytes_per_node:.0f} bytes/node"
+    )
+
+
+def test_sharded_engine_is_deterministic(benchmark):
+    """Determinism gate: sharded == single-process, bit for bit.
+
+    Same seed, same workload, peersim testbed (constant latency, zero
+    loss): the 3-shard engine must reproduce the single-process per-query
+    metrics exactly. Catches any drift in the shared rng streams, the
+    bootstrap replay, or the cross-shard barrier ordering.
+    """
+    from repro.experiments.scale import build_sharded_deployment
+
+    cfg = PAPER_PEERSIM.scaled(2_000)
+    schema = cfg.schema()
+
+    def fingerprint(deployment, metrics):
+        outcomes = measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+            count=5,
+            sigma=cfg.sigma,
+            seed=cfg.seed,
+        )
+        return [
+            (o.overhead, o.delivery, o.found, o.expected, o.duplicates)
+            for o in outcomes
+        ]
+
+    def compare():
+        single = fingerprint(*build_deployment(cfg))
+        sharded = fingerprint(*build_sharded_deployment(cfg, num_shards=3))
+        return single, sharded
+
+    single, sharded = run_once(benchmark, compare)
+    assert sharded == single

@@ -4,9 +4,10 @@
 The tracked workload is the acceptance benchmark of the fast-path work:
 build the paper's headline configuration (N=100,000, d=5, max(l)=3,
 uniform population, converged overlay) and issue 10 aligned f=0.125
-queries at sigma=50. Each invocation appends one machine-readable row, so
-the JSON file accumulates the performance trajectory of the repository
-over time.
+queries at sigma=50. Each invocation appends one machine-readable row —
+wall time per phase, peak RSS and measured bytes per node — so the JSON
+file accumulates the performance trajectory of the repository over time.
+``--shards K`` runs the same workload on the sharded engine instead.
 
 Usage::
 
@@ -20,17 +21,11 @@ import argparse
 import json
 import platform
 import subprocess
-import time
 from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.config import PAPER_PEERSIM
-from repro.experiments.harness import (
-    build_deployment,
-    mean_overhead,
-    measure_queries,
-)
-from repro.workloads.queries import aligned_selectivity_query
+from repro.experiments.scale import measure_scale
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_paper_scale.json"
 
@@ -46,34 +41,12 @@ def git_revision() -> str:
         return "unknown"
 
 
-def measure(size: int, queries: int) -> dict:
-    cfg = PAPER_PEERSIM if size == PAPER_PEERSIM.network_size else (
-        PAPER_PEERSIM.scaled(size)
+def measure(
+    size: int, queries: int, shards: int = 1, shard_mode: str = "inline"
+) -> dict:
+    return measure_scale(
+        size, queries=queries, num_shards=shards, shard_mode=shard_mode
     )
-    schema = cfg.schema()
-    build_start = time.perf_counter()
-    deployment, metrics = build_deployment(cfg)
-    build_seconds = time.perf_counter() - build_start
-    query_start = time.perf_counter()
-    outcomes = measure_queries(
-        deployment,
-        metrics,
-        lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
-        count=queries,
-        sigma=cfg.sigma,
-        seed=cfg.seed,
-    )
-    query_seconds = time.perf_counter() - query_start
-    return {
-        "network_size": size,
-        "queries": queries,
-        "build_seconds": round(build_seconds, 3),
-        "query_seconds": round(query_seconds, 3),
-        "total_seconds": round(build_seconds + query_seconds, 3),
-        "mean_overhead": round(mean_overhead(outcomes), 3),
-        "duplicates": sum(outcome.duplicates for outcome in outcomes),
-        "min_found": min(outcome.found for outcome in outcomes),
-    }
 
 
 def append_row(row: dict) -> None:
@@ -93,12 +66,20 @@ def main() -> int:
     )
     parser.add_argument("--queries", type=int, default=10)
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run on the sharded engine with this many shards",
+    )
+    parser.add_argument(
+        "--shard-mode", choices=["inline", "process"], default="inline",
+        help="worker mode for --shards > 1 (default inline)",
+    )
+    parser.add_argument(
         "--dry-run", action="store_true",
         help="print the row without appending it",
     )
     args = parser.parse_args()
 
-    row = measure(args.size, args.queries)
+    row = measure(args.size, args.queries, args.shards, args.shard_mode)
     row.update(
         label=args.label or f"run@{git_revision()}",
         git_revision=git_revision(),

@@ -212,6 +212,22 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the tracked paper-scale workload and print the row."""
+    import json
+
+    from repro.experiments.scale import measure_scale
+
+    row = measure_scale(
+        args.size,
+        queries=args.queries,
+        num_shards=args.shards,
+        shard_mode=args.shard_mode,
+    )
+    print(json.dumps(row, indent=2))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.harness import build_deployment
     from repro.obs.render import render_hop_tree
@@ -415,6 +431,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "detection) against it")
     chaos.add_argument("--json", type=str, default="",
                        help="also write the full report to this JSON file")
+    bench = subparsers.add_parser(
+        "bench",
+        help="measure the paper-scale workload: wall time, peak RSS and "
+        "bytes per node (optionally on the sharded engine)",
+    )
+    bench.add_argument("--size", type=int, default=100_000,
+                       help="network size N (default: the paper's 100,000)")
+    bench.add_argument("--queries", type=int, default=10,
+                       help="measured queries (default 10)")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="shard count; >1 uses the sharded engine")
+    bench.add_argument("--shard-mode", choices=["inline", "process"],
+                       default="inline",
+                       help="worker mode for --shards > 1 (default inline)")
     trace = subparsers.add_parser(
         "trace",
         help="issue one traced query on a converged overlay and render "
@@ -442,6 +472,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         print("\nRun one with: python -m repro run <experiment> [--size N]")
         return 0
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "chaos":

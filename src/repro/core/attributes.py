@@ -142,7 +142,16 @@ class AttributeSchema:
     definitions: Sequence[AttributeDefinition]
     max_level: int = 3
     boundaries: Optional[List[List[float]]] = None
-    _index_by_name: Dict[str, int] = field(init=False, repr=False)
+    _index_by_name: Dict[str, int] = field(init=False, repr=False, compare=False)
+    #: Canonical copies of coordinate tuples handed out by
+    #: :meth:`coordinates`. Every node in the same C0 cell shares one
+    #: tuple object instead of owning a private copy, which at scale saves
+    #: ~100 bytes per node (the cache can never exceed the number of
+    #: *distinct* occupied cells, and each entry is the canonical tuple
+    #: that would exist anyway).
+    _intern: Dict[Tuple[int, ...], Tuple[int, ...]] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.definitions:
@@ -153,6 +162,7 @@ class AttributeSchema:
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate attribute names in {names}")
         self._index_by_name = {name: dim for dim, name in enumerate(names)}
+        self._intern = {}
         if self.boundaries is None:
             self.boundaries = [
                 self._regular_boundaries(definition)
@@ -274,15 +284,43 @@ class AttributeSchema:
         return bisect.bisect_right(self.boundaries[dim], numeric_value)
 
     def coordinates(self, numeric_values: Sequence[float]) -> Tuple[int, ...]:
-        """Map a numeric value vector to the per-dimension cell indices."""
+        """Map a numeric value vector to the per-dimension cell indices.
+
+        The returned tuple is interned: all callers mapping into the same
+        C0 cell receive the same tuple object (see ``_intern``).
+        """
         if len(numeric_values) != self.dimensions:
             raise ConfigurationError(
                 f"expected {self.dimensions} values, got {len(numeric_values)}"
             )
-        return tuple(
+        coords = tuple(
             self.cell_index(dim, value)
             for dim, value in enumerate(numeric_values)
         )
+        return self._intern.setdefault(coords, coords)
+
+    def intern_coordinates(self, coords: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Return the canonical shared tuple equal to *coords*."""
+        return self._intern.setdefault(coords, coords)
+
+    def coordinates_batch(
+        self, value_matrix: Sequence[Sequence[float]]
+    ) -> List[Tuple[int, ...]]:
+        """Map many numeric value vectors to (interned) coordinate tuples.
+
+        Semantically ``[self.coordinates(row) for row in value_matrix]``;
+        uses the vectorized searchsorted path when numpy is available
+        (``np.searchsorted(side="right")`` is exactly ``bisect_right``).
+        """
+        from repro.core import vector
+
+        if not vector.HAVE_NUMPY or len(value_matrix) < 64:
+            return [self.coordinates(row) for row in value_matrix]
+        intern = self._intern.setdefault
+        matrix = vector.coordinates_matrix(self, vector.np.asarray(value_matrix))
+        return [
+            intern(coords, coords) for coords in map(tuple, matrix.tolist())
+        ]
 
     def index_range(
         self,

@@ -22,9 +22,15 @@ from repro.core.attributes import AttributeSchema, AttributeValue
 Address = int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeDescriptor:
-    """Immutable snapshot of a node's identity and attribute values."""
+    """Immutable snapshot of a node's identity and attribute values.
+
+    Declared with ``slots=True``: descriptors are the single most numerous
+    object kind in a large deployment (one per node, shared by every
+    routing table that links to the node), and dropping the per-instance
+    ``__dict__`` saves roughly 100 bytes each — a node-count-sized win.
+    """
 
     address: Address
     values: Tuple[float, ...]

@@ -221,6 +221,25 @@ class HealthMonitor:
     monitors aggregates into fleet-wide series.
     """
 
+    __slots__ = (
+        "config",
+        "initial_rtt",
+        "_estimators",
+        "_ambient",
+        "_breakers",
+        "_rtt_hist",
+        "_rto_hist",
+        "_breaker_opened",
+        "_breaker_closed",
+        "_open_gauge",
+        "_hedges_launched",
+        "_hedges_won",
+        "_hedges_lost",
+        "_hedges_cancelled",
+        "_spurious",
+        "_probes",
+    )
+
     def __init__(
         self,
         config: Optional[HealthConfig] = None,

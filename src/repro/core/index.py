@@ -26,11 +26,16 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import vector
 from repro.core.attributes import AttributeSchema
 from repro.core.cells import Coordinates
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.core.query import Query
 from repro.util.intervals import Interval
+
+#: Occupied-cell count below which the vectorized membership scan is not
+#: worth the matrix build (the scalar loop wins on small populations).
+_VECTOR_SCAN_THRESHOLD = 512
 
 
 class CellIndex:
@@ -40,10 +45,18 @@ class CellIndex:
     changed (the node's attributes were updated) moves it between cells.
     """
 
+    __slots__ = ("schema", "_cells", "_cell_of", "_matrix", "_matrix_cells")
+
     def __init__(self, schema: AttributeSchema) -> None:
         self.schema = schema
         self._cells: Dict[Coordinates, Dict[Address, NodeDescriptor]] = {}
         self._cell_of: Dict[Address, Coordinates] = {}
+        # Lazily built (occupied cells x dimensions) coordinate matrix for
+        # the vectorized membership scan; dropped whenever the set of
+        # occupied cells changes. ``_matrix_cells`` aligns matrix rows
+        # with cell keys in insertion order.
+        self._matrix = None
+        self._matrix_cells: List[Coordinates] = []
 
     def __len__(self) -> int:
         return len(self._cell_of)
@@ -69,6 +82,7 @@ class CellIndex:
         if members is None:
             members = {}
             self._cells[coordinates] = members
+            self._matrix = None
         members[address] = descriptor
         self._cell_of[address] = coordinates
 
@@ -82,6 +96,7 @@ class CellIndex:
             members.pop(address, None)
             if not members:
                 del self._cells[coordinates]
+                self._matrix = None
         return True
 
     def _evict(self, address: Address, coordinates: Coordinates) -> None:
@@ -90,6 +105,7 @@ class CellIndex:
             members.pop(address, None)
             if not members:
                 del self._cells[coordinates]
+                self._matrix = None
         del self._cell_of[address]
 
     # -- lookup -----------------------------------------------------------------
@@ -145,6 +161,22 @@ class CellIndex:
                 members = cells.get(coordinates)
                 if members:
                     yield from members.values()
+        elif (
+            vector.HAVE_NUMPY
+            and len(self._cells) >= _VECTOR_SCAN_THRESHOLD
+        ):
+            # Vectorized occupied scan: one batch box-membership test over
+            # the cached coordinate matrix instead of a Python loop per
+            # cell. Yields the same descriptors in the same (insertion)
+            # order as the scalar branch below.
+            if self._matrix is None:
+                self._matrix_cells = list(self._cells)
+                self._matrix = vector.matrix_of(self._matrix_cells)
+            mask = vector.contains_mask(self._matrix, ranges)
+            cells = self._cells
+            matrix_cells = self._matrix_cells
+            for row in mask.nonzero()[0]:
+                yield from cells[matrix_cells[row]].values()
         else:
             for coordinates, members in self._cells.items():
                 if all(

@@ -115,7 +115,7 @@ class NodeConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Book-keeping for one entry of the ``waiting`` table."""
 
@@ -134,7 +134,7 @@ class _Outstanding:
     hedge_timer: Optional[TimerHandle] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingQuery:
     """Local state for one query (the three tables of Figure 4(b))."""
 
@@ -188,6 +188,20 @@ class _PendingQuery:
 
 class ResourceNode:
     """Protocol logic of a single overlay node (transport-agnostic)."""
+
+    __slots__ = (
+        "schema",
+        "transport",
+        "config",
+        "observer",
+        "health",
+        "descriptor",
+        "routing",
+        "pending",
+        "_seen",
+        "_query_counter",
+        "dynamic_values",
+    )
 
     def __init__(
         self,

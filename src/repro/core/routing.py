@@ -43,6 +43,19 @@ class RoutingTable:
         every known C0 member, as the paper requires for the final fan-out.
     """
 
+    __slots__ = (
+        "owner",
+        "dimensions",
+        "max_level",
+        "alternates_per_slot",
+        "zero_capacity",
+        "_primary",
+        "_alternates",
+        "_zero",
+        "_by_address",
+        "_regions",
+    )
+
     def __init__(
         self,
         owner: NodeDescriptor,
@@ -57,12 +70,19 @@ class RoutingTable:
         self.alternates_per_slot = alternates_per_slot
         self.zero_capacity = zero_capacity
         self._primary: Dict[Tuple[int, int], NodeDescriptor] = {}
-        self._alternates: Dict[Tuple[int, int], Dict[Address, NodeDescriptor]] = {}
+        # Per-slot fail-over candidates in least-recently-refreshed order
+        # (index 0 = oldest). Lists, not dicts: a slot holds at most
+        # ``alternates_per_slot`` entries, so the linear scans stay trivial
+        # while each populated slot sheds a ~184-byte dict.
+        self._alternates: Dict[Tuple[int, int], List[NodeDescriptor]] = {}
         self._zero: Dict[Address, NodeDescriptor] = {}
-        # Address-keyed shadow of the whole table: address -> (slot, descriptor).
-        # Keeps membership tests, slot location and descriptor lookup O(1) —
-        # these are hot paths during bootstrap and in the gossip layer.
-        self._by_address: Dict[Address, Tuple[Slot, NodeDescriptor]] = {}
+        # Address-keyed shadow of the whole table. Keeps membership tests
+        # and descriptor lookup O(1) — hot paths during bootstrap and in
+        # the gossip layer. Stores the descriptor only; the slot is
+        # recomputed by :meth:`classify` on the rare paths that need it
+        # (a per-link ``(slot, descriptor)`` tuple costs ~56 bytes, and
+        # with ~60+ links per node that tuple dominated table memory).
+        self._by_address: Dict[Address, NodeDescriptor] = {}
         # Region geometry is computed on demand: most nodes in a large
         # deployment never forward a query, and eagerly materializing
         # d * max_level Region objects per node dominates memory at scale.
@@ -99,14 +119,13 @@ class RoutingTable:
         if address == self.owner.address:
             return False
         slot = self.classify(descriptor)
-        entry = self._by_address.get(address)
-        if entry is not None:
-            current_slot, current = entry
-            if current_slot == slot:
+        current = self._by_address.get(address)
+        if current is not None:
+            if self.classify(current) == slot:
                 if current == descriptor:
                     return False
                 # Refresh in place (same slot, new attribute snapshot).
-                self._by_address[address] = (slot, descriptor)
+                self._by_address[address] = descriptor
                 if slot == ZERO_SLOT:
                     self._zero[address] = descriptor
                 else:
@@ -116,8 +135,11 @@ class RoutingTable:
                     else:
                         # Refresh = re-advertisement: move to the LRU back.
                         alternates = self._alternates[slot]
-                        del alternates[address]
-                        alternates[address] = descriptor
+                        for position, alternate in enumerate(alternates):
+                            if alternate.address == address:
+                                del alternates[position]
+                                break
+                        alternates.append(descriptor)
                 return True
             # A known address whose new attributes place it in a *different*
             # slot (the node's resources changed) must not linger in the old
@@ -130,24 +152,23 @@ class RoutingTable:
             ):
                 return False
             self._zero[address] = descriptor
-            self._by_address[address] = (slot, descriptor)
+            self._by_address[address] = descriptor
             return True
         primary = self._primary.get(slot)
         if primary is None:
             self._primary[slot] = descriptor
-            self._by_address[address] = (slot, descriptor)
+            self._by_address[address] = descriptor
             return True
-        alternates = self._alternates.setdefault(slot, {})
+        alternates = self._alternates.setdefault(slot, [])
         if len(alternates) >= self.alternates_per_slot:
             if self.alternates_per_slot <= 0:
                 return False
             # Deterministic LRU eviction: drop the least recently
-            # refreshed alternate (dict order = refresh order).
-            evicted = next(iter(alternates))
-            del alternates[evicted]
-            self._by_address.pop(evicted, None)
-        alternates[address] = descriptor
-        self._by_address[address] = (slot, descriptor)
+            # refreshed alternate (list order = refresh order).
+            evicted = alternates.pop(0)
+            self._by_address.pop(evicted.address, None)
+        alternates.append(descriptor)
+        self._by_address[address] = descriptor
         return True
 
     def seed_zero(self, descriptors: Iterable[NodeDescriptor]) -> None:
@@ -170,7 +191,7 @@ class RoutingTable:
             if capacity is not None and len(zero) >= capacity:
                 return
             zero[address] = descriptor
-            by_address[address] = (ZERO_SLOT, descriptor)
+            by_address[address] = descriptor
 
     def seed_slots(
         self,
@@ -212,7 +233,7 @@ class RoutingTable:
                     indices[randbelow(count)] = None
                 chosen = [bucket[i] for i in indices]
             slot = (level, dim)
-            alternates: Optional[Dict[Address, NodeDescriptor]] = None
+            alternates: Optional[List[NodeDescriptor]] = None
             for descriptor in chosen:
                 address = descriptor.address
                 if address == owner_address or address in by_address:
@@ -221,28 +242,27 @@ class RoutingTable:
                     primary[slot] = descriptor
                 else:
                     if alternates is None:
-                        alternates = self._alternates.setdefault(slot, {})
+                        alternates = self._alternates.setdefault(slot, [])
                     if len(alternates) >= cap:
                         break
-                    alternates[address] = descriptor
-                by_address[address] = (slot, descriptor)
+                    alternates.append(descriptor)
+                by_address[address] = descriptor
 
     def _locate(self, address: Address) -> Optional[Slot]:
         """The slot currently holding *address*, or None if unknown."""
         entry = self._by_address.get(address)
-        return entry[0] if entry is not None else None
+        return self.classify(entry) if entry is not None else None
 
     def get(self, address: Address) -> Optional[NodeDescriptor]:
         """The stored descriptor for *address*, or None if unknown."""
-        entry = self._by_address.get(address)
-        return entry[1] if entry is not None else None
+        return self._by_address.get(address)
 
     def remove(self, address: Address) -> None:
         """Drop every link to *address*, promoting an alternate if needed."""
         entry = self._by_address.pop(address, None)
         if entry is None:
             return
-        slot = entry[0]
+        slot = self.classify(entry)
         if slot == ZERO_SLOT:
             self._zero.pop(address, None)
             return
@@ -251,12 +271,15 @@ class RoutingTable:
             del self._primary[slot]
             alternates = self._alternates.get(slot)
             if alternates:
-                _, promoted = alternates.popitem()
-                self._primary[slot] = promoted
+                # Promote the most recently refreshed alternate.
+                self._primary[slot] = alternates.pop()
         else:
             alternates = self._alternates.get(slot)
             if alternates:
-                alternates.pop(address, None)
+                for position, alternate in enumerate(alternates):
+                    if alternate.address == address:
+                        del alternates[position]
+                        break
 
     def rebuild(self, owner: NodeDescriptor) -> List[NodeDescriptor]:
         """Re-seat the table around a new *owner* descriptor.
@@ -289,7 +312,7 @@ class RoutingTable:
         primary = self._primary.get((level, dim))
         if primary is not None and primary.address not in exclude:
             return primary
-        for descriptor in self._alternates.get((level, dim), {}).values():
+        for descriptor in self._alternates.get((level, dim), ()):
             if descriptor.address not in exclude:
                 return descriptor
         return None
@@ -306,7 +329,7 @@ class RoutingTable:
                 seen.add(descriptor.address)
                 yield descriptor
         for alternates in list(self._alternates.values()):
-            for descriptor in list(alternates.values()):
+            for descriptor in list(alternates):
                 if descriptor.address not in seen:
                     seen.add(descriptor.address)
                     yield descriptor

@@ -1,0 +1,127 @@
+"""Paper-scale measurement: wall time, memory footprint, shard plumbing.
+
+This module is the engine behind ``scripts/bench_trajectory.py`` and the
+``repro bench`` CLI subcommand. One :func:`measure_scale` call builds a
+PAPER_PEERSIM-shaped deployment at the requested size, runs the tracked
+query workload (aligned f=0.125 queries at the paper's sigma), and
+reports the per-query observables alongside the resource numbers ROADMAP
+item 2 asks for: wall-clock per phase, peak RSS, and measured bytes per
+node.
+
+:func:`build_sharded_deployment` is the sharded twin of
+:func:`repro.experiments.harness.build_deployment` — same config, same
+rng streams, same measurement surface — used by the determinism tests
+and for shard-partitioned runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.config import PAPER_PEERSIM, ExperimentConfig
+from repro.experiments.harness import (
+    build_deployment,
+    latency_for_testbed,
+    mean_delivery,
+    mean_overhead,
+    measure_queries,
+)
+from repro.sim.deployment import ValueSampler
+from repro.sim.shard import ShardedDeployment, _MergedMetrics
+from repro.util.memory import current_rss_bytes, peak_rss_bytes
+from repro.workloads.distributions import uniform_sampler
+from repro.workloads.queries import aligned_selectivity_query
+
+
+def build_sharded_deployment(
+    config: ExperimentConfig,
+    num_shards: int,
+    mode: str = "inline",
+    sampler: Optional[ValueSampler] = None,
+) -> Tuple[ShardedDeployment, _MergedMetrics]:
+    """Build a populated, bootstrapped sharded deployment for *config*.
+
+    Mirrors :func:`repro.experiments.harness.build_deployment` for the
+    converged (gossip-less) case: same schema, same latency preset, same
+    population and bootstrap rng streams — so per-query metrics are
+    bit-identical to the single-process engine on deterministic
+    testbeds (``peersim``).
+    """
+    schema = config.schema()
+    latency, loss = latency_for_testbed(config.testbed)
+    deployment = ShardedDeployment(
+        schema,
+        num_shards=num_shards,
+        seed=config.seed,
+        latency=latency,
+        loss_rate=loss,
+        node_config=config.node_config(),
+        mode=mode,
+    )
+    deployment.populate(sampler or uniform_sampler(schema), config.network_size)
+    deployment.bootstrap()
+    return deployment, deployment.metrics
+
+
+def measure_scale(
+    size: int,
+    queries: int = 10,
+    num_shards: int = 1,
+    shard_mode: str = "inline",
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Any]:
+    """Build at *size*, measure *queries*, report time + memory + quality.
+
+    The workload matches the tracked BENCH_paper_scale.json rows: aligned
+    f=selectivity queries at the config's sigma. With ``num_shards > 1``
+    the sharded engine runs the queries (single-process by default).
+    ``bytes_per_node`` is the RSS growth across populate+bootstrap
+    divided by the population — the whole per-node cost (descriptor,
+    host, node, routing table and all its links), not one structure.
+    """
+    base = config or PAPER_PEERSIM
+    cfg = base if size == base.network_size else base.scaled(size)
+    schema = cfg.schema()
+    rss_before = current_rss_bytes()
+    build_started = time.perf_counter()
+    if num_shards > 1:
+        deployment, metrics = build_sharded_deployment(
+            cfg, num_shards=num_shards, mode=shard_mode
+        )
+    else:
+        deployment, metrics = build_deployment(cfg)
+    build_seconds = time.perf_counter() - build_started
+    rss_after = current_rss_bytes()
+
+    query_started = time.perf_counter()
+    outcomes = measure_queries(
+        deployment,
+        metrics,
+        lambda rng: aligned_selectivity_query(schema, cfg.selectivity, rng),
+        count=queries,
+        sigma=cfg.sigma,
+        seed=cfg.seed,
+    )
+    query_seconds = time.perf_counter() - query_started
+
+    built_bytes = max(0, rss_after - rss_before)
+    result = {
+        "network_size": size,
+        "queries": queries,
+        "build_seconds": round(build_seconds, 3),
+        "query_seconds": round(query_seconds, 3),
+        "total_seconds": round(build_seconds + query_seconds, 3),
+        "mean_overhead": round(mean_overhead(outcomes), 3),
+        "mean_delivery": round(mean_delivery(outcomes), 6),
+        "duplicates": sum(outcome.duplicates for outcome in outcomes),
+        "min_found": min(outcome.found for outcome in outcomes),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "deployment_rss_bytes": built_bytes,
+        "bytes_per_node": round(built_bytes / size, 1) if size else 0.0,
+        "num_shards": num_shards,
+    }
+    closer = getattr(deployment, "close", None)
+    if closer is not None:
+        closer()
+    return result

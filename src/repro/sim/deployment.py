@@ -20,6 +20,8 @@ from repro.core.cells import bucket_key, flipped_key
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.core.index import CellIndex
 from repro.core.node import NodeConfig
+from repro.core.routing import RoutingTable
+from repro.core import vector
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
 from repro.gossip.maintenance import GossipConfig
@@ -33,6 +35,148 @@ from repro.util.rng import derive_rng
 
 #: A sampler draws one node's raw attribute values.
 ValueSampler = Callable[[random.Random], Mapping[str, AttributeValue]]
+
+
+def consume_slot_draws(
+    slot_buckets: Sequence[Tuple[int, int, Sequence[NodeDescriptor], int]],
+    rng: random.Random,
+) -> None:
+    """Advance *rng* exactly as ``RoutingTable.seed_slots`` would.
+
+    The sharded engine replays the single global bootstrap rng stream on
+    every shard and installs tables only for locally-owned nodes; remote
+    nodes' draws must still be consumed so the stream stays aligned.
+    This mirrors the sampling in
+    :meth:`repro.core.routing.RoutingTable.seed_slots` draw for draw
+    (the draw count depends only on bucket sizes and pick counts, never
+    on table contents) — keep the two in sync.
+    """
+    randbelow = rng._randbelow
+    shuffle = rng.shuffle
+    for _level, _dim, bucket, picks in slot_buckets:
+        count = len(bucket)
+        if picks == 1:
+            randbelow(count)
+        elif picks >= count:
+            scratch = list(range(count))
+            shuffle(scratch)
+        else:
+            indices: Dict[int, None] = {}
+            while len(indices) < picks:
+                indices[rng._randbelow(count)] = None
+
+
+def _slot_buckets_by_cell(
+    index: CellIndex,
+    schema: AttributeSchema,
+    picks_cap: int,
+) -> Dict[Tuple[int, ...], List]:
+    """Per occupied C0 cell, the ``(level, dim, bucket, picks)`` list.
+
+    A node Y lies in N(l,k)(X) iff Y's bucket key under (l,k) equals X's
+    key with the dimension-k component flipped in its lowest bit (same
+    C_l prefix, same halves below k, sibling half at k, free below). All
+    members of a C0 cell share every bucket key, so keys are derived once
+    per occupied cell, not once per node. When numpy is available and the
+    geometry packs into int64 (``d * max_level <= 62``), the keys for all
+    occupied cells are computed as one packed-code matrix per slot — the
+    vectorized bootstrap bucket assignment; the scalar tuple keys remain
+    the fallback and the semantics of record.
+    """
+    max_level = schema.max_level
+    dimensions = schema.dimensions
+    cell_items = list(index.cells())
+    coords_matrix = vector.matrix_of([cell for cell, _ in cell_items])
+    slot_buckets_of: Dict[Tuple[int, ...], List] = {
+        cell: [] for cell, _ in cell_items
+    }
+
+    if coords_matrix is not None and vector.packable(dimensions, max_level):
+        for level in range(1, max_level + 1):
+            for dim in range(dimensions):
+                codes = vector.pack_codes(
+                    coords_matrix, level, dim, max_level
+                ).tolist()
+                flipped = vector.pack_codes(
+                    coords_matrix, level, dim, max_level, flip=True
+                ).tolist()
+                by_code: Dict[int, List[NodeDescriptor]] = {}
+                for code, (_cell, members) in zip(codes, cell_items):
+                    existing = by_code.get(code)
+                    if existing is None:
+                        by_code[code] = list(members)
+                    else:
+                        existing.extend(members)
+                for code, (cell, _members) in zip(flipped, cell_items):
+                    bucket = by_code.get(code)
+                    if bucket:
+                        slot_buckets_of[cell].append(
+                            (level, dim, bucket, min(len(bucket), picks_cap))
+                        )
+        return slot_buckets_of
+
+    buckets: Dict[Tuple, List[NodeDescriptor]] = defaultdict(list)
+    for coordinates, members in cell_items:
+        for level in range(1, max_level + 1):
+            for dim in range(dimensions):
+                buckets[bucket_key(coordinates, level, dim)].extend(members)
+    for coordinates, _members in cell_items:
+        slot_buckets = slot_buckets_of[coordinates]
+        for level in range(1, max_level + 1):
+            for dim in range(dimensions):
+                bucket = buckets.get(flipped_key(coordinates, level, dim))
+                if bucket:
+                    slot_buckets.append(
+                        (level, dim, bucket, min(len(bucket), picks_cap))
+                    )
+    return slot_buckets_of
+
+
+def bootstrap_tables(
+    descriptors: Sequence[NodeDescriptor],
+    rng: random.Random,
+    table_for: Callable[[Address], Optional[RoutingTable]],
+    schema: AttributeSchema,
+    alternates_per_slot: int = 3,
+) -> None:
+    """Seed converged routing tables for a (possibly partial) population.
+
+    *descriptors* is the **whole** overlay population in a deterministic
+    order; *table_for* resolves an address to the routing table to seed,
+    or None for nodes this caller does not own (a sharded worker seeding
+    only its partition). Unowned nodes still consume their rng draws via
+    :func:`consume_slot_draws`, so every shard replaying the same stream
+    installs bit-identical tables for the nodes it does own.
+    """
+    if not descriptors:
+        return
+    max_level = schema.max_level
+    dimensions = schema.dimensions
+
+    # The CellIndex provides the C0 grouping: all nodes sharing a
+    # coordinate vector land in the same cell bucket.
+    index = CellIndex(schema)
+    by_cell: Dict[Tuple[int, ...], List[NodeDescriptor]] = defaultdict(list)
+    for descriptor in descriptors:
+        index.add(descriptor)
+        by_cell[descriptor.coordinates].append(descriptor)
+
+    picks_cap = 1 + alternates_per_slot
+    slot_buckets_of = _slot_buckets_by_cell(index, schema, picks_cap)
+    for coordinates, cell_descriptors in by_cell.items():
+        # Nodes in the same C0 cell see the same slot buckets; resolve
+        # them once per cell. Each node still draws its *own* random
+        # sample per slot — the independent selection the paper credits
+        # for spreading links evenly across cell inhabitants.
+        zero_members = index.members(coordinates)
+        slot_buckets = slot_buckets_of[coordinates]
+        for descriptor in cell_descriptors:
+            routing = table_for(descriptor.address)
+            if routing is None:
+                consume_slot_draws(slot_buckets, rng)
+                continue
+            routing.seed_zero(zero_members)  # skips the self-descriptor
+            routing.seed_slots(slot_buckets, rng)
 
 
 def bootstrap_links(
@@ -53,48 +197,14 @@ def bootstrap_links(
         return
     # Any object exposing ``.node`` (SimHost, RuntimeHost) can be linked.
     schema = hosts[0].node.schema
-    max_level = schema.max_level
-    dimensions = schema.dimensions
-
-    # The CellIndex provides the C0 grouping: all hosts sharing a
-    # coordinate vector land in the same cell bucket.
-    index = CellIndex(schema)
-    by_cell: Dict[Tuple[int, ...], List] = defaultdict(list)
-    for host in hosts:
-        descriptor = host.node.descriptor
-        index.add(descriptor)
-        by_cell[descriptor.coordinates].append(host)
-
-    # Neighboring-cell buckets. A node Y lies in N(l,k)(X) iff Y's bucket
-    # key under (l,k) equals X's key with the dimension-k component flipped
-    # in its lowest bit (same C_l prefix, same halves below k, sibling half
-    # at k, free below). All members of a C0 cell share every bucket key,
-    # so keys are derived once per occupied cell, not once per node.
-    buckets: Dict[Tuple, List[NodeDescriptor]] = defaultdict(list)
-    for coordinates, members in index.cells():
-        for level in range(1, max_level + 1):
-            for dim in range(dimensions):
-                buckets[bucket_key(coordinates, level, dim)].extend(members)
-
-    picks_cap = 1 + alternates_per_slot
-    for coordinates, cell_hosts in by_cell.items():
-        # Hosts in the same C0 cell see the same slot buckets; resolve the
-        # flipped keys once per cell. Each host still draws its *own*
-        # random sample per slot — the independent selection the paper
-        # credits for spreading links evenly across cell inhabitants.
-        zero_members = index.members(coordinates)
-        slot_buckets = []
-        for level in range(1, max_level + 1):
-            for dim in range(dimensions):
-                bucket = buckets.get(flipped_key(coordinates, level, dim))
-                if bucket:
-                    slot_buckets.append(
-                        (level, dim, bucket, min(len(bucket), picks_cap))
-                    )
-        for host in cell_hosts:
-            routing = host.node.routing
-            routing.seed_zero(zero_members)  # skips the self-descriptor
-            routing.seed_slots(slot_buckets, rng)
+    tables = {host.node.descriptor.address: host.node.routing for host in hosts}
+    bootstrap_tables(
+        [host.node.descriptor for host in hosts],
+        rng,
+        tables.get,
+        schema,
+        alternates_per_slot=alternates_per_slot,
+    )
 
 
 class Deployment:

@@ -32,9 +32,31 @@ class Event:
 
 
 class Simulator:
-    """Event loop: schedule callbacks and run them in timestamp order."""
+    """Event loop: schedule callbacks and run them in timestamp order.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    compaction_threshold:
+        Cancelled events are only flagged, not removed from the heap (heap
+        deletion is O(n)). Under heavy churn — retry timers armed and then
+        cancelled for every forward — the heap can grow far beyond the
+        live event count. Once at least this many cancelled events sit in
+        the heap *and* they outnumber the live ones, the heap is compacted
+        (filter + re-heapify, O(n)); amortized cost stays O(1) per cancel.
+    """
+
+    __slots__ = (
+        "_events",
+        "_sequence",
+        "_now",
+        "_processed",
+        "_pending",
+        "_cancelled_in_heap",
+        "compaction_threshold",
+        "_compactions",
+    )
+
+    def __init__(self, compaction_threshold: int = 4096) -> None:
         self._events: List[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
@@ -42,6 +64,11 @@ class Simulator:
         # Live count of scheduled, non-cancelled, not-yet-executed events.
         # Maintained incrementally so ``pending_events`` never scans the heap.
         self._pending = 0
+        # Cancelled events still sitting in the heap, and how often the
+        # heap has been compacted (telemetry for the regression test).
+        self._cancelled_in_heap = 0
+        self.compaction_threshold = compaction_threshold
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -74,12 +101,36 @@ class Simulator:
             return
         event.cancelled = True
         self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self.compaction_threshold
+            and self._cancelled_in_heap * 2 >= len(self._events)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and restore heap order."""
+        self._events = [event for event in self._events if not event.cancelled]
+        heapq.heapify(self._events)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including not-yet-compacted cancelled events."""
+        return len(self._events)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        return self._compactions
 
     def step(self) -> bool:
         """Execute the next pending event; returns False if none remain."""
         while self._events:
             event = heapq.heappop(self._events)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             event.executed = True
             self._pending -= 1
@@ -106,6 +157,7 @@ class Simulator:
             head = self._events[0]
             if head.cancelled:
                 heapq.heappop(self._events)
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and head.time > until:
                 break
@@ -113,6 +165,17 @@ class Simulator:
             executed += 1
         if until is not None and self._now < until:
             self._now = until
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None when idle.
+
+        Used by the sharded engine to fast-forward over empty lookahead
+        windows; prunes cancelled events encountered at the heap head.
+        """
+        while self._events and self._events[0].cancelled:
+            heapq.heappop(self._events)
+            self._cancelled_in_heap -= 1
+        return self._events[0].time if self._events else None
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain; returns the number executed."""

@@ -26,6 +26,19 @@ class SimHost:
     from the network are dispatched to whichever component understands them.
     """
 
+    __slots__ = (
+        "schema",
+        "network",
+        "_rng",
+        "_rng_factory",
+        "_watchers",
+        "transport",
+        "health",
+        "node",
+        "maintenance",
+        "alive",
+    )
+
     def __init__(
         self,
         descriptor: NodeDescriptor,

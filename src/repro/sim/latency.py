@@ -29,6 +29,7 @@ def constant_latency(delay: float = 0.01) -> LatencyModel:
         return delay
 
     model.nominal = delay
+    model.minimum = delay
     return model
 
 
@@ -39,6 +40,7 @@ def uniform_latency(low: float, high: float) -> LatencyModel:
         return rng.uniform(low, high)
 
     model.nominal = (low + high) / 2.0
+    model.minimum = low
     return model
 
 
@@ -49,6 +51,7 @@ def lan_latency(base: float = 0.0002, jitter: float = 0.0003) -> LatencyModel:
         return base + rng.random() * jitter
 
     model.nominal = base + jitter / 2.0
+    model.minimum = base
     return model
 
 
@@ -80,7 +83,19 @@ def wan_latency(
 
     # Mean of the quadratic skew is spread/3; jitter is uniform.
     model.nominal = minimum + spread / 3.0 + jitter / 2.0
+    model.minimum = minimum
     return model
+
+
+def minimum_latency(model: LatencyModel) -> "float | None":
+    """The model's hard one-way latency floor, if it advertises one.
+
+    This is the conservative *lookahead* of the sharded engine: a message
+    sent at time ``t`` can never arrive before ``t + minimum``, so shards
+    may safely run ``minimum`` seconds past the global horizon without
+    risking a causality violation from a not-yet-routed remote message.
+    """
+    return getattr(model, "minimum", None)
 
 
 def nominal_rtt(model: LatencyModel) -> "float | None":

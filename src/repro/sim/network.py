@@ -85,6 +85,20 @@ class SimNetwork:
         self.type_counts: Counter = Counter()
         #: Per-sender message counts by class name.
         self.sent_by: Counter = Counter()
+        #: Sharded-engine bridge (see :mod:`repro.sim.shard`). When
+        #: ``local_addresses`` is set, this network instance owns only a
+        #: partition of the overlay; a message whose receiver lies outside
+        #: the partition is handed to ``remote_route(sender, receiver,
+        #: message, arrival_time)`` instead of being scheduled locally.
+        #: Latency (and loss/fault judgement) is computed sender-side so
+        #: the receiving shard can inject the message at the exact
+        #: arrival timestamp.
+        self.local_addresses: Optional[Set[Address]] = None
+        self.remote_route: Optional[
+            Callable[[Address, Address, Any, float], None]
+        ] = None
+        #: Messages handed to the cross-shard bridge.
+        self.messages_forwarded_remote = 0
 
     # -- membership ----------------------------------------------------------------
 
@@ -133,10 +147,17 @@ class SimNetwork:
             self.messages_lost += 1
             return
         delay = self.latency(sender, receiver, self.rng)
+        remote = (
+            self.local_addresses is not None
+            and receiver not in self.local_addresses
+        )
         if self.faults is None:
-            self.simulator.schedule(
-                delay, lambda: self._deliver(sender, receiver, message)
-            )
+            if remote:
+                self._route_remote(sender, receiver, message, delay)
+            else:
+                self.simulator.schedule(
+                    delay, lambda: self._deliver(sender, receiver, message)
+                )
             return
         delivery = self.faults.apply(
             sender, receiver, message, self.simulator.now, self.rng
@@ -147,10 +168,34 @@ class SimNetwork:
             return
         self.messages_duplicated += len(delivery.delays) - 1
         for extra in delivery.delays:
-            self.simulator.schedule(
-                delay + extra,
-                lambda: self._deliver(sender, receiver, message),
-            )
+            if remote:
+                self._route_remote(sender, receiver, message, delay + extra)
+            else:
+                self.simulator.schedule(
+                    delay + extra,
+                    lambda: self._deliver(sender, receiver, message),
+                )
+
+    def _route_remote(
+        self, sender: Address, receiver: Address, message: Any, delay: float
+    ) -> None:
+        assert self.remote_route is not None
+        self.messages_forwarded_remote += 1
+        self.remote_route(sender, receiver, message, self.simulator.now + delay)
+
+    def inject(
+        self, sender: Address, receiver: Address, message: Any, arrival: float
+    ) -> None:
+        """Deliver a message routed in from another shard at *arrival*.
+
+        The sending shard already charged ``messages_sent``, drew loss and
+        latency, and ran the fault layer; this side only performs the
+        delivery (and its dead-receiver accounting) at the precomputed
+        arrival timestamp.
+        """
+        self.simulator.schedule_at(
+            arrival, lambda: self._deliver(sender, receiver, message)
+        )
 
     def _deliver(self, sender: Address, receiver: Address, message: Any) -> None:
         handler = self._handlers.get(receiver)
@@ -172,6 +217,8 @@ class SimTransport(Transport):
     a timer armed before a crash stays dead even after the node restarts
     under the same address, instead of firing into the fresh process state.
     """
+
+    __slots__ = ("network", "address")
 
     def __init__(self, network: SimNetwork, address: Address) -> None:
         self.network = network

@@ -1,0 +1,560 @@
+"""Sharded simulation engine: partition the overlay across workers.
+
+The single-process :class:`~repro.sim.deployment.Deployment` holds every
+host, event and message in one heap — simple, but it caps the population
+one experiment can hold and serializes all work. This module partitions
+the overlay by address (``shard = address % num_shards``) across workers,
+each owning a private :class:`~repro.sim.engine.Simulator` and
+:class:`~repro.sim.network.SimNetwork` for its hosts, and synchronizes
+them with the classic *conservative lookahead* scheme from parallel
+discrete-event simulation:
+
+* **Lookahead.** The latency model advertises a hard one-way floor
+  ``W = minimum_latency(model)``. A message sent at time ``u`` arrives no
+  earlier than ``u + W``, so if every shard only executes events in the
+  window ``[t, t + W)`` — where ``t`` is the global minimum next-event
+  time — no message generated inside the window can demand delivery
+  inside it. Cross-shard messages are therefore collected during the
+  window and injected at the barrier, timestamped sender-side
+  (``send_time + latency``), before the next window begins. Empty
+  stretches are skipped by fast-forwarding ``t`` to the earliest pending
+  event across all shards.
+* **Determinism.** Everything randomized is replayed from shared streams:
+  the master samples the population once (same ``derive_rng(seed,
+  "population")`` stream as the single-process deployment), and every
+  worker replays the full global bootstrap stream, installing tables for
+  its own nodes and consuming the draws of everyone else's
+  (:func:`~repro.sim.deployment.consume_slot_draws`). At the bridge,
+  collected messages are sorted by ``(arrival, source shard, send
+  order)`` before injection, so delivery order never depends on worker
+  scheduling. With a deterministic latency model, zero loss and no fault
+  layer (the converged-overlay measurement setup), a sharded run yields
+  **bit-identical** per-query delivery/overhead/duplicate metrics to the
+  single-process engine — verified by ``tests/sim/test_shard.py`` and the
+  CI determinism gate.
+* **Workers.** The default ``mode="inline"`` runs every shard in-process
+  (deterministic partitioning plus per-shard memory/event accounting —
+  the right default on small machines). ``mode="process"`` forks one OS
+  process per shard, bridged over pipes, extending the fork-pool plumbing
+  of :mod:`repro.experiments.parallel` into the simulator itself.
+
+Scope: the sharded engine drives the *converged* overlay (direct
+bootstrap, no gossip maintenance, no churn) — the configuration behind
+the paper-scale benchmarks. Gossip/churn stay on the single-process path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeSchema
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.index import CellIndex
+from repro.core.node import NodeConfig
+from repro.core.query import Query
+from repro.metrics.collectors import MetricsCollector, QueryRecord
+from repro.sim.deployment import ValueSampler, bootstrap_tables
+from repro.sim.engine import Simulator
+from repro.sim.host import SimHost
+from repro.sim.latency import LatencyModel, minimum_latency
+from repro.sim.network import SimNetwork
+from repro.util.perf import paused_gc
+from repro.util.rng import derive_rng
+
+#: A cross-shard message: (sender, receiver, payload, arrival time).
+Crossing = Tuple[Address, Address, Any, float]
+
+
+def merge_query_records(
+    query_id, records: Sequence[Optional[QueryRecord]]
+) -> QueryRecord:
+    """Fuse per-shard partial records of one query into a global record.
+
+    Receiver sets union (each node reports on exactly one shard) and
+    counters add; the completion result comes from the origin's shard.
+    """
+    merged = QueryRecord(query_id=query_id)
+    for record in records:
+        if record is None:
+            continue
+        merged.received_by |= record.received_by
+        merged.matched_receivers |= record.matched_receivers
+        merged.queries_sent += record.queries_sent
+        merged.replies_sent += record.replies_sent
+        merged.duplicates += record.duplicates
+        merged.drops += record.drops
+        merged.timeouts += record.timeouts
+        merged.spurious_timeouts += record.spurious_timeouts
+        merged.hedges += record.hedges
+        merged.deferrals += record.deferrals
+        if record.result is not None:
+            merged.result = record.result
+        if record.coverage is not None:
+            merged.coverage = record.coverage
+    return merged
+
+
+class ShardWorker:
+    """One shard: the hosts whose ``address % num_shards == shard_id``."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        schema: AttributeSchema,
+        seed: int,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        node_config: Optional[NodeConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.schema = schema
+        self.seed = seed
+        self.simulator = Simulator()
+        self.network = SimNetwork(
+            self.simulator,
+            latency=latency,
+            loss_rate=loss_rate,
+            rng=derive_rng(seed, "network"),
+        )
+        self.node_config = node_config or NodeConfig()
+        self.metrics = MetricsCollector()
+        self.hosts: Dict[Address, SimHost] = {}
+        self._outbox: List[Crossing] = []
+        self.network.remote_route = self._collect
+        #: Completion notices: query_id -> (duration, result descriptors).
+        self._completions: Dict[Any, Tuple[float, List[NodeDescriptor]]] = {}
+        self._issue_times: Dict[Any, float] = {}
+
+    def _collect(
+        self, sender: Address, receiver: Address, message: Any, arrival: float
+    ) -> None:
+        self._outbox.append((sender, receiver, message, arrival))
+
+    def owns(self, address: Address) -> bool:
+        """True if *address* is partitioned onto this shard."""
+        return address % self.num_shards == self.shard_id
+
+    # -- construction --------------------------------------------------------
+
+    def build(
+        self,
+        descriptors: Sequence[NodeDescriptor],
+        alternates_per_slot: int = 3,
+    ) -> int:
+        """Create this shard's hosts and seed their converged tables.
+
+        *descriptors* is the full population in global address order; the
+        bootstrap replays the shared rng stream over all of it so local
+        tables come out bit-identical to a single-process bootstrap.
+        Returns the number of local hosts built.
+        """
+        with paused_gc():
+            for descriptor in descriptors:
+                if not self.owns(descriptor.address):
+                    continue
+                address = descriptor.address
+                self.hosts[address] = SimHost(
+                    descriptor,
+                    self.schema,
+                    self.network,
+                    rng=lambda address=address: derive_rng(
+                        self.seed, f"host:{address}"
+                    ),
+                    node_config=self.node_config,
+                    observer=self.metrics,
+                )
+            self.network.local_addresses = set(self.hosts)
+            tables = {
+                address: host.node.routing
+                for address, host in self.hosts.items()
+            }
+            bootstrap_tables(
+                descriptors,
+                derive_rng(self.seed, "bootstrap"),
+                tables.get,
+                self.schema,
+                alternates_per_slot=alternates_per_slot,
+            )
+        return len(self.hosts)
+
+    # -- synchronization -----------------------------------------------------
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest live event on this shard (None when idle)."""
+        return self.simulator.next_event_time()
+
+    def run_window(self, end: float) -> List[Crossing]:
+        """Run events up to *end*; drain and return the cross-shard outbox."""
+        self.simulator.run(until=end)
+        return self.drain_outbox()
+
+    def drain_outbox(self) -> List[Crossing]:
+        """Return and clear the pending cross-shard messages.
+
+        Remote sends are collected synchronously, so issuing a query can
+        fill the outbox without any window having run — the coordinator
+        drains it before computing the first horizon.
+        """
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+    def inject_crossings(self, injections: Sequence[Crossing]) -> None:
+        """Schedule bridged messages at their sender-computed arrivals.
+
+        Lookahead guarantees every arrival is at or after this shard's
+        clock (the window just run ended at ``horizon + lookahead``).
+        """
+        for sender, receiver, message, arrival in injections:
+            self.network.inject(sender, receiver, message, arrival)
+
+    # -- queries -------------------------------------------------------------
+
+    def issue(self, origin: Address, query: Query, sigma: Optional[int]) -> Any:
+        """Issue *query* at local host *origin*; returns the query id."""
+        host = self.hosts[origin]
+        issued_at = self.simulator.now
+        holder: Dict[str, Any] = {}
+
+        def on_complete(query_id, matching) -> None:
+            holder["id"] = query_id
+            self._completions[query_id] = (
+                self.simulator.now - issued_at,
+                list(matching),
+            )
+
+        query_id = host.issue_query(query, sigma=sigma, on_complete=on_complete)
+        self._issue_times[query_id] = issued_at
+        return query_id
+
+    def poll_completion(
+        self, query_id: Any
+    ) -> Optional[Tuple[float, List[NodeDescriptor]]]:
+        """Pop the (duration, matching) notice for *query_id*, if done."""
+        return self._completions.pop(query_id, None)
+
+    def query_record(self, query_id: Any) -> Optional[QueryRecord]:
+        """This shard's partial metrics record for *query_id*."""
+        return self.metrics.records.get(query_id)
+
+    def counters(self) -> Dict[str, int]:
+        """Shard-local traffic/engine counters for aggregation."""
+        return {
+            "messages_sent": self.network.messages_sent,
+            "messages_delivered": self.network.messages_delivered,
+            "messages_forwarded_remote": self.network.messages_forwarded_remote,
+            "processed_events": self.simulator.processed_events,
+            "hosts": len(self.hosts),
+        }
+
+
+def _worker_main(conn, factory: Callable[[], ShardWorker]) -> None:
+    """Child-process loop: proxy method calls arriving over *conn*."""
+    worker = factory()
+    while True:
+        method, args = conn.recv()
+        if method == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            conn.send(("ok", getattr(worker, method)(*args)))
+        except Exception as error:  # surface the traceback to the parent
+            conn.send(("error", repr(error)))
+
+
+class _ProcessProxy:
+    """Drives a :class:`ShardWorker` living in a forked child process.
+
+    Exposes the same methods as the inline worker; each call is one
+    request/response round trip over a pipe. Fork start method: the
+    factory closure (schema, descriptors, config) is inherited, not
+    pickled — the same plumbing as :mod:`repro.experiments.parallel`.
+    """
+
+    def __init__(self, factory: Callable[[], ShardWorker]) -> None:
+        context = multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_worker_main, args=(child_conn, factory), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def _call(self, method: str, *args: Any) -> Any:
+        self._conn.send((method, args))
+        status, value = self._conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"shard worker failed in {method}: {value}")
+        return value
+
+    def build(self, descriptors, alternates_per_slot=3):
+        return self._call("build", descriptors, alternates_per_slot)
+
+    def next_event_time(self):
+        return self._call("next_event_time")
+
+    def run_window(self, end):
+        return self._call("run_window", end)
+
+    def drain_outbox(self):
+        return self._call("drain_outbox")
+
+    def inject_crossings(self, injections):
+        return self._call("inject_crossings", injections)
+
+    def issue(self, origin, query, sigma):
+        return self._call("issue", origin, query, sigma)
+
+    def poll_completion(self, query_id):
+        return self._call("poll_completion", query_id)
+
+    def query_record(self, query_id):
+        return self._call("query_record", query_id)
+
+    def counters(self):
+        return self._call("counters")
+
+    def stop(self) -> None:
+        if self._process.is_alive():
+            try:
+                self._conn.send(("stop", ()))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError):
+                pass
+        self._process.join(timeout=5)
+        self._conn.close()
+
+
+class _ShardClock:
+    """Global-time facade matching the ``deployment.simulator`` surface."""
+
+    def __init__(self, deployment: "ShardedDeployment") -> None:
+        self._deployment = deployment
+        self.now = 0.0
+
+    @property
+    def processed_events(self) -> int:
+        return sum(
+            counters["processed_events"]
+            for counters in self._deployment.shard_counters()
+        )
+
+
+class _MergedMetrics:
+    """``MetricsCollector``-shaped view over merged per-shard records.
+
+    Only the surface :func:`repro.experiments.harness.measure_queries`
+    touches is provided: ``consume_opened`` returns the merged record of
+    the query most recently executed through the sharded deployment.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[QueryRecord] = None
+        self.records: Dict[Any, QueryRecord] = {}
+
+    def stash(self, record: QueryRecord) -> None:
+        self._last = record
+        self.records[record.query_id] = record
+
+    def consume_opened(self) -> Optional[QueryRecord]:
+        record = self._last
+        self._last = None
+        return record
+
+
+class ShardedDeployment:
+    """Partitioned overlay with the measurement surface of ``Deployment``.
+
+    Drop-in for :func:`repro.experiments.harness.measure_queries`:
+    exposes ``simulator.now``, ``matching_descriptors`` and
+    ``execute_query`` with single-process semantics (same origin-selection
+    rng stream, same completion timing), while queries actually run
+    spread across the shard workers.
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        num_shards: int = 2,
+        seed: int = 42,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        node_config: Optional[NodeConfig] = None,
+        mode: str = "inline",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if mode not in ("inline", "process"):
+            raise ValueError(f"unknown shard mode {mode!r}")
+        self.schema = schema
+        self.seed = seed
+        self.num_shards = num_shards
+        self.mode = mode
+        self.node_config = node_config or NodeConfig()
+        self._latency = latency
+        self._loss_rate = loss_rate
+        lookahead = minimum_latency(latency) if latency is not None else 0.01
+        if not lookahead or lookahead <= 0.0:
+            raise ValueError(
+                "sharded simulation needs a latency model with a positive "
+                "hard minimum (model.minimum) to derive its lookahead"
+            )
+        self.lookahead = lookahead
+        self.index = CellIndex(schema)
+        self.descriptors: List[NodeDescriptor] = []
+        self.simulator = _ShardClock(self)
+        self.metrics = _MergedMetrics()
+        self._rng = derive_rng(seed, "deployment")
+        self._workers: List[Any] = []
+        self._counters_cache: Optional[List[Dict[str, int]]] = None
+
+    # -- construction --------------------------------------------------------
+
+    def populate(self, sampler: ValueSampler, count: int) -> None:
+        """Sample the population — the same stream as ``Deployment``."""
+        rng = derive_rng(self.seed, "population")
+        with paused_gc():
+            for address in range(count):
+                descriptor = NodeDescriptor.build(
+                    address, self.schema, sampler(rng)
+                )
+                self.descriptors.append(descriptor)
+                self.index.add(descriptor)
+
+    def bootstrap(self, alternates_per_slot: int = 3) -> None:
+        """Spin up the shard workers and seed their converged tables."""
+        if self._workers:
+            raise RuntimeError("already bootstrapped")
+
+        def make_factory(shard_id: int) -> Callable[[], ShardWorker]:
+            def factory() -> ShardWorker:
+                return ShardWorker(
+                    shard_id,
+                    self.num_shards,
+                    self.schema,
+                    self.seed,
+                    latency=self._latency,
+                    loss_rate=self._loss_rate,
+                    node_config=self.node_config,
+                )
+
+            return factory
+
+        for shard_id in range(self.num_shards):
+            factory = make_factory(shard_id)
+            if self.mode == "process":
+                worker: Any = _ProcessProxy(factory)
+            else:
+                worker = factory()
+            worker.build(
+                self.descriptors, alternates_per_slot=alternates_per_slot
+            )
+            self._workers.append(worker)
+
+    def close(self) -> None:
+        """Stop process-mode workers (no-op for inline workers)."""
+        for worker in self._workers:
+            stop = getattr(worker, "stop", None)
+            if stop is not None:
+                stop()
+
+    def __enter__(self) -> "ShardedDeployment":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- measurement surface -------------------------------------------------
+
+    def matching_descriptors(self, query: Query) -> List[NodeDescriptor]:
+        """Ground truth from the master's global cell index."""
+        return self.index.matching(query)
+
+    def shard_counters(self) -> List[Dict[str, int]]:
+        """Per-shard traffic/engine counters (cached per query)."""
+        if self._counters_cache is None:
+            self._counters_cache = [
+                worker.counters() for worker in self._workers
+            ]
+        return self._counters_cache
+
+    def execute_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        origin: Optional[Address] = None,
+        timeout: float = 600.0,
+    ) -> List[NodeDescriptor]:
+        """Issue a query and run synchronized windows until it completes.
+
+        Origin selection replays ``Deployment.execute_query``'s rng draw
+        (one ``choice`` over the address-ordered alive population), so a
+        measurement loop visits the same origins in both engines.
+        """
+        if not self._workers:
+            raise RuntimeError("bootstrap() the sharded deployment first")
+        if not self.descriptors:
+            raise RuntimeError("no live hosts to issue the query from")
+        if origin is None:
+            origin = self._rng.choice(self.descriptors).address
+        shard = origin % self.num_shards
+        worker = self._workers[shard]
+        query_id = worker.issue(origin, query, sigma)
+        self._counters_cache = None
+
+        completion: Optional[Tuple[float, List[NodeDescriptor]]] = None
+        deadline: Optional[float] = None
+        # Issuing sends the initial messages synchronously, so remote ones
+        # are already sitting in the origin's outbox before any window has
+        # run — fold them into the first barrier like any other crossing.
+        pending: List[Tuple[float, int, int, Crossing]] = [
+            (crossing[3], shard, position, crossing)
+            for position, crossing in enumerate(worker.drain_outbox())
+        ]
+        while True:
+            # Barrier: deliver the collected crossings sorted by
+            # (arrival, source shard, send order) — a total order that
+            # does not depend on worker scheduling — so the horizon below
+            # sees them as ordinary heap events.
+            if pending:
+                pending.sort(key=lambda item: (item[0], item[1], item[2]))
+                by_destination: Dict[int, List[Crossing]] = {}
+                for _arrival, _src, _pos, crossing in pending:
+                    destination = crossing[1] % self.num_shards
+                    by_destination.setdefault(destination, []).append(crossing)
+                for destination, injections in by_destination.items():
+                    self._workers[destination].inject_crossings(injections)
+                pending = []
+            completion = worker.poll_completion(query_id)
+            if completion is not None:
+                break
+            live = [
+                time
+                for time in (
+                    candidate.next_event_time() for candidate in self._workers
+                )
+                if time is not None
+            ]
+            if not live:
+                break
+            horizon = min(live)
+            if deadline is None:
+                deadline = horizon + timeout
+            elif horizon >= deadline:
+                break
+            end = horizon + self.lookahead
+            for index, candidate in enumerate(self._workers):
+                for position, crossing in enumerate(candidate.run_window(end)):
+                    pending.append((crossing[3], index, position, crossing))
+        records = [
+            candidate.query_record(query_id) for candidate in self._workers
+        ]
+        self.metrics.stash(merge_query_records(query_id, records))
+        if completion is None:
+            return []
+        duration, matching = completion
+        self.simulator.now += duration
+        return matching

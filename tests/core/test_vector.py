@@ -1,0 +1,220 @@
+"""Property tests: the numpy cell algebra is bit-identical to the scalar one.
+
+Every vectorized function in :mod:`repro.core.vector` is checked against
+its scalar twin on randomized geometries (depth, dimensions, populations),
+including the N(l,k) partition invariant that underpins exactly-once
+delivery. The scalar implementation is the semantics of record; these
+tests are what allows the hot paths to switch implementations freely.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.core import vector
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.cells import (
+    ZERO_SLOT,
+    bucket_key,
+    cell_region,
+    flipped_key,
+    iter_slots,
+    neighboring_region,
+    slot_of,
+)
+
+# Geometry strategy: dimensions x max_level kept small enough for the
+# exhaustive checks but covering the packable/non-trivial range.
+geometries = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+def random_coords(rng, count, dimensions, max_level):
+    top = 1 << max_level
+    return np.array(
+        [
+            [rng.randrange(top) for _ in range(dimensions)]
+            for _ in range(count)
+        ],
+        dtype=np.int64,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometries, st.integers(0, 2**32 - 1), st.integers(1, 40))
+def test_coordinates_matrix_matches_scalar(geometry, seed, count):
+    dimensions, max_level = geometry
+    rng = random.Random(seed)
+    schema = AttributeSchema.regular(
+        [numeric(f"a{d}", 0.0, 10.0) for d in range(dimensions)],
+        max_level=max_level,
+    )
+    # Mix uniform values with exact boundary hits and out-of-range values:
+    # searchsorted and bisect_right must agree on all of them.
+    specials = [boundary for splits in schema.boundaries for boundary in splits]
+    specials += [-1.0, 0.0, 10.0, 11.0]
+    values = [
+        [
+            rng.choice(specials) if rng.random() < 0.3 else rng.uniform(-1, 11)
+            for _ in range(dimensions)
+        ]
+        for _ in range(count)
+    ]
+    matrix = vector.coordinates_matrix(schema, np.array(values))
+    for row, value_row in zip(matrix.tolist(), values):
+        assert tuple(row) == schema.coordinates(value_row)
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometries, st.integers(0, 2**32 - 1))
+def test_region_geometry_and_masks_match_scalar(geometry, seed):
+    dimensions, max_level = geometry
+    rng = random.Random(seed)
+    coords = random_coords(rng, 30, dimensions, max_level)
+    for level in range(1, max_level + 1):
+        low, high = vector.cell_intervals(coords, level)
+        for i, row in enumerate(coords.tolist()):
+            region = cell_region(tuple(row), level)
+            assert region.intervals == tuple(
+                zip(low[i].tolist(), high[i].tolist())
+            )
+        for dim in range(dimensions):
+            nlow, nhigh = vector.neighboring_intervals(coords, level, dim)
+            for i, row in enumerate(coords.tolist()):
+                region = neighboring_region(tuple(row), level, dim)
+                assert region.intervals == tuple(
+                    zip(nlow[i].tolist(), nhigh[i].tolist())
+                )
+    # Membership and overlap against random boxes.
+    top = 1 << max_level
+    for _ in range(5):
+        ranges = []
+        for _ in range(dimensions):
+            a, b = rng.randrange(top), rng.randrange(top)
+            ranges.append((min(a, b), max(a, b)))
+        mask = vector.contains_mask(coords, ranges)
+        for i, row in enumerate(coords.tolist()):
+            expected = all(
+                lo <= index <= hi for index, (lo, hi) in zip(row, ranges)
+            )
+            assert bool(mask[i]) == expected
+        level = rng.randrange(1, max_level + 1)
+        dim = rng.randrange(dimensions)
+        nlow, nhigh = vector.neighboring_intervals(coords, level, dim)
+        overlap = vector.overlaps_mask(nlow, nhigh, ranges)
+        for i, row in enumerate(coords.tolist()):
+            region = neighboring_region(tuple(row), level, dim)
+            assert bool(overlap[i]) == region.overlaps(ranges)
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometries, st.integers(0, 2**32 - 1))
+def test_slot_matrix_matches_slot_of(geometry, seed):
+    dimensions, max_level = geometry
+    rng = random.Random(seed)
+    own = tuple(rng.randrange(1 << max_level) for _ in range(dimensions))
+    others = random_coords(rng, 50, dimensions, max_level)
+    levels, dims = vector.slot_matrix(own, others, max_level)
+    for i, row in enumerate(others.tolist()):
+        expected = slot_of(own, tuple(row), max_level)
+        if expected == ZERO_SLOT:
+            assert levels[i] == 0
+        else:
+            assert (int(levels[i]), int(dims[i])) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometries, st.integers(0, 2**32 - 1))
+def test_partition_invariant_vectorized(geometry, seed):
+    """{C0(X)} ∪ {N(l,k)(X)} covers every node exactly once (vectorized)."""
+    dimensions, max_level = geometry
+    rng = random.Random(seed)
+    own = tuple(rng.randrange(1 << max_level) for _ in range(dimensions))
+    others = random_coords(rng, 60, dimensions, max_level)
+    own_row = np.array(own, dtype=np.int64)
+    counts = np.zeros(len(others), dtype=np.int64)
+    counts += (others == own_row).all(axis=1)  # C0 membership
+    for level, dim in iter_slots(dimensions, max_level):
+        region = neighboring_region(own, level, dim)
+        counts += vector.contains_mask(others, region.intervals)
+    assert (counts == 1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometries, st.integers(0, 2**32 - 1))
+def test_pack_codes_equal_iff_bucket_keys_equal(geometry, seed):
+    dimensions, max_level = geometry
+    if not vector.packable(dimensions, max_level):
+        return
+    rng = random.Random(seed)
+    coords = random_coords(rng, 40, dimensions, max_level)
+    rows = [tuple(row) for row in coords.tolist()]
+    for level, dim in iter_slots(dimensions, max_level):
+        codes = vector.pack_codes(coords, level, dim, max_level).tolist()
+        flips = vector.pack_codes(
+            coords, level, dim, max_level, flip=True
+        ).tolist()
+        scalar_codes = [bucket_key(row, level, dim) for row in rows]
+        scalar_flips = [flipped_key(row, level, dim) for row in rows]
+        for i in range(len(rows)):
+            for j in range(len(rows)):
+                assert (codes[i] == codes[j]) == (
+                    scalar_codes[i] == scalar_codes[j]
+                )
+                # The linking identity: Y in N(l,k)(X) iff Y's bucket key
+                # equals X's flipped key.
+                assert (codes[i] == flips[j]) == (
+                    scalar_codes[i] == scalar_flips[j]
+                )
+                member = neighboring_region(rows[j], level, dim).contains(
+                    rows[i]
+                )
+                assert (codes[i] == flips[j]) == member
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 60))
+def test_coordinates_batch_matches_and_interns(seed, count):
+    rng = random.Random(seed)
+    schema = AttributeSchema.regular(
+        [numeric("x", 0, 8), numeric("y", 0, 8)], max_level=3
+    )
+    values = [[rng.uniform(0, 8), rng.uniform(0, 8)] for _ in range(count)]
+    batch = schema.coordinates_batch(values)
+    for row, value_row in zip(batch, values):
+        scalar = schema.coordinates(value_row)
+        assert row == scalar
+        # Interning: equal coordinates are the *same* tuple object.
+        assert row is scalar
+
+
+def test_bootstrap_vector_path_matches_scalar(monkeypatch):
+    """End-to-end bit-identity: bootstrap with and without numpy agree."""
+    from repro.experiments.config import PAPER_PEERSIM
+    from repro.experiments.harness import build_deployment
+
+    def tables(use_numpy):
+        with monkeypatch.context() as patch:
+            if not use_numpy:
+                patch.setattr(vector, "HAVE_NUMPY", False)
+            deployment, _metrics = build_deployment(PAPER_PEERSIM.scaled(400))
+            return {
+                address: (
+                    sorted(
+                        (str(host.node.routing._locate(a)), a)
+                        for a in host.node.routing.addresses()
+                    ),
+                    [
+                        (slot, [d.address for d in alternates])
+                        for slot, alternates in sorted(
+                            host.node.routing._alternates.items()
+                        )
+                    ],
+                )
+                for address, host in deployment.hosts.items()
+            }
+
+    assert tables(True) == tables(False)

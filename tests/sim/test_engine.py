@@ -136,3 +136,58 @@ class TestBoundedRuns:
             sim.schedule(1.0, lambda: None)
         sim.run_until_idle()
         assert sim.processed_events == 3
+
+
+class TestHeapHygiene:
+    """Cancelled-event compaction keeps the heap bounded under churn."""
+
+    def test_compaction_bounds_heap_under_cancel_churn(self):
+        # Timer-heavy churn: schedule a far-out timeout, cancel it,
+        # repeat. Without compaction the heap grows linearly with the
+        # number of cancelled timers; with it, heap size stays within a
+        # small multiple of the threshold.
+        sim = Simulator(compaction_threshold=256)
+        for round_ in range(10_000):
+            event = sim.schedule(1000.0 + round_, lambda: None)
+            sim.cancel(event)
+        assert sim.compactions > 0
+        assert sim.heap_size <= 2 * 256
+
+    def test_compaction_preserves_live_events(self):
+        sim = Simulator(compaction_threshold=64)
+        fired = []
+        for i in range(500):
+            keep = sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            doomed = sim.schedule(float(i + 1) + 0.5, lambda: fired.append(-1))
+            sim.cancel(doomed)
+        assert sim.compactions > 0
+        sim.run_until_idle()
+        assert fired == list(range(500))
+
+    def test_compaction_only_when_cancelled_dominates(self):
+        # A heap full of live events never compacts, no matter how many
+        # cancellations happened historically.
+        sim = Simulator(compaction_threshold=8)
+        for i in range(1000):
+            sim.schedule(float(i + 1), lambda: None)
+        for _ in range(7):
+            sim.cancel(sim.schedule(5000.0, lambda: None))
+        # 7 cancelled < threshold: no compaction yet.
+        assert sim.compactions == 0
+        assert sim.pending_events == 1000
+
+    def test_next_event_time_skips_cancelled_heads(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.next_event_time() == 1.0
+        sim.cancel(first)
+        assert sim.next_event_time() == 2.0
+        assert sim.next_event_time() == 2.0  # pruning is idempotent
+
+    def test_next_event_time_empty(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        event = sim.schedule(3.0, lambda: None)
+        sim.cancel(event)
+        assert sim.next_event_time() is None

@@ -1,0 +1,146 @@
+"""Sharded engine: determinism vs the single-process simulator.
+
+The contract from docs/PERFORMANCE.md: on a deterministic testbed
+(``peersim`` — constant latency, zero loss, no faults), a sharded run
+must produce **bit-identical** per-query metrics to the single-process
+engine, for any shard count and for both worker modes. These tests
+enforce that contract end to end through the measurement harness, so
+they cover origin selection, bootstrap rng parity, the cross-shard
+barrier ordering and completion timing all at once.
+"""
+
+import pytest
+
+from repro.experiments.config import PAPER_PEERSIM
+from repro.experiments.harness import build_deployment, measure_queries
+from repro.experiments.scale import build_sharded_deployment
+from repro.sim.shard import ShardedDeployment, merge_query_records
+from repro.metrics.collectors import QueryRecord
+from repro.workloads.queries import aligned_selectivity_query
+
+NETWORK_SIZE = 600
+QUERIES = 5
+
+
+def outcome_fingerprint(outcomes):
+    """The fields the determinism contract covers, per query."""
+    return [
+        (
+            outcome.overhead,
+            outcome.delivery,
+            outcome.found,
+            outcome.expected,
+            outcome.duplicates,
+            round(outcome.latency, 9),
+        )
+        for outcome in outcomes
+    ]
+
+
+def run_engine(num_shards, mode="inline"):
+    config = PAPER_PEERSIM.scaled(NETWORK_SIZE)
+    schema = config.schema()
+    if num_shards == 0:
+        deployment, metrics = build_deployment(config)
+    else:
+        deployment, metrics = build_sharded_deployment(
+            config, num_shards=num_shards, mode=mode
+        )
+    try:
+        outcomes = measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(schema, config.selectivity, rng),
+            count=QUERIES,
+            sigma=config.sigma,
+            seed=config.seed,
+        )
+        return outcome_fingerprint(outcomes)
+    finally:
+        closer = getattr(deployment, "close", None)
+        if closer is not None:
+            closer()
+
+
+@pytest.fixture(scope="module")
+def single_process_fingerprint():
+    return run_engine(0)
+
+
+def test_single_shard_matches_single_process(single_process_fingerprint):
+    assert run_engine(1) == single_process_fingerprint
+
+
+@pytest.mark.parametrize("num_shards", [2, 3, 5])
+def test_sharded_inline_is_bit_identical(
+    num_shards, single_process_fingerprint
+):
+    assert run_engine(num_shards) == single_process_fingerprint
+
+
+def test_sharded_process_mode_is_bit_identical(single_process_fingerprint):
+    assert run_engine(2, mode="process") == single_process_fingerprint
+
+
+def test_sharded_runs_are_repeatable():
+    assert run_engine(3) == run_engine(3)
+
+
+def test_shards_partition_the_population():
+    config = PAPER_PEERSIM.scaled(200)
+    deployment, _metrics = build_sharded_deployment(config, num_shards=3)
+    owned = [set(worker.hosts) for worker in deployment._workers]
+    union = set().union(*owned)
+    assert union == {d.address for d in deployment.descriptors}
+    assert sum(len(addresses) for addresses in owned) == len(union)
+    for shard_id, addresses in enumerate(owned):
+        assert all(address % 3 == shard_id for address in addresses)
+    counters = deployment.shard_counters()
+    assert sum(entry["hosts"] for entry in counters) == 200
+
+
+def test_cross_shard_traffic_is_accounted():
+    """With >1 shard most forwards cross the bridge; totals must add up."""
+    config = PAPER_PEERSIM.scaled(400)
+    deployment, metrics = build_sharded_deployment(config, num_shards=2)
+    schema = config.schema()
+    rng_query = aligned_selectivity_query(
+        schema, config.selectivity, __import__("random").Random(7)
+    )
+    deployment.execute_query(rng_query, sigma=config.sigma)
+    counters = deployment.shard_counters()
+    remote = sum(entry["messages_forwarded_remote"] for entry in counters)
+    sent = sum(entry["messages_sent"] for entry in counters)
+    delivered = sum(entry["messages_delivered"] for entry in counters)
+    assert remote > 0
+    assert sent == delivered  # zero loss on peersim
+    record = metrics.consume_opened()
+    assert record is not None
+    assert record.received_by
+
+
+def test_merge_query_records_unions_and_sums():
+    left = QueryRecord(query_id="q")
+    left.received_by = {1, 3}
+    left.matched_receivers = {3}
+    left.queries_sent = 4
+    left.duplicates = 1
+    right = QueryRecord(query_id="q")
+    right.received_by = {2, 3}
+    right.replies_sent = 5
+    right.result = [3]
+    merged = merge_query_records("q", [left, None, right])
+    assert merged.received_by == {1, 2, 3}
+    assert merged.matched_receivers == {3}
+    assert merged.queries_sent == 4
+    assert merged.replies_sent == 5
+    assert merged.duplicates == 1
+    assert merged.result == [3]
+
+
+def test_sharded_deployment_validates_inputs():
+    schema = PAPER_PEERSIM.scaled(10).schema()
+    with pytest.raises(ValueError):
+        ShardedDeployment(schema, num_shards=0)
+    with pytest.raises(ValueError):
+        ShardedDeployment(schema, mode="threads")
