@@ -112,6 +112,59 @@ def test_memory_footprint_per_node(benchmark):
     )
 
 
+def test_telemetry_overhead_is_bounded(benchmark):
+    """Observability must be affordable at scale, in both positions.
+
+    Three runs of the same 10k-node query batch: bare, with the disabled
+    registry (the no-op fast path), and with full telemetry — labeled
+    collector plus tracing head-sampled at 1%. Medians of repeated
+    timings, compared with a 5% relative ceiling plus a small absolute
+    slack so scheduler noise cannot trip the gate on a quiet regression-
+    free run.
+    """
+    import statistics
+
+    from repro.obs.telemetry import Telemetry
+
+    cfg = PAPER_PEERSIM.scaled(10_000)
+    schema = cfg.schema()
+    repeats = 3
+    batch = 25
+
+    def timed_batch(telemetry):
+        deployment, metrics = build_deployment(cfg, telemetry=telemetry)
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            measure_queries(
+                deployment,
+                metrics,
+                lambda rng: aligned_selectivity_query(
+                    schema, cfg.selectivity, rng
+                ),
+                count=batch,
+                sigma=cfg.sigma,
+                seed=cfg.seed,
+            )
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    def compare():
+        bare = timed_batch(None)
+        sampled = timed_batch(
+            Telemetry(trace_sample_rate=0.01, trace_seed=cfg.seed)
+        )
+        return bare, sampled
+
+    bare, sampled = run_once(benchmark, compare)
+    # 5% relative + 250 ms absolute: the absolute term dominates only
+    # when the batch itself is fast enough that 5% is below timer noise.
+    assert sampled <= bare * 1.05 + 0.25, (
+        f"telemetry overhead regressed: bare={bare:.3f}s "
+        f"sampled={sampled:.3f}s"
+    )
+
+
 def test_sharded_engine_is_deterministic(benchmark):
     """Determinism gate: sharded == single-process, bit for bit.
 

@@ -9,16 +9,23 @@ Usage::
     python -m repro run traffic --size 600
     python -m repro trace --size 1000 --selectivity 0.125
     python -m repro chaos --scenario partition-50 --seed 7
+    python -m repro dash --size 500 --churn 0.002
+    python -m repro run fig11 --telemetry --telemetry-out out.jsonl
 
 Each ``run`` command regenerates one table/figure at a configurable scale
 and prints the same rows/series the paper reports; ``--profile`` appends a
 phase cost breakdown, ``run fig11 --telemetry`` adds the per-round overlay
-repair series, and ``run fig11/fig12 --faults <scenario>`` layers a chaos
-scenario over the run. ``trace`` issues one query on a converged overlay
-and renders its reconstructed hop tree (see docs/OBSERVABILITY.md).
-``chaos`` runs a workload under a named fault scenario and checks the four
-resilience invariants (see docs/RESILIENCE.md); it exits nonzero on any
-violation, so CI can gate on it.
+repair series, ``run fig11 --telemetry-out FILE`` dumps the sampled
+telemetry timeline (delivery, in-flight, breakers, RTT percentiles …) as
+JSONL, and ``run fig11/fig12 --faults <scenario>`` layers a chaos scenario
+over the run. ``trace`` issues one query on a converged overlay and
+renders its reconstructed hop tree (see docs/OBSERVABILITY.md). ``dash``
+runs a churn scenario and paints a live sparkline dashboard with fleet
+health tables (``--once`` renders a single frame for CI smokes). ``chaos``
+runs a workload under a named fault scenario and checks the resilience
+invariants (see docs/RESILIENCE.md); it exits nonzero on any violation,
+so CI can gate on it, and ``--json`` embeds the telemetry timeline with
+fault-phase annotations.
 """
 
 from __future__ import annotations
@@ -146,7 +153,10 @@ def _cmd_fig11(args: argparse.Namespace) -> int:
         telemetry=args.telemetry,
         fault_scenario=args.faults or None,
         fault_severity=args.fault_severity,
+        telemetry_out=args.telemetry_out or None,
     )
+    if args.telemetry_out:
+        print(f"wrote telemetry timeline to {args.telemetry_out}\n")
     print(format_table(
         rows, ["time", "delivery", "expected"],
         f"Figure 11: delivery under {100 * args.churn:.1f}%/10s churn",
@@ -266,6 +276,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if once else 1
 
 
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Run a churn scenario and paint the live telemetry dashboard."""
+    from repro.experiments.timeline import mean_delivery_after
+    from repro.obs.dash import Dashboard, health_summary
+    from repro.obs.telemetry import Telemetry
+
+    session = Telemetry(sample_interval=args.interval)
+    holder: Dict[str, object] = {}
+
+    def on_deployment(deployment) -> None:
+        holder["deployment"] = deployment
+
+    def health_provider(now: float):
+        deployment = holder.get("deployment")
+        if deployment is None:
+            return None
+        # A bounded host sample: the dashboard summarises fleet health,
+        # it does not audit every node.
+        return health_summary(deployment.alive_hosts()[:64], now)
+
+    title = (
+        f"repro dash — N={args.size}, churn {100 * args.churn:.1f}%/10s"
+        + (f", faults={args.faults}" if args.faults else "")
+    )
+    dashboard = Dashboard(
+        session.recorder,
+        health_provider=health_provider,
+        title=title,
+        live=not args.once,
+    )
+    if not args.once:
+        session.recorder.on_sample(dashboard.paint)
+    rows, _ = fig11_churn.run_with_telemetry(
+        churn_rate=args.churn,
+        config=_config(args),
+        warmup=args.warmup,
+        duration=args.duration,
+        telemetry=False,
+        telemetry_interval=args.interval,
+        fault_scenario=args.faults or None,
+        fault_severity=args.fault_severity,
+        telemetry_session=session,
+        telemetry_out=args.telemetry_out or None,
+        on_deployment=on_deployment,
+    )
+    deployment = holder.get("deployment")
+    if args.once and deployment is not None:
+        dashboard.paint(deployment.simulator.now)
+    mean = mean_delivery_after(rows, 0.0)
+    print(
+        f"\nrun complete: {len(rows)} queries, "
+        f"mean delivery {mean:.3f}" if mean is not None else "\nrun complete"
+    )
+    if args.telemetry_out:
+        print(f"wrote telemetry timeline to {args.telemetry_out}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -330,6 +398,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 for row in report.rows
             ],
             "metrics": report.metrics,
+            "timeline": report.timeline,
+            "annotations": [
+                {"t": time, "label": label}
+                for time, label in report.annotations
+            ],
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -398,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print a phase cost breakdown after the run")
     run.add_argument("--telemetry", action="store_true",
                      help="emit per-round overlay repair telemetry (fig11)")
+    run.add_argument("--telemetry-out", type=str, default="",
+                     help="write the sampled telemetry timeline (delivery, "
+                     "in-flight, breakers, RTT percentiles, rates) to this "
+                     "JSONL file (fig11)")
     run.add_argument("--faults", type=str, default="",
                      help="layer a named chaos scenario over the run "
                      "(fig11/fig12; see 'repro chaos --list')")
@@ -445,6 +522,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--shard-mode", choices=["inline", "process"],
                        default="inline",
                        help="worker mode for --shards > 1 (default inline)")
+    dash = subparsers.add_parser(
+        "dash",
+        help="run a churn scenario and paint a live terminal dashboard "
+        "(sparkline timelines + fleet health tables)",
+    )
+    dash.add_argument("--size", type=int, default=500,
+                      help="network size N (default 500)")
+    dash.add_argument("--seed", type=int, default=2009)
+    dash.add_argument("--churn", type=float, default=0.002,
+                      help="churn fraction per 10 s (default 0.002)")
+    dash.add_argument("--warmup", type=float, default=300.0,
+                      help="gossip warmup before measuring (default 300)")
+    dash.add_argument("--duration", type=float, default=600.0,
+                      help="measured window in simulated seconds")
+    dash.add_argument("--interval", type=float, default=10.0,
+                      help="timeline sampling cadence (default 10 s)")
+    dash.add_argument("--faults", type=str, default="",
+                      help="layer a chaos scenario over the middle third "
+                      "(annotated on the timeline)")
+    dash.add_argument("--fault-severity", type=float, default=None,
+                      help="severity for --faults (default: scenario's own)")
+    dash.add_argument("--once", action="store_true",
+                      help="render a single frame at the end instead of a "
+                      "live repaint per sample (CI smoke)")
+    dash.add_argument("--telemetry-out", type=str, default="",
+                      help="also dump the timeline to this JSONL file")
     trace = subparsers.add_parser(
         "trace",
         help="issue one traced query on a converged overlay and render "
@@ -478,6 +581,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
     if args.profile:
         profiler = profile.activate()
         try:

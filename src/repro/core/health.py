@@ -382,6 +382,30 @@ class HealthMonitor:
         breaker = self._breakers.get(address)
         return CLOSED if breaker is None else breaker.state(now)
 
+    def neighbor_states(self, now: float):
+        """Per-neighbor health rows for ops surfaces (``repro dash``).
+
+        One dict per neighbor the monitor has state for — union of the
+        estimator and breaker key sets — with the smoothed RTT, the
+        current adaptive timeout, the sample count, and the breaker
+        state. Sorted by address for stable rendering.
+        """
+        rows = []
+        for address in sorted(
+            set(self._estimators) | set(self._breakers), key=str
+        ):
+            estimator = self._estimators.get(address)
+            rows.append(
+                {
+                    "address": address,
+                    "srtt": estimator.srtt if estimator is not None else None,
+                    "rto": estimator.rto() if estimator is not None else None,
+                    "samples": estimator.samples if estimator is not None else 0,
+                    "breaker": self.breaker_state(address, now),
+                }
+            )
+        return rows
+
     # -- telemetry taps ----------------------------------------------------------
 
     def hedge_launched(self) -> None:

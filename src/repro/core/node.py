@@ -478,7 +478,9 @@ class ResourceNode:
                 # coverage estimate: on a converged overlay an unfilled
                 # slot is a genuinely empty cell, and charging it would
                 # mark every clean sparse-overlay query as degraded.)
-                self.observer.query_dropped(self.address, query_id)
+                self.observer.query_dropped(
+                    self.address, query_id, reason="empty_cell"
+                )
                 continue
             self._send_query(
                 query_id, state, neighbor, state.level, frozenset(state.dimensions),
@@ -810,7 +812,9 @@ class ResourceNode:
         # The branch is abandoned for good: no alternate to retry and no
         # deferral window. Account it exactly once, on this path — the
         # same event the forward-time drop and the deferral give-up emit.
-        self.observer.query_dropped(self.address, query_id)
+        self.observer.query_dropped(
+            self.address, query_id, reason="timeout_exhausted"
+        )
         if not state.idle():
             return
         if not state.sigma_met() and state.level >= 0:
@@ -864,7 +868,9 @@ class ResourceNode:
             )
             return
         if neighbor is None:
-            self.observer.query_dropped(self.address, query_id)
+            self.observer.query_dropped(
+                self.address, query_id, reason="defer_exhausted"
+            )
         if not state.idle():
             return
         if not state.sigma_met() and state.level >= 0:

@@ -67,8 +67,20 @@ class ProtocolObserver:
     ) -> None:
         """A forwarded QUERY timed out; the neighbor is presumed failed."""
 
-    def query_dropped(self, node: "Address", query_id: "QueryId") -> None:
-        """A QUERY could not be propagated further due to a broken link."""
+    def query_dropped(
+        self,
+        node: "Address",
+        query_id: "QueryId",
+        reason: Optional[str] = None,
+    ) -> None:
+        """A QUERY branch was abandoned for good.
+
+        *reason* classifies the failure mode: ``"empty_cell"`` (nowhere to
+        forward — sparse overlay), ``"timeout_exhausted"`` (every retry
+        and alternate failed), ``"defer_exhausted"`` (a deferred branch
+        never found a repaired link). None when the emitter predates the
+        classification.
+        """
 
     def query_hedged(
         self,
@@ -146,10 +158,10 @@ class FanoutObserver(ProtocolObserver):
         for observer in self.observers:
             observer.neighbor_timeout(node, neighbor, query_id)
 
-    def query_dropped(self, node, query_id) -> None:
+    def query_dropped(self, node, query_id, reason=None) -> None:
         """Fan out to every observer."""
         for observer in self.observers:
-            observer.query_dropped(node, query_id)
+            observer.query_dropped(node, query_id, reason)
 
     def query_hedged(self, node, primary, alternate, query_id) -> None:
         """Fan out to every observer."""

@@ -11,7 +11,7 @@ retried to avoid masking the effect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, PAPER_PEERSIM
 from repro.experiments.harness import build_deployment
@@ -28,11 +28,14 @@ def _arm_fault_scenario(
     severity: Optional[float],
     duration: float,
     seed: int,
+    annotate: Optional[Callable[[float, str], None]] = None,
 ):
     """Schedule a chaos scenario over the middle third of the window.
 
     Returns a zero-arg *heal* callable that is safe to invoke after the
-    run regardless of whether the scenario ever activated.
+    run regardless of whether the scenario ever activated. *annotate*
+    (e.g. ``Telemetry.annotate``) receives the fault-phase boundaries so
+    exported timelines carry them.
     """
     if name is None:
         return lambda: None
@@ -41,6 +44,9 @@ def _arm_fault_scenario(
     box: Dict[str, object] = {}
     start = deployment.simulator.now + duration / 3.0
     end = deployment.simulator.now + 2.0 * duration / 3.0
+    if annotate is not None:
+        annotate(start, f"fault:{name}")
+        annotate(end, "heal")
 
     def _arm() -> None:
         box["active"] = apply_scenario(
@@ -97,6 +103,9 @@ def run_with_telemetry(
     telemetry_interval: Optional[float] = None,
     fault_scenario: Optional[str] = None,
     fault_severity: Optional[float] = None,
+    telemetry_session=None,
+    telemetry_out: Optional[str] = None,
+    on_deployment: Optional[Callable[[Deployment], None]] = None,
 ) -> Tuple[List[Dict[str, float]], List[Dict[str, float]]]:
     """Churn scenario with per-round convergence telemetry.
 
@@ -111,15 +120,44 @@ def run_with_telemetry(
     :mod:`repro.faults.scenarios`) on top of the churn: it activates over
     the middle third of the measured window and heals afterwards, so each
     run shows healthy, faulted, and recovering thirds in one series.
+
+    The timeline pipeline rides on top: pass *telemetry_session* (a
+    :class:`~repro.obs.telemetry.Telemetry`, e.g. the one ``repro dash``
+    paints from) and/or *telemetry_out* (a JSONL path; a default session
+    is created when none was given). The session's registry and observers
+    are threaded through the deployment, the standard series (delivery,
+    in-flight, breakers, rtt/rto percentiles, hedge/drop/message rates)
+    are sampled on the simulated clock, and fault-phase boundaries are
+    annotated. *on_deployment* fires once the deployment is built — the
+    hook the dashboard uses to reach host health state.
     """
     cfg = config or PAPER_PEERSIM
     schema = cfg.schema()
+    session = telemetry_session
+    if session is None and telemetry_out is not None:
+        from repro.obs.telemetry import Telemetry
+
+        session = Telemetry(
+            sample_interval=(
+                telemetry_interval
+                if telemetry_interval is not None
+                else churn_interval
+            )
+        )
     deployment, metrics = build_deployment(
         cfg,
         gossip=True,
         retry_on_timeout=False,  # "the message is dropped" (Section 6.6)
         warmup=warmup,
+        telemetry=session,
     )
+    if on_deployment is not None:
+        on_deployment(deployment)
+    if session is not None:
+        session.install_standard_series(
+            metrics=metrics, network=deployment.network
+        )
+        session.attach(deployment.simulator)
     probe = None
     if telemetry:
         from repro.obs.convergence import ConvergenceProbe
@@ -142,7 +180,12 @@ def run_with_telemetry(
     )
     churn.start()
     heal = _arm_fault_scenario(
-        deployment, fault_scenario, fault_severity, duration, cfg.seed
+        deployment,
+        fault_scenario,
+        fault_severity,
+        duration,
+        cfg.seed,
+        annotate=session.annotate if session is not None else None,
     )
     rows = delivery_timeline(
         deployment,
@@ -152,9 +195,18 @@ def run_with_telemetry(
         query_interval=query_interval,
         selectivity=cfg.selectivity,
         seed=cfg.seed,
+        on_issue=session.note_query if session is not None else None,
     )
     heal()
     churn.stop()
+    if session is not None:
+        session.detach()
+    if session is not None and telemetry_out is not None:
+        from repro.obs.export import write_timeline_jsonl
+
+        write_timeline_jsonl(
+            telemetry_out, session.timeline(), session.recorder.annotations
+        )
     if probe is not None:
         probe.stop()
         return rows, probe.rows

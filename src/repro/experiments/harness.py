@@ -39,6 +39,7 @@ def build_deployment(
     node_config=None,
     extra_observers: Sequence[ProtocolObserver] = (),
     registry: Optional[MetricsRegistry] = None,
+    telemetry=None,
 ) -> Tuple[Deployment, MetricsCollector]:
     """Build a populated deployment for *config*.
 
@@ -49,11 +50,22 @@ def build_deployment(
 
     *extra_observers* (e.g. a :class:`~repro.obs.tracer.TraceRecorder`)
     watch the run alongside the metrics collector; *registry* collects
-    gossip-layer telemetry. The populate / bootstrap / converge phases are
-    reported to the active :mod:`repro.obs.profile` profiler, if any.
+    gossip-layer telemetry. *telemetry* is a
+    :class:`~repro.obs.telemetry.Telemetry` session: its registry and
+    observers are wired in (its timeline is attached to the simulator by
+    the caller, who decides the sampling window). The populate /
+    bootstrap / converge phases are reported to the active
+    :mod:`repro.obs.profile` profiler, if any.
     """
     schema = config.schema()
     metrics = MetricsCollector()
+    if telemetry is not None:
+        if registry is not None and registry is not telemetry.registry:
+            raise ValueError(
+                "pass either registry= or telemetry=, not two registries"
+            )
+        registry = telemetry.registry
+        extra_observers = tuple(extra_observers) + telemetry.observers()
     observer: ProtocolObserver = metrics
     if extra_observers:
         observer = FanoutObserver(metrics, *extra_observers)

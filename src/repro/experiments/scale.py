@@ -39,6 +39,9 @@ def build_sharded_deployment(
     num_shards: int,
     mode: str = "inline",
     sampler: Optional[ValueSampler] = None,
+    telemetry: bool = False,
+    trace_sample_rate: Optional[float] = None,
+    trace_seed: int = 0,
 ) -> Tuple[ShardedDeployment, _MergedMetrics]:
     """Build a populated, bootstrapped sharded deployment for *config*.
 
@@ -46,7 +49,11 @@ def build_sharded_deployment(
     converged (gossip-less) case: same schema, same latency preset, same
     population and bootstrap rng streams — so per-query metrics are
     bit-identical to the single-process engine on deterministic
-    testbeds (``peersim``).
+    testbeds (``peersim``). With ``telemetry=True`` every shard carries
+    its own registry + collector (merge via
+    ``deployment.telemetry_snapshot()``); *trace_sample_rate* arms a
+    sampled per-shard tracer whose events merge through
+    ``deployment.trace_events()``.
     """
     schema = config.schema()
     latency, loss = latency_for_testbed(config.testbed)
@@ -58,6 +65,9 @@ def build_sharded_deployment(
         loss_rate=loss,
         node_config=config.node_config(),
         mode=mode,
+        telemetry=telemetry,
+        trace_sample_rate=trace_sample_rate,
+        trace_seed=trace_seed,
     )
     deployment.populate(sampler or uniform_sampler(schema), config.network_size)
     deployment.bootstrap()

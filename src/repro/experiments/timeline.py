@@ -10,7 +10,7 @@ still reports how far it spread.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.metrics.collectors import MetricsCollector
 from repro.sim.deployment import Deployment
@@ -27,12 +27,18 @@ def delivery_timeline(
     selectivity: float = 0.125,
     grace: float = 60.0,
     seed: int = 5,
+    on_issue: Optional[Callable[[object, set], None]] = None,
 ) -> List[Dict[str, float]]:
     """Issue periodic queries from *start* for *duration* seconds.
 
     Returns rows of ``{time, delivery, expected}`` — one per issued query,
     with delivery evaluated against the nodes that matched *and were alive*
     at issue time (the paper's ground truth).
+
+    *on_issue(query_id, expected)* fires right after each query is issued
+    — the hook the telemetry pipeline uses to point its live ``delivery``
+    series at the current query. It does not touch the rng streams, so
+    wiring it changes nothing about the measured run.
     """
     rng = derive_rng(seed, "timeline")
     schema = deployment.schema
@@ -51,6 +57,8 @@ def delivery_timeline(
         }
         origin = rng.choice(alive)
         query_id = origin.issue_query(query)  # no threshold: measure spread
+        if on_issue is not None:
+            on_issue(query_id, expected)
         pending.append(
             {"time": time, "query_id": query_id, "expected": expected}
         )

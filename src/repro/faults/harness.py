@@ -50,6 +50,7 @@ from repro.faults.scenarios import SCENARIOS, ActiveScenario, apply_scenario
 from repro.metrics.collectors import MetricsCollector
 from repro.obs import events as ev
 from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import TraceRecorder
 from repro.sim.deployment import Deployment
 from repro.util.rng import derive_rng
@@ -136,6 +137,10 @@ class ChaosReport:
     metrics: Dict[str, object] = field(default_factory=dict)
     #: (severity, mean fault-phase delivery) pairs from the I4 ladder.
     sweep_deliveries: List[Tuple[float, float]] = field(default_factory=list)
+    #: Sampled telemetry timeline rows (one dict per sample instant).
+    timeline: List[Dict[str, object]] = field(default_factory=list)
+    #: Fault-phase boundaries: (time, label) — fault start and heal.
+    annotations: List[Tuple[float, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -205,6 +210,8 @@ class _Episode:
     active: ActiveScenario
     drained: bool
     leftover_events: int
+    timeline: List[dict] = field(default_factory=list)
+    annotations: List[Tuple[float, str]] = field(default_factory=list)
 
 
 def _issue_queries(
@@ -218,8 +225,14 @@ def _issue_queries(
     issued: List[dict],
     registry: MetricsRegistry,
     origins: Optional[Set[Address]] = None,
+    note=None,
 ) -> None:
-    """Fire-and-forget one query every *interval* seconds for *duration*."""
+    """Fire-and-forget one query every *interval* seconds for *duration*.
+
+    *note* (e.g. :meth:`~repro.obs.telemetry.Telemetry.note_query`)
+    receives ``(query_id, expected)`` so the live delivery timeline can
+    track the most recent query.
+    """
     queries = registry.counter("chaos.queries_issued")
     time = start
     end = start + duration
@@ -239,6 +252,8 @@ def _issue_queries(
         origin = rng.choice(alive)
         query_id = origin.issue_query(query)  # no sigma: measure spread
         queries.inc()
+        if note is not None:
+            note(query_id, expected)
         issued.append(
             {
                 "time": time,
@@ -290,6 +305,7 @@ def _run_episode(
     """
     registry = MetricsRegistry()
     tracer = TraceRecorder()
+    session = Telemetry(registry=registry, sample_interval=config.query_interval)
     experiment = ExperimentConfig(
         network_size=config.size, seed=config.seed, testbed=config.testbed
     )
@@ -309,9 +325,11 @@ def _run_episode(
         warmup=config.warmup,
         node_config=node_config,
         extra_observers=(tracer,),
-        registry=registry,
+        telemetry=session,
     )
     tracer.bind_clock(lambda: deployment.simulator.now)
+    session.install_standard_series(metrics=metrics, network=deployment.network)
+    session.attach(deployment.simulator)
     crashed: Set[Address] = set()
 
     def _watch(host, event: str) -> None:
@@ -329,9 +347,11 @@ def _run_episode(
     _issue_queries(
         deployment, "pre", start, pre, config.query_interval,
         config.selectivity, workload_rng, issued, registry,
+        note=session.note_query,
     )
     deployment.simulator.run(until=start + pre)
     fault_start = deployment.simulator.now
+    session.annotate(fault_start, f"fault:{scenario}")
     active = apply_scenario(
         deployment,
         scenario,
@@ -343,15 +363,21 @@ def _run_episode(
         deployment, "fault", fault_start, hold, config.query_interval,
         config.selectivity, workload_rng, issued, registry,
         origins=active.preferred_origins,
+        note=session.note_query,
     )
     deployment.simulator.run(until=fault_start + hold)
     active.stop()
     heal_time = deployment.simulator.now
+    session.annotate(heal_time, "heal")
     _issue_queries(
         deployment, "recovery", heal_time, recovery, config.query_interval,
         config.selectivity, workload_rng, issued, registry,
+        note=session.note_query,
     )
     deployment.simulator.run(until=heal_time + recovery)
+    # The sampler re-arms itself forever; stop it before the drain or the
+    # I2 no-leak sweep would find its tick keeping the heap alive.
+    session.detach()
     drained, leftover = _drain(deployment, config.drain_grace)
 
     delivery_metric = registry.histogram("chaos.delivery")
@@ -384,6 +410,8 @@ def _run_episode(
         active=active,
         drained=drained,
         leftover_events=leftover,
+        timeline=session.timeline(),
+        annotations=list(session.recorder.annotations),
     )
 
 
@@ -690,4 +718,6 @@ def run_chaos(
         counters=counters,
         metrics=episode.registry.snapshot(),
         sweep_deliveries=ladder,
+        timeline=episode.timeline,
+        annotations=episode.annotations,
     )

@@ -84,7 +84,14 @@ class TwoLayerMaintenance:
             registry=registry,
         )
         self._cycles = registry.counter("gossip.cycles")
-        self._answer_timeouts = registry.counter("gossip.answer_timeouts")
+        # Per-layer series: a cyclon shuffle timing out and a vicinity
+        # exchange timing out point at different failure surfaces.
+        self._answer_timeouts = {
+            "cyclon": registry.counter("gossip.answer_timeouts", layer="cyclon"),
+            "vicinity": registry.counter(
+                "gossip.answer_timeouts", layer="vicinity"
+            ),
+        }
         self._running = False
         self._cycle_timer: Optional[TimerHandle] = None
         #: Per-peer (timer, sent_at) for outstanding exchange answers.
@@ -188,7 +195,7 @@ class TwoLayerMaintenance:
         )
 
     def _answer_timeout(self, peer: Address, layer: str) -> None:
-        self._answer_timeouts.inc()
+        self._answer_timeouts[layer].inc()
         self._answer_timers.pop(peer, None)
         if self.health is not None:
             self.health.record_failure(peer, self.transport.now())

@@ -139,7 +139,12 @@ class MetricsCollector(ProtocolObserver):
     ) -> None:
         self._record(query_id).timeouts += 1
 
-    def query_dropped(self, node: Address, query_id: QueryId) -> None:
+    def query_dropped(
+        self,
+        node: Address,
+        query_id: QueryId,
+        reason: Optional[str] = None,
+    ) -> None:
         self._record(query_id).drops += 1
 
     def query_hedged(

@@ -1,16 +1,28 @@
-"""Observability: structured tracing, convergence telemetry, profiling.
+"""Observability: telemetry pipeline, tracing, convergence, profiling.
 
-Three independent instruments, all off (and near-free) by default:
+The measurement substrate every experiment, benchmark and (future)
+runtime plugs into — all off (and near-free) by default:
 
+* :mod:`repro.obs.registry` — labeled counters/gauges/histograms with a
+  shared no-op fast path (:data:`NULL_REGISTRY`), streaming log-binned
+  histograms (O(1) memory, ``quantile(q)``), and an associative,
+  order-independent :func:`merge_snapshots` that makes sharded runs
+  report bit-identical merged metrics.
+* :mod:`repro.obs.telemetry` — the scale-ready pipeline:
+  :class:`Telemetry` bundles a registry, a labeled-series protocol
+  collector, an optional sampled tracer, and sim-time-sampled timelines.
+* :mod:`repro.obs.timeseries` — :class:`TimeSeries` ring buffers and the
+  cadence-driven :class:`TimeSeriesRecorder` (with fault-phase
+  annotations).
+* :mod:`repro.obs.export` — Prometheus-style text exposition and the
+  JSONL timeline format behind ``repro run --telemetry-out``.
 * :mod:`repro.obs.tracer` — :class:`TraceRecorder`, a protocol observer
   that captures per-query event streams (with simulated timestamps) and
-  reconstructs hop trees; export as JSONL, render via
+  reconstructs hop trees; head-based seeded ``sample_rate`` keeps it
+  usable at paper scale; export as JSONL, render via
   :func:`repro.obs.render.render_hop_tree` or the ``repro trace`` CLI.
-* :mod:`repro.obs.registry` — a counters/gauges/histograms registry with
-  a shared no-op fast path (:data:`NULL_REGISTRY`), wired through the
-  gossip stack for per-round convergence counters; see also
-  :class:`repro.obs.convergence.ConvergenceProbe` for the ground-truth
-  slot-fill / view-distance / repair time series.
+* :mod:`repro.obs.dash` — the ``repro dash`` live terminal view
+  (sparkline timelines + per-neighbor breaker/RTT health tables).
 * :mod:`repro.obs.profile` — phase profilers (populate / bootstrap /
   converge / measure) hooked into the experiment harness and merged
   across parallel sweep workers.
@@ -20,6 +32,11 @@ simulation layer) — ``from repro.obs.convergence import ConvergenceProbe``.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent, event_from_dict
+from repro.obs.export import (
+    prometheus_text,
+    read_timeline_jsonl,
+    write_timeline_jsonl,
+)
 from repro.obs.profile import PhaseProfiler, PhaseStats
 from repro.obs.registry import (
     MetricsRegistry,
@@ -27,18 +44,27 @@ from repro.obs.registry import (
     merge_snapshots,
 )
 from repro.obs.render import render_hop_tree
+from repro.obs.telemetry import Telemetry, TelemetryCollector
+from repro.obs.timeseries import TimeSeries, TimeSeriesRecorder
 from repro.obs.tracer import HopNode, QueryTrace, TraceRecorder, read_jsonl
 
 __all__ = [
     "EVENT_KINDS",
     "TraceEvent",
     "event_from_dict",
+    "prometheus_text",
+    "read_timeline_jsonl",
+    "write_timeline_jsonl",
     "PhaseProfiler",
     "PhaseStats",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "merge_snapshots",
     "render_hop_tree",
+    "Telemetry",
+    "TelemetryCollector",
+    "TimeSeries",
+    "TimeSeriesRecorder",
     "HopNode",
     "QueryTrace",
     "TraceRecorder",

@@ -1,0 +1,181 @@
+"""`repro dash`: a live terminal view of a running overlay.
+
+Renders the telemetry timelines as Unicode sparklines together with a
+fleet health summary (breaker-state counts and the worst per-neighbor
+RTT/RTO rows) and any fault-phase annotations — the ops surface the
+ISSUE's "continuous, per-peer visibility" calls for, without leaving the
+terminal.
+
+Everything here is pure string rendering over
+:class:`~repro.obs.timeseries.TimeSeriesRecorder` state plus
+:meth:`~repro.core.health.HealthMonitor.neighbor_states` rows, so it is
+trivially testable and reusable by any runtime (the CLI wires it to a
+simulated churn run today; a future asyncio runtime can feed it live).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.timeseries import TimeSeriesRecorder
+
+#: Eight-level block ramp for sparklines.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI: clear screen + home (used between live frames).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Render the last *width* values as a Unicode sparkline."""
+    if not values:
+        return " " * width
+    window = list(values)[-width:]
+    low = min(window)
+    high = max(window)
+    span = high - low
+    if span <= 0:
+        # Flat series: mid-ramp so presence is still visible.
+        return (SPARK_CHARS[3] * len(window)).rjust(width)
+    top = len(SPARK_CHARS) - 1
+    chars = [
+        SPARK_CHARS[min(top, int((value - low) / span * top + 0.5))]
+        for value in window
+    ]
+    return "".join(chars).rjust(width)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def health_summary(
+    hosts: Iterable[Any], now: float, worst: int = 6
+) -> Dict[str, Any]:
+    """Aggregate per-node health into one fleet view.
+
+    *hosts* is any iterable of objects with a ``health`` monitor (sample
+    a bounded subset at scale — the summary is for eyeballs, not audit).
+    Returns breaker-state counts across all neighbor entries and the
+    *worst* rows by smoothed RTT (each tagged with its owning node).
+    """
+    states: Dict[str, int] = {}
+    rows: List[Dict[str, Any]] = []
+    for host in hosts:
+        for entry in host.health.neighbor_states(now):
+            states[entry["breaker"]] = states.get(entry["breaker"], 0) + 1
+            entry = dict(entry)
+            entry["node"] = host.address
+            rows.append(entry)
+    rows.sort(
+        key=lambda row: (
+            row["breaker"] == "closed",  # open/half-open first
+            -(row["srtt"] if row["srtt"] is not None else 0.0),
+        )
+    )
+    return {"breaker_counts": states, "worst": rows[:worst]}
+
+
+def render_frame(
+    recorder: TimeSeriesRecorder,
+    now: float,
+    health: Optional[Dict[str, Any]] = None,
+    title: str = "repro dash",
+    width: int = 48,
+) -> str:
+    """One full dashboard frame as a string (no escape codes)."""
+    lines = [f"{title} — t={now:.1f}s"]
+    lines.append("─" * (width + 30))
+    name_width = max((len(name) for name in recorder.series), default=8)
+    for name in sorted(recorder.series):
+        series = recorder.series[name]
+        values = series.values()
+        last = series.last()
+        lines.append(
+            f"{name.ljust(name_width)} {sparkline(values, width)} "
+            f"last={_format_value(last[1] if last else None)}"
+            + (
+                f" min={_format_value(min(values))}"
+                f" max={_format_value(max(values))}"
+                if values
+                else ""
+            )
+        )
+    if recorder.annotations:
+        lines.append("")
+        lines.append("events:")
+        for time, label in recorder.annotations[-6:]:
+            lines.append(f"  t={time:.1f}s  {label}")
+    if health is not None:
+        lines.append("")
+        counts = health.get("breaker_counts", {})
+        summary = (
+            ", ".join(
+                f"{state}={counts[state]}" for state in sorted(counts)
+            )
+            or "no neighbor state yet"
+        )
+        lines.append(f"breakers: {summary}")
+        worst = health.get("worst", ())
+        if worst:
+            lines.append("  node      neighbor  srtt     rto      breaker")
+            for row in worst:
+                lines.append(
+                    f"  {str(row['node']).ljust(9)} "
+                    f"{str(row['address']).ljust(9)} "
+                    f"{_format_value(row['srtt']).ljust(8)} "
+                    f"{_format_value(row['rto']).ljust(8)} "
+                    f"{row['breaker']}"
+                )
+    return "\n".join(lines)
+
+
+class Dashboard:
+    """Paints dashboard frames to a stream on every timeline sample.
+
+    Wire :meth:`paint` as the recorder's ``on_sample`` callback for a
+    live view (each frame clears the screen), or call :meth:`render`
+    once for a static capture (``repro dash --once`` in CI).
+    """
+
+    def __init__(
+        self,
+        recorder: TimeSeriesRecorder,
+        health_provider: Optional[Any] = None,
+        title: str = "repro dash",
+        width: int = 48,
+        stream: Any = None,
+        live: bool = True,
+    ) -> None:
+        self.recorder = recorder
+        self.health_provider = health_provider
+        self.title = title
+        self.width = width
+        self.stream = stream if stream is not None else sys.stdout
+        self.live = live
+
+    def render(self, now: float) -> str:
+        """One frame as a plain string."""
+        health = (
+            self.health_provider(now)
+            if self.health_provider is not None
+            else None
+        )
+        return render_frame(
+            self.recorder, now, health=health, title=self.title, width=self.width
+        )
+
+    def paint(self, now: float) -> None:
+        """Write one frame (clearing the screen first in live mode)."""
+        if self.live:
+            self.stream.write(CLEAR)
+        self.stream.write(self.render(now))
+        self.stream.write("\n")
+        self.stream.flush()

@@ -50,6 +50,7 @@ class TraceEvent:
     dim: Optional[int] = None
     matched: Optional[bool] = None
     dimensions: Optional[Tuple[int, ...]] = None
+    reason: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serialisable dict (None-valued fields omitted)."""
@@ -69,6 +70,8 @@ class TraceEvent:
             payload["matched"] = self.matched
         if self.dimensions is not None:
             payload["dims"] = list(self.dimensions)
+        if self.reason is not None:
+            payload["reason"] = self.reason
         return payload
 
 
@@ -85,4 +88,5 @@ def event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
         dim=payload.get("dim"),
         matched=payload.get("matched"),
         dimensions=tuple(dims) if dims is not None else None,
+        reason=payload.get("reason"),
     )

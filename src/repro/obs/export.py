@@ -1,0 +1,132 @@
+"""Export surfaces: Prometheus-style text exposition and JSONL timelines.
+
+Two ways a run's telemetry leaves the process:
+
+- :func:`prometheus_text` renders a registry snapshot in the Prometheus
+  text exposition format (``# TYPE`` headers, ``name{label="value"}``
+  series, cumulative ``_bucket``/``_sum``/``_count`` histogram lines) so
+  a future serving runtime can expose ``/metrics`` verbatim and today's
+  CLI can dump scrape-ready text;
+- :func:`write_timeline_jsonl` / :func:`read_timeline_jsonl` persist a
+  sampled timeline (one JSON object per line: sample rows keyed by sim
+  time, plus ``annotation`` records for fault-phase boundaries), the
+  format behind ``repro run --telemetry-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.obs.registry import bin_upper, split_labels
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes become ``_``)."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{labels[key]}"' for key in sorted(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as exposition text.
+
+    Flat ``name{k=v}`` registry keys are split back into base name +
+    labels; histogram bins become cumulative ``_bucket`` series with
+    ``le`` upper bounds (log-spaced, ending in ``+Inf``), alongside
+    ``_sum``/``_count``/``_min``/``_max``.
+    """
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(base: str, kind: str) -> None:
+        if base not in seen_types:
+            seen_types.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        base, labels = split_labels(key)
+        base = _metric_name(base)
+        type_line(base, "counter")
+        lines.append(
+            f"{base}{_render_labels(labels)} {snapshot['counters'][key]}"
+        )
+    for key in sorted(snapshot.get("gauges", {})):
+        base, labels = split_labels(key)
+        base = _metric_name(base)
+        type_line(base, "gauge")
+        lines.append(f"{base}{_render_labels(labels)} {snapshot['gauges'][key]}")
+    for key in sorted(snapshot.get("histograms", {})):
+        stats = snapshot["histograms"][key]
+        base, labels = split_labels(key)
+        base = _metric_name(base)
+        type_line(base, "histogram")
+        rendered = _render_labels(labels)
+        cumulative = 0
+        for index in sorted(stats.get("bins", {}), key=int):
+            cumulative += stats["bins"][index]
+            bound = bin_upper(int(index))
+            le = _render_labels(labels, f'le="{bound:.6g}"')
+            lines.append(f"{base}_bucket{le} {cumulative}")
+        inf = _render_labels(labels, 'le="+Inf"')
+        lines.append(f"{base}_bucket{inf} {stats['count']}")
+        lines.append(f"{base}_sum{rendered} {stats['total']}")
+        lines.append(f"{base}_count{rendered} {stats['count']}")
+        if stats.get("min") is not None:
+            lines.append(f"{base}_min{rendered} {stats['min']}")
+        if stats.get("max") is not None:
+            lines.append(f"{base}_max{rendered} {stats['max']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_timeline_jsonl(
+    path: Union[str, Path],
+    rows: Iterable[Dict[str, Any]],
+    annotations: Sequence[Tuple[float, str]] = (),
+) -> int:
+    """Write timeline rows (+ annotations) as JSONL; returns line count.
+
+    Records interleave in time order: sample rows are the recorder's
+    per-instant dicts, annotations become ``{"t": ..., "annotation": ...}``
+    lines.
+    """
+    records: List[Dict[str, Any]] = [dict(row) for row in rows]
+    for time, label in annotations:
+        records.append({"t": time, "annotation": label})
+    records.sort(key=lambda record: (record["t"], "annotation" in record))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def read_timeline_jsonl(
+    path: Union[str, Path],
+) -> Tuple[List[Dict[str, Any]], List[Tuple[float, str]]]:
+    """Load a timeline dump: ``(sample_rows, annotations)``."""
+    rows: List[Dict[str, Any]] = []
+    annotations: List[Tuple[float, str]] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if "annotation" in record:
+            annotations.append((float(record["t"]), record["annotation"]))
+        else:
+            rows.append(record)
+    return rows, annotations

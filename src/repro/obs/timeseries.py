@@ -1,0 +1,175 @@
+"""Sim-time-sampled time series: timelines instead of end-of-run scalars.
+
+A :class:`TimeSeries` is a fixed-capacity ring buffer of ``(time, value)``
+samples — memory stays bounded no matter how long a run lasts.
+A :class:`TimeSeriesRecorder` owns a set of named series, each backed by a
+**source** callable, and samples every source on a configurable sim-time
+cadence (scheduled on the simulator like any other periodic protocol
+event, so samples are deterministic and reproducible run-to-run).
+
+Two source flavours cover everything the overlay exposes:
+
+- *gauge sources* record the callable's value as-is (in-flight queries,
+  open breakers, an RTT percentile pulled from a histogram);
+- *counter sources* (``counter=True``) record the per-interval **delta**
+  of a monotonically increasing value (messages sent per interval, hedges
+  launched per interval) — i.e. a rate timeline.
+
+Recorders also carry **annotations** — labelled instants such as fault
+injection and heal times — so exported timelines and the live dashboard
+can show *when* the interesting thing happened, not just that it did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A zero-argument callable producing the next sample value.
+Source = Callable[[], float]
+
+
+class TimeSeries:
+    """A bounded ring of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "capacity", "_samples", "_start")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._samples: List[Tuple[float, float]] = []
+        self._start = 0  # ring head when the buffer is full
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample, evicting the oldest once at capacity."""
+        if len(self._samples) < self.capacity:
+            self._samples.append((time, value))
+        else:
+            self._samples[self._start] = (time, value)
+            self._start = (self._start + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained samples, oldest first."""
+        if self._start == 0:
+            return list(self._samples)
+        return self._samples[self._start:] + self._samples[: self._start]
+
+    def values(self) -> List[float]:
+        """Just the sample values, oldest first."""
+        return [value for _, value in self.samples()]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """The newest sample, or None when empty."""
+        if not self._samples:
+            return None
+        return self._samples[(self._start - 1) % len(self._samples)]
+
+
+class TimeSeriesRecorder:
+    """Samples registered sources on a sim-time cadence.
+
+    Parameters
+    ----------
+    interval:
+        Simulated seconds between samples (the timeline resolution).
+    capacity:
+        Ring capacity per series; a run longer than
+        ``interval * capacity`` keeps the most recent window.
+    """
+
+    def __init__(self, interval: float = 10.0, capacity: int = 1024) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.capacity = capacity
+        self.series: Dict[str, TimeSeries] = {}
+        self.annotations: List[Tuple[float, str]] = []
+        self._sources: List[Tuple[TimeSeries, Source, bool]] = []
+        self._last_counter: Dict[str, float] = {}
+        self._on_sample: Optional[Callable[[float], None]] = None
+        self._simulator: Optional[Any] = None
+        self._pending: Optional[Any] = None
+        self._stopped = False
+
+    def add_source(
+        self, name: str, source: Source, counter: bool = False
+    ) -> TimeSeries:
+        """Register a sampled series backed by *source*.
+
+        With ``counter=True`` the series records per-interval deltas of a
+        monotonic value instead of the raw reading.
+        """
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name, self.capacity)
+        self._sources.append((series, source, counter))
+        return series
+
+    def on_sample(self, callback: Optional[Callable[[float], None]]) -> None:
+        """Invoke *callback(now)* after every sampling sweep (live views)."""
+        self._on_sample = callback
+
+    def annotate(self, time: float, label: str) -> None:
+        """Mark a labelled instant (e.g. ``fault:partition`` or ``heal``)."""
+        self.annotations.append((time, label))
+
+    def sample(self, now: float) -> None:
+        """Take one sample of every registered source at time *now*."""
+        for series, source, counter in self._sources:
+            value = float(source())
+            if counter:
+                previous = self._last_counter.get(series.name, 0.0)
+                self._last_counter[series.name] = value
+                value = value - previous
+            series.record(now, value)
+        if self._on_sample is not None:
+            self._on_sample(now)
+
+    def attach(self, simulator: Any) -> None:
+        """Schedule periodic sampling on *simulator* until detached.
+
+        Takes an immediate sample, then re-arms every :attr:`interval`
+        simulated seconds — the same self-scheduling idiom the gossip
+        layer uses, so sampling interleaves deterministically with
+        protocol events. Call :meth:`detach` when measurement ends:
+        harnesses that drain the simulator to quiescence (the chaos
+        no-leak invariant) must not find a self-rescheduling sampler
+        keeping the heap alive.
+        """
+        self._simulator = simulator
+        self._stopped = False
+        self.sample(simulator.now)
+
+        def tick() -> None:
+            self._pending = None
+            if self._stopped:
+                return
+            self.sample(simulator.now)
+            self._pending = simulator.schedule(self.interval, tick)
+
+        self._pending = simulator.schedule(self.interval, tick)
+
+    def detach(self) -> None:
+        """Stop periodic sampling and cancel the armed tick, if any."""
+        self._stopped = True
+        if self._pending is not None and self._simulator is not None:
+            self._simulator.cancel(self._pending)
+            self._pending = None
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The timeline as JSON-friendly rows, one per sample instant.
+
+        Rows are keyed by sample time; series sampled on the shared
+        cadence collapse into one row per instant with a column per
+        series.
+        """
+        by_time: Dict[float, Dict[str, Any]] = {}
+        for name, series in self.series.items():
+            for time, value in series.samples():
+                row = by_time.setdefault(time, {"t": time})
+                row[name] = value
+        return [by_time[time] for time in sorted(by_time)]

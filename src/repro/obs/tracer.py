@@ -18,6 +18,8 @@ via :mod:`repro.obs.render`.
 
 from __future__ import annotations
 
+import hashlib
+
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -161,16 +163,58 @@ class TraceRecorder(ProtocolObserver):
     keep_last:
         Retain at most this many query traces, evicting the oldest
         (None = unbounded). Bounds memory when tracing long churn runs.
+    sample_rate:
+        Head-based per-query sampling: trace roughly this fraction of
+        queries end-to-end and ignore the rest entirely (None or 1.0 =
+        trace everything). The decision is a pure function of
+        ``(sample_seed, query_id)`` — hash of the query's origin address
+        and sequence number — so every recorder with the same seed makes
+        the *same* decision for the same query. That is what keeps a
+        sampled query traced end-to-end across shard workers without any
+        coordination, and what makes ``repro trace`` usable at paper
+        scale: at N=100k with ``sample_rate=0.01``, tracer memory holds
+        ~1% of the queries instead of all of them.
+    sample_seed:
+        Seed for the sampling hash (default 0). Same seed ⇒ same sampled
+        query set, run to run and shard to shard.
     """
 
     def __init__(
         self,
         clock: Optional[Clock] = None,
         keep_last: Optional[int] = None,
+        sample_rate: Optional[float] = None,
+        sample_seed: int = 0,
     ) -> None:
+        if sample_rate is not None and not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
         self.traces: "OrderedDict[QueryId, QueryTrace]" = OrderedDict()
         self.keep_last = keep_last
+        self.sample_rate = sample_rate
+        self.sample_seed = sample_seed
+        # Memoized per-query decisions (bounded: cleared when it grows
+        # past _DECISION_CACHE_LIMIT; recomputation is deterministic).
+        self._decisions: Dict[QueryId, bool] = {}
         self._clock = clock
+
+    _DECISION_CACHE_LIMIT = 8192
+
+    def sampled(self, query_id: QueryId) -> bool:
+        """Whether this query is in the traced sample (deterministic)."""
+        if self.sample_rate is None or self.sample_rate >= 1.0:
+            return True
+        decision = self._decisions.get(query_id)
+        if decision is None:
+            origin, sequence = query_id
+            digest = hashlib.sha256(
+                f"{self.sample_seed}:{origin}:{sequence}".encode()
+            ).digest()
+            draw = int.from_bytes(digest[:8], "big") / 2**64
+            decision = draw < self.sample_rate
+            if len(self._decisions) >= self._DECISION_CACHE_LIMIT:
+                self._decisions.clear()
+            self._decisions[query_id] = decision
+        return decision
 
     def bind_clock(self, clock: Clock) -> None:
         """Attach the time source (e.g. ``lambda: simulator.now``)."""
@@ -190,6 +234,8 @@ class TraceRecorder(ProtocolObserver):
         return trace
 
     def _record(self, kind: str, query_id: QueryId, node: Address, **extra) -> None:
+        if not self.sampled(query_id):
+            return
         self._trace(query_id).events.append(
             ev.TraceEvent(
                 time=self._now(), kind=kind, query_id=query_id, node=node, **extra
@@ -249,11 +295,28 @@ class TraceRecorder(ProtocolObserver):
         """Record a presumed-failed neighbor."""
         self._record(ev.TIMEOUT, query_id, node, peer=neighbor)
 
-    def query_dropped(self, node: Address, query_id: QueryId) -> None:
-        """Record a branch lost to a broken link."""
-        self._record(ev.DROPPED, query_id, node)
+    def query_dropped(
+        self,
+        node: Address,
+        query_id: QueryId,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Record an abandoned branch, annotated with why it was dropped."""
+        self._record(ev.DROPPED, query_id, node, reason=reason)
 
     # -- access / export --------------------------------------------------------
+
+    def ingest(self, events: Sequence[ev.TraceEvent]) -> None:
+        """Append already-recorded events (e.g. from another shard).
+
+        Events are grouped into per-query traces exactly as live recording
+        would; the caller is responsible for ordering (sort by time before
+        ingesting when merging multiple shard streams). Sampling is *not*
+        re-applied — shard recorders already made the (identical, seeded)
+        decision at record time.
+        """
+        for event in events:
+            self._trace(event.query_id).events.append(event)
 
     def last_trace(self) -> Optional[QueryTrace]:
         """The most recently opened query trace, if any."""

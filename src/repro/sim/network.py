@@ -100,6 +100,23 @@ class SimNetwork:
         #: Messages handed to the cross-shard bridge.
         self.messages_forwarded_remote = 0
 
+    def stats(self) -> Dict[str, int]:
+        """Substrate counters as one flat dict (telemetry/dash source).
+
+        Monotonic totals, so timeline recorders can register them as
+        counter sources and plot per-interval rates.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_lost": self.messages_lost,
+            "messages_lost_injected": self.messages_lost_injected,
+            "messages_dropped_dead": self.messages_dropped_dead,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_forwarded_remote": self.messages_forwarded_remote,
+            "alive": len(self._alive),
+        }
+
     # -- membership ----------------------------------------------------------------
 
     def attach(self, address: Address, handler: MessageHandler) -> None:

@@ -52,8 +52,13 @@ from repro.core.attributes import AttributeSchema
 from repro.core.descriptors import Address, NodeDescriptor
 from repro.core.index import CellIndex
 from repro.core.node import NodeConfig
+from repro.core.observer import FanoutObserver
 from repro.core.query import Query
 from repro.metrics.collectors import MetricsCollector, QueryRecord
+from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.obs.telemetry import TelemetryCollector
+from repro.obs.tracer import TraceRecorder
 from repro.sim.deployment import ValueSampler, bootstrap_tables
 from repro.sim.engine import Simulator
 from repro.sim.host import SimHost
@@ -107,6 +112,9 @@ class ShardWorker:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         node_config: Optional[NodeConfig] = None,
+        telemetry: bool = False,
+        trace_sample_rate: Optional[float] = None,
+        trace_seed: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -121,6 +129,31 @@ class ShardWorker:
         )
         self.node_config = node_config or NodeConfig()
         self.metrics = MetricsCollector()
+        # Per-shard telemetry: a private registry fed by this shard's
+        # hosts/health monitors plus a labeled-series collector; snapshots
+        # merge bit-identically across shards (merge_snapshots). The
+        # tracer's head-based sampling is a pure seeded hash of the query
+        # id, so every shard makes the same keep/skip decision and a
+        # sampled query is traced end-to-end without coordination.
+        self.registry = MetricsRegistry() if telemetry else None
+        self.telemetry_collector = (
+            TelemetryCollector(self.registry) if self.registry else None
+        )
+        self.tracer: Optional[TraceRecorder] = None
+        if trace_sample_rate is not None:
+            self.tracer = TraceRecorder(
+                clock=lambda: self.simulator.now,
+                sample_rate=trace_sample_rate,
+                sample_seed=trace_seed,
+            )
+        extras = [
+            observer
+            for observer in (self.telemetry_collector, self.tracer)
+            if observer is not None
+        ]
+        self._observer = (
+            FanoutObserver(self.metrics, *extras) if extras else self.metrics
+        )
         self.hosts: Dict[Address, SimHost] = {}
         self._outbox: List[Crossing] = []
         self.network.remote_route = self._collect
@@ -164,7 +197,8 @@ class ShardWorker:
                         self.seed, f"host:{address}"
                     ),
                     node_config=self.node_config,
-                    observer=self.metrics,
+                    observer=self._observer,
+                    registry=self.registry,
                 )
             self.network.local_addresses = set(self.hosts)
             tables = {
@@ -250,6 +284,24 @@ class ShardWorker:
             "hosts": len(self.hosts),
         }
 
+    # -- telemetry -----------------------------------------------------------
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """This shard's registry snapshot (plain dicts — pipe-safe)."""
+        if self.registry is None:
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+        return self.registry.snapshot()
+
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """This shard's sampled trace events as JSON-style dicts.
+
+        Dicts, not :class:`~repro.obs.events.TraceEvent` instances, so
+        the forked-process proxy ships them over the pipe unchanged.
+        """
+        if self.tracer is None:
+            return []
+        return [event.to_dict() for event in self.tracer.iter_events()]
+
 
 def _worker_main(conn, factory: Callable[[], ShardWorker]) -> None:
     """Child-process loop: proxy method calls arriving over *conn*."""
@@ -316,6 +368,12 @@ class _ProcessProxy:
 
     def counters(self):
         return self._call("counters")
+
+    def telemetry_snapshot(self):
+        return self._call("telemetry_snapshot")
+
+    def trace_events(self):
+        return self._call("trace_events")
 
     def stop(self) -> None:
         if self._process.is_alive():
@@ -384,6 +442,9 @@ class ShardedDeployment:
         loss_rate: float = 0.0,
         node_config: Optional[NodeConfig] = None,
         mode: str = "inline",
+        telemetry: bool = False,
+        trace_sample_rate: Optional[float] = None,
+        trace_seed: int = 0,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -394,6 +455,9 @@ class ShardedDeployment:
         self.num_shards = num_shards
         self.mode = mode
         self.node_config = node_config or NodeConfig()
+        self.telemetry = telemetry
+        self.trace_sample_rate = trace_sample_rate
+        self.trace_seed = trace_seed
         self._latency = latency
         self._loss_rate = loss_rate
         lookahead = minimum_latency(latency) if latency is not None else 0.01
@@ -439,6 +503,9 @@ class ShardedDeployment:
                     latency=self._latency,
                     loss_rate=self._loss_rate,
                     node_config=self.node_config,
+                    telemetry=self.telemetry,
+                    trace_sample_rate=self.trace_sample_rate,
+                    trace_seed=self.trace_seed,
                 )
 
             return factory
@@ -480,6 +547,36 @@ class ShardedDeployment:
                 worker.counters() for worker in self._workers
             ]
         return self._counters_cache
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """The merged registry snapshot across every shard.
+
+        :func:`~repro.obs.registry.merge_snapshots` is associative and
+        exact, so (with telemetry enabled) the result is bit-identical to
+        the snapshot a single-process run of the same testbed produces —
+        the tentpole determinism contract, gated by
+        ``tests/sim/test_shard.py``.
+        """
+        return merge_snapshots(
+            worker.telemetry_snapshot() for worker in self._workers
+        )
+
+    def trace_events(self) -> List[TraceEvent]:
+        """Merged sampled trace events from every shard, time-ordered.
+
+        Sampling decisions are shard-independent (seeded hash of the
+        query id), so a sampled query's events arrive complete: every hop
+        on every shard. Equal timestamps keep shard order (stable sort).
+        Feed the result to :meth:`~repro.obs.tracer.TraceRecorder.ingest`
+        to rebuild per-query hop trees.
+        """
+        events = [
+            event_from_dict(payload)
+            for worker in self._workers
+            for payload in worker.trace_events()
+        ]
+        events.sort(key=lambda event: event.time)
+        return events
 
     def execute_query(
         self,

@@ -54,6 +54,24 @@ class TestInvariants:
         assert counters["messages_dropped_dead"] == 0
         assert counters["crashed_hosts"] == 0
 
+    def test_report_carries_annotated_timeline(self, partition_report):
+        """Satellite gate: chaos reports embed the telemetry timeline
+        with the fault-phase boundaries annotated."""
+        report = partition_report
+        assert report.timeline, "sampled timeline must not be empty"
+        first = report.timeline[0]
+        for column in ("delivery", "queries.in_flight", "breakers.open",
+                       "rtt.p50", "rtt.p99", "messages.rate"):
+            assert column in first, column
+        times = [row["t"] for row in report.timeline]
+        assert times == sorted(times)
+        labels = [label for _, label in report.annotations]
+        assert labels == ["fault:partition-50", "heal"]
+        fault_time, heal_time = (t for t, _ in report.annotations)
+        assert times[0] <= fault_time < heal_time <= times[-1]
+        # Sampling stopped at the drain: no rows after the run window.
+        assert report.metrics["counters"]["chaos.queries_issued"] > 0
+
     def test_duplicate_storm_exercises_suppression(self):
         report = run_chaos("duplicate-storm", QUICK)
         assert report.ok, [r.detail for r in report.invariants if not r.passed]

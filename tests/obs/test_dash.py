@@ -1,0 +1,137 @@
+"""Unit tests for the terminal dashboard rendering."""
+
+import io
+
+from repro.obs.dash import (
+    CLEAR,
+    Dashboard,
+    health_summary,
+    render_frame,
+    sparkline,
+)
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+class TestSparkline:
+    def test_scales_to_the_ramp(self):
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert line == "▁▅█"
+
+    def test_flat_series_uses_mid_ramp(self):
+        assert sparkline([2.0, 2.0], width=4) == "  ▄▄"
+
+    def test_empty_is_blank(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_window_keeps_the_tail(self):
+        values = [5.0] * 10 + [0.0, 1.0]
+        assert sparkline(values, width=2) == "▁█"
+
+
+class _FakeHealth:
+    def __init__(self, rows):
+        self._rows = rows
+
+    def neighbor_states(self, now):
+        return self._rows
+
+
+class _FakeHost:
+    def __init__(self, address, rows):
+        self.address = address
+        self.health = _FakeHealth(rows)
+
+
+class TestHealthSummary:
+    def test_counts_and_worst_rows(self):
+        hosts = [
+            _FakeHost(
+                1,
+                [
+                    {"address": 2, "srtt": 0.05, "rto": 0.2, "samples": 3, "breaker": "closed"},
+                    {"address": 3, "srtt": 0.50, "rto": 1.9, "samples": 9, "breaker": "open"},
+                ],
+            ),
+            _FakeHost(
+                4,
+                [
+                    {"address": 5, "srtt": 0.90, "rto": 3.0, "samples": 2, "breaker": "closed"},
+                ],
+            ),
+        ]
+        summary = health_summary(hosts, now=0.0, worst=2)
+        assert summary["breaker_counts"] == {"closed": 2, "open": 1}
+        worst = summary["worst"]
+        assert len(worst) == 2
+        # Open breakers lead, then the slowest srtt.
+        assert (worst[0]["node"], worst[0]["address"]) == (1, 3)
+        assert (worst[1]["node"], worst[1]["address"]) == (4, 5)
+
+    def test_empty_fleet(self):
+        assert health_summary([], now=0.0) == {
+            "breaker_counts": {},
+            "worst": [],
+        }
+
+
+class TestRenderFrame:
+    def _recorder(self):
+        recorder = TimeSeriesRecorder(interval=1.0)
+        recorder.add_source("delivery", lambda: 0.9)
+        recorder.sample(0.0)
+        recorder.sample(1.0)
+        recorder.annotate(0.5, "fault:burst-loss")
+        return recorder
+
+    def test_frame_contains_series_and_events(self):
+        frame = render_frame(self._recorder(), now=1.0, width=12)
+        assert frame.splitlines()[0].startswith("repro dash — t=1.0s")
+        assert "delivery" in frame
+        assert "last=0.9" in frame
+        assert "fault:burst-loss" in frame
+        assert CLEAR not in frame  # render is escape-free
+
+    def test_frame_with_health_tables(self):
+        health = {
+            "breaker_counts": {"closed": 5, "open": 1},
+            "worst": [
+                {"node": 1, "address": 3, "srtt": 0.5, "rto": 1.9, "breaker": "open"}
+            ],
+        }
+        frame = render_frame(self._recorder(), now=1.0, health=health)
+        assert "breakers: closed=5, open=1" in frame
+        assert "open" in frame.splitlines()[-1]
+
+
+class TestDashboard:
+    def test_once_mode_paints_plain_frames(self):
+        stream = io.StringIO()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        recorder.add_source("x", lambda: 1.0)
+        recorder.sample(0.0)
+        dashboard = Dashboard(recorder, stream=stream, live=False)
+        dashboard.paint(0.0)
+        output = stream.getvalue()
+        assert CLEAR not in output
+        assert "x" in output
+
+    def test_live_mode_clears_between_frames(self):
+        stream = io.StringIO()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        recorder.add_source("x", lambda: 1.0)
+        recorder.sample(0.0)
+        Dashboard(recorder, stream=stream, live=True).paint(0.0)
+        assert stream.getvalue().startswith(CLEAR)
+
+    def test_health_provider_is_consulted(self):
+        stream = io.StringIO()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        seen = []
+
+        def provider(now):
+            seen.append(now)
+            return {"breaker_counts": {"closed": 1}, "worst": []}
+
+        Dashboard(recorder, health_provider=provider, stream=stream, live=False).paint(3.0)
+        assert seen == [3.0]
+        assert "breakers: closed=1" in stream.getvalue()

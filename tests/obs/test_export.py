@@ -1,0 +1,82 @@
+"""Unit tests for the Prometheus exposition and timeline JSONL formats."""
+
+from repro.obs.export import (
+    prometheus_text,
+    read_timeline_jsonl,
+    write_timeline_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("query.received").inc(12)
+        registry.counter("query.dropped", reason="empty_cell").inc(2)
+        registry.gauge("query.in_flight").add(3.0)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE query_received counter" in text
+        assert "query_received 12" in text
+        assert 'query_dropped{reason="empty_cell"} 2' in text
+        assert "# TYPE query_in_flight gauge" in text
+        assert "query_in_flight 3.0" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("health.rtt")
+        for value in (0.01, 0.02, 0.04, 0.4):
+            histogram.observe(value)
+        text = prometheus_text(registry.snapshot())
+        lines = text.splitlines()
+        buckets = [line for line in lines if "health_rtt_bucket" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 4
+        assert buckets[-1].startswith('health_rtt_bucket{le="+Inf"}')
+        assert "health_rtt_sum 0.47" in text
+        assert "health_rtt_count 4" in text
+        assert "health_rtt_min 0.01" in text
+        assert "health_rtt_max 0.4" in text
+
+    def test_type_header_emitted_once_per_base_name(self):
+        registry = MetricsRegistry()
+        registry.counter("query.forwarded", level="L1").inc()
+        registry.counter("query.forwarded", level="L2").inc()
+        text = prometheus_text(registry.snapshot())
+        assert text.count("# TYPE query_forwarded counter") == 1
+
+    def test_empty_snapshot(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+
+class TestTimelineJsonl:
+    def test_round_trip_with_annotations(self, tmp_path):
+        rows = [
+            {"t": 0.0, "delivery": 1.0, "breakers.open": 0.0},
+            {"t": 10.0, "delivery": 0.8, "breakers.open": 2.0},
+            {"t": 20.0, "delivery": 0.95, "breakers.open": 1.0},
+        ]
+        annotations = [(5.0, "fault:burst-loss"), (15.0, "heal")]
+        path = tmp_path / "timeline.jsonl"
+        count = write_timeline_jsonl(path, rows, annotations)
+        assert count == 5
+        loaded_rows, loaded_annotations = read_timeline_jsonl(path)
+        assert loaded_rows == rows
+        assert loaded_annotations == annotations
+
+    def test_records_are_time_ordered_on_disk(self, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(
+            path, [{"t": 20.0, "x": 1.0}, {"t": 0.0, "x": 2.0}], [(10.0, "a")]
+        )
+        times = []
+        for line in path.read_text().splitlines():
+            import json
+
+            times.append(json.loads(line)["t"])
+        assert times == sorted(times)
+
+    def test_empty_timeline(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_timeline_jsonl(path, []) == 0
+        assert read_timeline_jsonl(path) == ([], [])

@@ -1,0 +1,109 @@
+"""Unit tests for the sim-time-sampled time series layer."""
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries, TimeSeriesRecorder
+from repro.sim.engine import Simulator
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        series = TimeSeries("s", capacity=8)
+        for t in range(5):
+            series.record(float(t), float(t * 10))
+        assert len(series) == 5
+        assert series.samples() == [(float(t), float(t * 10)) for t in range(5)]
+        assert series.values() == [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert series.last() == (4.0, 40.0)
+
+    def test_ring_evicts_oldest(self):
+        series = TimeSeries("s", capacity=3)
+        for t in range(7):
+            series.record(float(t), float(t))
+        assert len(series) == 3
+        assert series.samples() == [(4.0, 4.0), (5.0, 5.0), (6.0, 6.0)]
+        assert series.last() == (6.0, 6.0)
+
+    def test_empty_series(self):
+        series = TimeSeries("s")
+        assert len(series) == 0
+        assert series.samples() == []
+        assert series.last() is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s", capacity=0)
+
+
+class TestRecorder:
+    def test_gauge_sources_record_raw_values(self):
+        recorder = TimeSeriesRecorder(interval=1.0)
+        state = {"v": 1.0}
+        recorder.add_source("g", lambda: state["v"])
+        recorder.sample(0.0)
+        state["v"] = 5.0
+        recorder.sample(1.0)
+        assert recorder.series["g"].values() == [1.0, 5.0]
+
+    def test_counter_sources_record_deltas(self):
+        recorder = TimeSeriesRecorder(interval=1.0)
+        state = {"v": 0.0}
+        recorder.add_source("c", lambda: state["v"], counter=True)
+        recorder.sample(0.0)
+        state["v"] = 7.0
+        recorder.sample(1.0)
+        state["v"] = 10.0
+        recorder.sample(2.0)
+        assert recorder.series["c"].values() == [0.0, 7.0, 3.0]
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(interval=0.0)
+
+    def test_rows_merge_series_by_instant(self):
+        recorder = TimeSeriesRecorder(interval=1.0)
+        recorder.add_source("a", lambda: 1.0)
+        recorder.add_source("b", lambda: 2.0)
+        recorder.sample(0.0)
+        recorder.sample(10.0)
+        assert recorder.rows() == [
+            {"t": 0.0, "a": 1.0, "b": 2.0},
+            {"t": 10.0, "a": 1.0, "b": 2.0},
+        ]
+
+    def test_annotations_accumulate(self):
+        recorder = TimeSeriesRecorder()
+        recorder.annotate(30.0, "fault:burst-loss")
+        recorder.annotate(60.0, "heal")
+        assert recorder.annotations == [
+            (30.0, "fault:burst-loss"),
+            (60.0, "heal"),
+        ]
+
+    def test_attach_samples_on_the_simulated_clock(self):
+        simulator = Simulator()
+        recorder = TimeSeriesRecorder(interval=10.0)
+        ticks = []
+        recorder.add_source("t", lambda: simulator.now)
+        recorder.on_sample(ticks.append)
+        recorder.attach(simulator)
+        simulator.run(until=35.0)
+        assert recorder.series["t"].samples() == [
+            (0.0, 0.0),
+            (10.0, 10.0),
+            (20.0, 20.0),
+            (30.0, 30.0),
+        ]
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+    def test_detach_cancels_the_armed_tick(self):
+        """The chaos drain (I2 no-leaks) must find an empty heap."""
+        simulator = Simulator()
+        recorder = TimeSeriesRecorder(interval=10.0)
+        recorder.add_source("t", lambda: simulator.now)
+        recorder.attach(simulator)
+        simulator.run(until=25.0)
+        recorder.detach()
+        assert simulator.pending_events == 0
+        simulator.run(until=100.0)
+        assert len(recorder.series["t"]) == 3  # 0, 10, 20 — nothing after

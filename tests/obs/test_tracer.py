@@ -148,3 +148,104 @@ class TestJsonl:
         events = read_jsonl(path)
         assert count == len(events) == tracer.event_count()
         assert events == list(tracer.iter_events())
+
+    def test_drop_reason_survives_round_trip(self, tmp_path):
+        tracer = TraceRecorder()
+        tracer.query_dropped(5, QID, reason="timeout_exhausted")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        (event,) = read_jsonl(path)
+        assert event.kind == ev.DROPPED
+        assert event.reason == "timeout_exhausted"
+
+
+def record_many_runs(tracer, count):
+    """Record *count* single-origin runs with distinct query ids."""
+    for origin in range(count):
+        qid = (origin, 0)
+        tracer.query_received(origin, qid, False)
+        tracer.query_forwarded(origin, origin + 10_000, qid, 1, 0, ())
+        tracer.query_received(origin + 10_000, qid, True)
+        tracer.reply_sent(origin + 10_000, origin, qid)
+        tracer.query_completed(origin, qid, [origin + 10_000])
+
+
+class TestSampling:
+    def test_rate_bounds_are_enforced(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_rate=-0.1)
+
+    def test_rate_one_keeps_everything(self):
+        tracer = TraceRecorder(sample_rate=1.0)
+        record_many_runs(tracer, 20)
+        assert len(tracer.traces) == 20
+
+    def test_rate_zero_keeps_nothing(self):
+        tracer = TraceRecorder(sample_rate=0.0)
+        record_many_runs(tracer, 20)
+        assert len(tracer.traces) == 0
+        assert tracer.event_count() == 0
+
+    def test_decision_is_deterministic_and_seeded(self):
+        first = TraceRecorder(sample_rate=0.3, sample_seed=11)
+        second = TraceRecorder(sample_rate=0.3, sample_seed=11)
+        other_seed = TraceRecorder(sample_rate=0.3, sample_seed=12)
+        qids = [(origin, seq) for origin in range(40) for seq in range(3)]
+        first_picks = {qid for qid in qids if first.sampled(qid)}
+        assert first_picks == {qid for qid in qids if second.sampled(qid)}
+        assert 0 < len(first_picks) < len(qids)
+        assert first_picks != {
+            qid for qid in qids if other_seed.sampled(qid)
+        }
+
+    def test_sampled_in_traces_are_complete(self):
+        """Head sampling keeps or drops whole queries — never partial."""
+        tracer = TraceRecorder(sample_rate=0.4, sample_seed=3)
+        record_many_runs(tracer, 50)
+        assert 0 < len(tracer.traces) < 50
+        for qid, trace in tracer.traces.items():
+            assert tracer.sampled(qid)
+            assert trace.count(ev.RECEIVED) == 2
+            assert trace.count(ev.COMPLETED) == 1
+            assert trace.exactly_once([qid[0] + 10_000])
+
+    def test_sampled_out_queries_leave_no_jsonl_rows(self, tmp_path):
+        tracer = TraceRecorder(sample_rate=0.4, sample_seed=3)
+        record_many_runs(tracer, 50)
+        path = tmp_path / "sampled.jsonl"
+        tracer.write_jsonl(path)
+        events = read_jsonl(path)
+        seen = {event.query_id for event in events}
+        assert seen == set(tracer.traces)
+        for origin in range(50):
+            if not tracer.sampled((origin, 0)):
+                assert (origin, 0) not in seen
+
+    def test_memory_is_bounded_at_scale(self):
+        """Acceptance gate: 100k queries at 1% keep the tracer small."""
+        tracer = TraceRecorder(sample_rate=0.01, sample_seed=5)
+        kept = 0
+        for origin in range(100_000):
+            qid = (origin, 0)
+            tracer.query_received(origin, qid, False)
+            tracer.query_completed(origin, qid, [])
+            if tracer.sampled(qid):
+                kept += 1
+        assert len(tracer.traces) == kept
+        # ~1% of 100k, within generous binomial slack.
+        assert 500 <= kept <= 1_500
+        assert tracer.event_count() == 2 * kept
+
+    def test_ingest_merges_pre_recorded_events(self):
+        source = TraceRecorder(clock=lambda: 4.0)
+        record_simple_run(source)
+        sink = TraceRecorder()
+        sink.ingest(source.iter_events())
+        trace = sink.last_trace()
+        assert trace.query_id == QID
+        assert trace.count(ev.FORWARDED) == 3
+        assert trace.events[0].time == 4.0

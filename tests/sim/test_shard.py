@@ -14,12 +14,15 @@ import pytest
 from repro.experiments.config import PAPER_PEERSIM
 from repro.experiments.harness import build_deployment, measure_queries
 from repro.experiments.scale import build_sharded_deployment
+from repro.obs.telemetry import Telemetry
 from repro.sim.shard import ShardedDeployment, merge_query_records
 from repro.metrics.collectors import QueryRecord
 from repro.workloads.queries import aligned_selectivity_query
 
 NETWORK_SIZE = 600
 QUERIES = 5
+TRACE_RATE = 0.5
+TRACE_SEED = 11
 
 
 def outcome_fingerprint(outcomes):
@@ -136,6 +139,111 @@ def test_merge_query_records_unions_and_sums():
     assert merged.replies_sent == 5
     assert merged.duplicates == 1
     assert merged.result == [3]
+
+
+def trace_fingerprint(events):
+    """Per-query-normalized event multiset.
+
+    Absolute clocks differ between engines (between queries the sharded
+    windows run slightly past the completion event; the single-process
+    loop stops on it), so times are taken relative to each query's first
+    event — hop spacing, fan-out structure and cross-shard continuity
+    all remain covered, exactly.
+    """
+    payloads = [event.to_dict() for event in events]
+    starts = {}
+    for payload in payloads:
+        qid = tuple(payload["qid"])
+        starts[qid] = min(starts.get(qid, payload["t"]), payload["t"])
+    normalized = []
+    for payload in payloads:
+        qid = tuple(payload["qid"])
+        payload = dict(payload, t=round(payload["t"] - starts[qid], 9))
+        normalized.append(tuple(sorted(payload.items(), key=str)))
+    return sorted(normalized)
+
+
+def run_telemetry_engine(num_shards, mode="inline"):
+    """Run the workload with telemetry + sampled tracing enabled.
+
+    Returns ``(metrics_snapshot, trace_fingerprint)`` — the merged
+    registry snapshot and the multiset of trace events, the two surfaces
+    the sharded-collection contract covers.
+    """
+    config = PAPER_PEERSIM.scaled(NETWORK_SIZE)
+    schema = config.schema()
+    if num_shards == 0:
+        session = Telemetry(
+            trace_sample_rate=TRACE_RATE, trace_seed=TRACE_SEED
+        )
+        deployment, metrics = build_deployment(config, telemetry=session)
+        session.tracer.bind_clock(lambda: deployment.simulator.now)
+        snapshot = lambda: session.registry.snapshot()  # noqa: E731
+        events = lambda: list(session.tracer.iter_events())  # noqa: E731
+    else:
+        deployment, metrics = build_sharded_deployment(
+            config,
+            num_shards=num_shards,
+            mode=mode,
+            telemetry=True,
+            trace_sample_rate=TRACE_RATE,
+            trace_seed=TRACE_SEED,
+        )
+        snapshot = deployment.telemetry_snapshot
+        events = deployment.trace_events
+    try:
+        measure_queries(
+            deployment,
+            metrics,
+            lambda rng: aligned_selectivity_query(schema, config.selectivity, rng),
+            count=QUERIES,
+            sigma=config.sigma,
+            seed=config.seed,
+        )
+        return snapshot(), trace_fingerprint(events())
+    finally:
+        closer = getattr(deployment, "close", None)
+        if closer is not None:
+            closer()
+
+
+@pytest.fixture(scope="module")
+def single_process_telemetry():
+    return run_telemetry_engine(0)
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_sharded_telemetry_merges_bit_identically(
+    num_shards, single_process_telemetry
+):
+    """Acceptance gate: merged shard snapshots == single-process snapshot,
+    exactly — counters, summed gauges, and histogram totals included."""
+    snapshot, trace = run_telemetry_engine(num_shards)
+    baseline_snapshot, baseline_trace = single_process_telemetry
+    assert snapshot == baseline_snapshot
+    assert trace == baseline_trace
+
+
+def test_sharded_telemetry_process_mode_is_bit_identical(
+    single_process_telemetry,
+):
+    """Snapshots and trace events survive the forked-worker pipe."""
+    snapshot, trace = run_telemetry_engine(2, mode="process")
+    baseline_snapshot, baseline_trace = single_process_telemetry
+    assert snapshot == baseline_snapshot
+    assert trace == baseline_trace
+
+
+def test_sharded_telemetry_content_is_meaningful(single_process_telemetry):
+    """The merged snapshot actually carries the labeled series."""
+    snapshot, trace = single_process_telemetry
+    counters = snapshot["counters"]
+    assert counters["query.completed"] == QUERIES
+    assert any(key.startswith("query.forwarded{level=") for key in counters)
+    assert snapshot["gauges"].get("query.in_flight", 0.0) == 0.0
+    # Head sampling at 50%: some queries traced end-to-end, some absent.
+    traced = {tuple(dict(event)["qid"]) for event in trace}
+    assert 0 < len(traced) <= QUERIES
 
 
 def test_sharded_deployment_validates_inputs():
