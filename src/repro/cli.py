@@ -223,19 +223,137 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Measure the tracked paper-scale workload and print the row."""
+    """Measure a tracked workload row (paper-scale sim or HTTP serving)."""
     import json
 
-    from repro.experiments.scale import measure_scale
+    if args.workload == "serve":
+        from repro.experiments.serve_bench import run_serve_benchmark_sync
+        from repro.server import ServeConfig
 
-    row = measure_scale(
-        args.size,
-        queries=args.queries,
-        num_shards=args.shards,
-        shard_mode=args.shard_mode,
-    )
+        row = run_serve_benchmark_sync(
+            size=args.size or 64,
+            queries=args.queries or 200,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            serve_config=ServeConfig(
+                max_pending=max(64, 2 * args.concurrency),
+                per_client_limit=args.concurrency,
+            ),
+        )
+    else:
+        from repro.experiments.scale import measure_scale
+
+        row = measure_scale(
+            args.size or 100_000,
+            queries=args.queries or 10,
+            num_shards=args.shards,
+            shard_mode=args.shard_mode,
+        )
     print(json.dumps(row, indent=2))
+    if args.append:
+        import datetime
+        import platform
+        import subprocess
+
+        try:
+            row["git_revision"] = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5,
+            ).stdout.strip() or "unknown"
+        except OSError:
+            row["git_revision"] = "unknown"
+        row["timestamp"] = datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds")
+        row["python"] = platform.python_version()
+        row["machine"] = platform.machine()
+        with open(args.append) as handle:
+            rows = json.load(handle)
+        rows.append(row)
+        with open(args.append, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print(f"appended row to {args.append}")
+    if args.workload == "serve" and (row["errors"] or not row["drained"]):
+        print("bench serve: errors or unclean drain", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a loopback overlay over HTTP (or run the CI smoke gate)."""
+    import asyncio
+    import json
+
+    from repro.experiments.serve_bench import run_serve_benchmark_sync
+    from repro.obs.registry import MetricsRegistry
+    from repro.server import ServeConfig
+
+    registry = MetricsRegistry()
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        per_client_limit=args.client_limit,
+        request_timeout=args.request_timeout,
+    )
+    if args.smoke:
+        row = run_serve_benchmark_sync(
+            size=args.size,
+            queries=args.smoke,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            serve_config=ServeConfig(
+                max_pending=max(64, 2 * args.concurrency),
+                per_client_limit=args.concurrency,
+                request_timeout=args.request_timeout,
+            ),
+            registry=registry,
+        )
+        print(json.dumps(row, indent=2))
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(registry.snapshot(), handle, indent=2)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+        ok = (
+            row["delivered"] == 1.0
+            and row["errors"] == 0
+            and row["drained"]
+        )
+        print("smoke: " + ("OK" if ok else "DELIVERY/DRAIN VIOLATION"))
+        return 0 if ok else 1
+
+    async def _serve() -> int:
+        from repro.runtime.aio import AioOverlay
+        from repro.server import serve_overlay
+        from repro.workloads.distributions import uniform_sampler
+
+        config = ExperimentConfig(
+            network_size=args.size, seed=args.seed,
+            dimensions=args.dimensions,
+        )
+        schema = config.schema()
+        async with AioOverlay(
+            schema, seed=args.seed, registry=registry
+        ) as overlay:
+            await overlay.populate(uniform_sampler(schema), args.size)
+            overlay.bootstrap()
+            server = await serve_overlay(
+                overlay, config=serve_config, registry=registry
+            )
+            server.install_signal_handlers()
+            print(
+                f"serving {args.size} nodes on "
+                f"http://{args.host}:{server.port} "
+                "(POST /query, GET /healthz, GET /metrics; "
+                "SIGTERM drains)",
+                flush=True,
+            )
+            await server.serve_until_closed()
+            print("drained; bye")
+        return 0
+
+    return asyncio.run(_serve())
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -436,6 +554,28 @@ def _jobs_value(raw: str) -> int:
     return value
 
 
+def _positive_int(raw: str) -> int:
+    """Parse a strictly positive integer argument (argparse exits 2)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    """Parse a strictly positive float argument (argparse exits 2)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {raw!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -447,10 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
     run = subparsers.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(COMMANDS))
-    run.add_argument("--size", type=int, default=2_000,
+    run.add_argument("--size", type=_positive_int, default=2_000,
                      help="network size N (default 2000)")
     run.add_argument("--seed", type=int, default=2009)
-    run.add_argument("--queries", type=int, default=20,
+    run.add_argument("--queries", type=_positive_int, default=20,
                      help="queries per measurement point")
     run.add_argument("--sizes", type=str, default="",
                      help="comma-separated N sweep (fig06)")
@@ -489,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scenario name (see --list)")
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
-    chaos.add_argument("--size", type=int, default=256,
+    chaos.add_argument("--size", type=_positive_int, default=256,
                        help="network size N (default 256)")
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--severity", type=float, default=None,
@@ -510,24 +650,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the full report to this JSON file")
     bench = subparsers.add_parser(
         "bench",
-        help="measure the paper-scale workload: wall time, peak RSS and "
-        "bytes per node (optionally on the sharded engine)",
+        help="measure a tracked workload row: the paper-scale simulation "
+        "(scale) or the HTTP serving path (serve)",
     )
-    bench.add_argument("--size", type=int, default=100_000,
-                       help="network size N (default: the paper's 100,000)")
-    bench.add_argument("--queries", type=int, default=10,
-                       help="measured queries (default 10)")
-    bench.add_argument("--shards", type=int, default=1,
-                       help="shard count; >1 uses the sharded engine")
+    bench.add_argument("workload", nargs="?", choices=["scale", "serve"],
+                       default="scale",
+                       help="what to measure (default scale)")
+    bench.add_argument("--size", type=_positive_int, default=None,
+                       help="network size N (default: 100,000 for scale, "
+                       "64 for serve)")
+    bench.add_argument("--seed", type=int, default=2009)
+    bench.add_argument("--queries", type=_positive_int, default=None,
+                       help="measured queries (default: 10 for scale, "
+                       "200 for serve)")
+    bench.add_argument("--concurrency", type=_positive_int, default=16,
+                       help="concurrent HTTP clients (serve; default 16)")
+    bench.add_argument("--shards", type=_positive_int, default=1,
+                       help="shard count; >1 uses the sharded engine (scale)")
     bench.add_argument("--shard-mode", choices=["inline", "process"],
                        default="inline",
                        help="worker mode for --shards > 1 (default inline)")
+    bench.add_argument("--append", type=str, default="",
+                       help="also append the row to this JSON array file "
+                       "(e.g. BENCH_paper_scale.json)")
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a loopback overlay over HTTP/JSON (POST /query, "
+        "GET /healthz, GET /metrics; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--size", type=_positive_int, default=64,
+                       help="overlay size N (default 64)")
+    serve.add_argument("--seed", type=int, default=2009)
+    serve.add_argument("--dimensions", type=_positive_int, default=3,
+                       help="attribute dimensions (default 3)")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 = ephemeral; default 8080)")
+    serve.add_argument("--max-pending", type=_positive_int, default=64,
+                       help="server-wide in-flight cap before 429")
+    serve.add_argument("--client-limit", type=_positive_int, default=8,
+                       help="per-client-IP in-flight cap before 429")
+    serve.add_argument("--request-timeout", type=_positive_float,
+                       default=10.0,
+                       help="per-request budget in seconds before 504")
+    serve.add_argument("--smoke", type=_positive_int, default=None,
+                       help="smoke mode: issue this many HTTP queries "
+                       "against the served overlay, assert 100%% delivery "
+                       "and a clean drain, then exit (CI gate)")
+    serve.add_argument("--concurrency", type=_positive_int, default=16,
+                       help="concurrent smoke clients (default 16)")
+    serve.add_argument("--metrics-out", type=str, default="",
+                       help="write the final metrics snapshot JSON here "
+                       "(smoke mode)")
     dash = subparsers.add_parser(
         "dash",
         help="run a churn scenario and paint a live terminal dashboard "
         "(sparkline timelines + fleet health tables)",
     )
-    dash.add_argument("--size", type=int, default=500,
+    dash.add_argument("--size", type=_positive_int, default=500,
                       help="network size N (default 500)")
     dash.add_argument("--seed", type=int, default=2009)
     dash.add_argument("--churn", type=float, default=0.002,
@@ -553,7 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="issue one traced query on a converged overlay and render "
         "its hop tree",
     )
-    trace.add_argument("--size", type=int, default=1_000,
+    trace.add_argument("--size", type=_positive_int, default=1_000,
                        help="network size N (default 1000)")
     trace.add_argument("--seed", type=int, default=2009)
     trace.add_argument("--selectivity", type=float, default=0.125,
@@ -565,18 +746,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "list" or args.command is None:
-        print("Available experiments:")
-        for name in sorted(COMMANDS):
-            print(f"  {name}")
-        print("\nRun one with: python -m repro run <experiment> [--size N]")
-        return 0
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed namespace to its command function."""
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "chaos":
@@ -593,6 +768,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_profile(profiler.to_dict()))
         return code
     return COMMANDS[args.experiment](args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes are uniform across subcommands, argparse-style:
+
+    * ``0`` — success (all invariants hold);
+    * ``2`` — invalid invocation: unknown flags or values rejected by the
+      parser, unknown scenario/experiment names, bad configuration
+      (:class:`ConfigurationError`);
+    * ``1`` — runtime failure: an invariant violation (``chaos``,
+      ``serve --smoke``, ``trace`` exactly-once) or an unexpected error
+      during the run.
+    """
+    from repro.util.errors import ConfigurationError, ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        print("Available experiments:")
+        for name in sorted(COMMANDS):
+            print(f"  {name}")
+        print("\nRun one with: python -m repro run <experiment> [--size N]")
+        return 0
+    try:
+        return _dispatch(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 1
+    except Exception as exc:  # noqa: BLE001 - uniform runtime-failure exit
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

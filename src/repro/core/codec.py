@@ -1,0 +1,461 @@
+"""Versioned, length-prefixed wire serialization for overlay messages.
+
+The simulator and the threaded runtime pass message *objects* between
+nodes; the asyncio runtime (:mod:`repro.runtime.aio`) passes real UDP
+datagrams between real sockets, so every message of the protocol needs an
+exact byte representation. This module provides it for the whole overlay
+vocabulary: the query-routing messages of :mod:`repro.core.messages` and
+the gossip messages of :mod:`repro.gossip.messages`.
+
+Frame layout (big-endian)::
+
+    +--------+---------+------+------------+----------+---------------+
+    | magic  | version | type | sender     | length   | payload       |
+    | u16    | u8      | u8   | i64        | u32      | length bytes  |
+    +--------+---------+------+------------+----------+---------------+
+
+``sender`` is the overlay address of the transmitting node — gossip
+messages do not carry one in-band (the object model hands ``sender`` to
+``handle_message`` separately), so the frame header does. ``length``
+prefixes the payload so the same frames stream over TCP unchanged, and so
+a receiver can reject truncated or trailing-garbage datagrams outright.
+
+Decoding is *strict*: a wrong magic, an unsupported version, an unknown
+message type, a length that disagrees with the datagram, or a payload
+that ends mid-field all raise :class:`CodecError` (the UDP receive loop
+counts and drops such frames; it never crashes on hostile bytes).
+
+The codec is schema-bound: attribute *values* travel as raw doubles and
+cell coordinates as integers, while the :class:`~repro.core.attributes.
+AttributeSchema` itself is deployment configuration agreed out-of-band
+(every node of one overlay is built from the same schema, exactly as the
+paper's deployment assumes a common attribute space). Decoded coordinate
+tuples are interned through the schema so a decoded descriptor shares
+the canonical tuple with every local descriptor in the same cell.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.attributes import AttributeSchema
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.messages import QueryMessage, ReplyMessage
+from repro.core.query import CategoricalSet, Constraint, Query, ValueRange
+from repro.gossip.messages import (
+    CyclonReply,
+    CyclonRequest,
+    VicinityReply,
+    VicinityRequest,
+)
+from repro.gossip.view import ViewEntry
+
+MAGIC = 0xA55E
+VERSION = 1
+
+#: Frame header: magic u16, version u8, type u8, sender i64, length u32.
+_HEADER = struct.Struct(">HBBqI")
+
+#: Upper bound on the declared payload length; anything larger is hostile
+#: or corrupt (a σ-bounded reply at paper scale is a few hundred KB).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+_TYPE_QUERY = 1
+_TYPE_REPLY = 2
+_TYPE_CYCLON_REQUEST = 3
+_TYPE_CYCLON_REPLY = 4
+_TYPE_VICINITY_REQUEST = 5
+_TYPE_VICINITY_REPLY = 6
+
+_KIND_RANGE = 0
+_KIND_CATEGORICAL = 1
+
+
+class CodecError(ValueError):
+    """A frame or payload could not be decoded (corrupt, truncated, alien)."""
+
+
+class _Writer:
+    """Append-only byte builder with the primitive field encoders."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        """Append an unsigned byte."""
+        self.parts.append(struct.pack(">B", value))
+
+    def u16(self, value: int) -> None:
+        """Append an unsigned 16-bit integer."""
+        self.parts.append(struct.pack(">H", value))
+
+    def u32(self, value: int) -> None:
+        """Append an unsigned 32-bit integer."""
+        self.parts.append(struct.pack(">I", value))
+
+    def i32(self, value: int) -> None:
+        """Append a signed 32-bit integer."""
+        self.parts.append(struct.pack(">i", value))
+
+    def i64(self, value: int) -> None:
+        """Append a signed 64-bit integer."""
+        self.parts.append(struct.pack(">q", value))
+
+    def f64(self, value: float) -> None:
+        """Append an IEEE-754 double (bit-exact round trip)."""
+        self.parts.append(struct.pack(">d", value))
+
+    def text(self, value: str) -> None:
+        """Append a length-prefixed UTF-8 string."""
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise CodecError(f"string too long for wire ({len(raw)} bytes)")
+        self.u16(len(raw))
+        self.parts.append(raw)
+
+    def getvalue(self) -> bytes:
+        """The accumulated bytes."""
+        return b"".join(self.parts)
+
+
+class _Reader:
+    """Strict cursor over a payload; raises :class:`CodecError` on underrun."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise CodecError(
+                f"payload truncated: need {count} bytes at offset "
+                f"{self.offset}, have {len(self.data) - self.offset}"
+            )
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def u8(self) -> int:
+        """Read an unsigned byte."""
+        return struct.unpack(">B", self._take(1))[0]
+
+    def u16(self) -> int:
+        """Read an unsigned 16-bit integer."""
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        """Read an unsigned 32-bit integer."""
+        return struct.unpack(">I", self._take(4))[0]
+
+    def i32(self) -> int:
+        """Read a signed 32-bit integer."""
+        return struct.unpack(">i", self._take(4))[0]
+
+    def i64(self) -> int:
+        """Read a signed 64-bit integer."""
+        return struct.unpack(">q", self._take(8))[0]
+
+    def f64(self) -> float:
+        """Read an IEEE-754 double."""
+        return struct.unpack(">d", self._take(8))[0]
+
+    def text(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        length = self.u16()
+        try:
+            return self._take(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise CodecError(f"invalid UTF-8 in string field: {error}") from None
+
+    def done(self) -> None:
+        """Require the payload to be fully consumed (no trailing bytes)."""
+        if self.offset != len(self.data):
+            raise CodecError(
+                f"{len(self.data) - self.offset} trailing bytes after payload"
+            )
+
+
+class Codec:
+    """Schema-bound encoder/decoder for every overlay message type.
+
+    One instance serves a whole deployment (it is stateless apart from the
+    shared schema). :meth:`encode` wraps a message object in a framed
+    datagram carrying the sender's overlay address; :meth:`decode` is its
+    strict inverse, returning ``(sender, message)``.
+    """
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: AttributeSchema) -> None:
+        self.schema = schema
+
+    # -- framing ---------------------------------------------------------------
+
+    def encode(self, sender: Address, message: Any) -> bytes:
+        """Encode *message* from *sender* as one framed datagram."""
+        encoder = _ENCODERS.get(type(message))
+        if encoder is None:
+            raise CodecError(f"unencodable message type {type(message).__name__}")
+        frame_type, encode_payload = encoder
+        writer = _Writer()
+        encode_payload(self, writer, message)
+        payload = writer.getvalue()
+        return _HEADER.pack(
+            MAGIC, VERSION, frame_type, sender, len(payload)
+        ) + payload
+
+    def decode(self, datagram: bytes) -> Tuple[Address, Any]:
+        """Decode one framed datagram into ``(sender, message)``.
+
+        Raises :class:`CodecError` on any malformation: short header,
+        wrong magic, unsupported version, unknown type, length mismatch,
+        truncated payload, or trailing garbage.
+        """
+        if len(datagram) < _HEADER.size:
+            raise CodecError(
+                f"frame shorter than header ({len(datagram)} bytes)"
+            )
+        magic, version, frame_type, sender, length = _HEADER.unpack_from(
+            datagram
+        )
+        if magic != MAGIC:
+            raise CodecError(f"bad magic 0x{magic:04x}")
+        if version != VERSION:
+            raise CodecError(f"unsupported wire version {version}")
+        if length > MAX_PAYLOAD:
+            raise CodecError(f"declared payload too large ({length} bytes)")
+        payload = datagram[_HEADER.size:]
+        if len(payload) != length:
+            raise CodecError(
+                f"length mismatch: header says {length}, frame carries "
+                f"{len(payload)}"
+            )
+        decoder = _DECODERS.get(frame_type)
+        if decoder is None:
+            raise CodecError(f"unknown message type {frame_type}")
+        reader = _Reader(payload)
+        message = decoder(self, reader)
+        reader.done()
+        return sender, message
+
+    # -- shared value encoders -------------------------------------------------
+
+    def _encode_descriptor(
+        self, writer: _Writer, descriptor: NodeDescriptor
+    ) -> None:
+        writer.i64(descriptor.address)
+        writer.u8(len(descriptor.values))
+        for value in descriptor.values:
+            writer.f64(value)
+        writer.u8(len(descriptor.coordinates))
+        for coordinate in descriptor.coordinates:
+            writer.i32(coordinate)
+
+    def _decode_descriptor(self, reader: _Reader) -> NodeDescriptor:
+        address = reader.i64()
+        values = tuple(reader.f64() for _ in range(reader.u8()))
+        coordinates = tuple(reader.i32() for _ in range(reader.u8()))
+        return NodeDescriptor(
+            address=address,
+            values=values,
+            coordinates=self.schema.intern_coordinates(coordinates),
+        )
+
+    def _encode_constraint(self, writer: _Writer, constraint: Constraint) -> None:
+        if isinstance(constraint, CategoricalSet):
+            writer.u8(_KIND_CATEGORICAL)
+            ordinals = sorted(constraint.ordinals)
+            writer.u16(len(ordinals))
+            for ordinal in ordinals:
+                writer.i64(ordinal)
+            return
+        writer.u8(_KIND_RANGE)
+        flags = (0 if constraint.low is None else 1) | (
+            0 if constraint.high is None else 2
+        )
+        writer.u8(flags)
+        if constraint.low is not None:
+            writer.f64(constraint.low)
+        if constraint.high is not None:
+            writer.f64(constraint.high)
+
+    def _decode_constraint(self, reader: _Reader) -> Constraint:
+        kind = reader.u8()
+        if kind == _KIND_CATEGORICAL:
+            count = reader.u16()
+            if count == 0:
+                raise CodecError("categorical constraint with no ordinals")
+            return CategoricalSet(
+                frozenset(reader.i64() for _ in range(count))
+            )
+        if kind == _KIND_RANGE:
+            flags = reader.u8()
+            low = reader.f64() if flags & 1 else None
+            high = reader.f64() if flags & 2 else None
+            try:
+                return ValueRange(low, high)
+            except Exception as error:  # empty range: low > high
+                raise CodecError(f"invalid range on wire: {error}") from None
+        raise CodecError(f"unknown constraint kind {kind}")
+
+    def _encode_query(self, writer: _Writer, query: Query) -> None:
+        writer.u16(len(query.constraints))
+        for name, constraint in query.constraints:
+            writer.text(name)
+            self._encode_constraint(writer, constraint)
+        writer.u16(len(query.dynamic_constraints))
+        for name, constraint in query.dynamic_constraints:
+            writer.text(name)
+            self._encode_constraint(writer, constraint)
+
+    def _decode_query(self, reader: _Reader) -> Query:
+        constraints = tuple(
+            (reader.text(), self._decode_constraint(reader))
+            for _ in range(reader.u16())
+        )
+        dynamic = []
+        for _ in range(reader.u16()):
+            name = reader.text()
+            constraint = self._decode_constraint(reader)
+            if not isinstance(constraint, ValueRange):
+                raise CodecError("dynamic constraint must be a value range")
+            dynamic.append((name, constraint))
+        return Query(
+            schema=self.schema,
+            constraints=constraints,
+            dynamic_constraints=tuple(dynamic),
+        )
+
+    def _encode_query_id(self, writer: _Writer, query_id) -> None:
+        writer.i64(query_id[0])
+        writer.i64(query_id[1])
+
+    def _decode_query_id(self, reader: _Reader) -> Tuple[Address, int]:
+        return (reader.i64(), reader.i64())
+
+    # -- message payloads ------------------------------------------------------
+
+    def _encode_query_message(
+        self, writer: _Writer, message: QueryMessage
+    ) -> None:
+        self._encode_query_id(writer, message.query_id)
+        writer.i64(message.sender)
+        self._encode_query(writer, message.query)
+        writer.u8(len(message.index_ranges))
+        for low, high in message.index_ranges:
+            writer.i32(low)
+            writer.i32(high)
+        if message.sigma is None:
+            writer.u8(0)
+        else:
+            writer.u8(1)
+            writer.i64(message.sigma)
+        writer.i32(message.level)
+        writer.u16(len(message.dimensions))
+        for dim in sorted(message.dimensions):
+            writer.u16(dim)
+        writer.f64(message.budget)
+
+    def _decode_query_message(self, reader: _Reader) -> QueryMessage:
+        query_id = self._decode_query_id(reader)
+        sender = reader.i64()
+        query = self._decode_query(reader)
+        index_ranges = tuple(
+            (reader.i32(), reader.i32()) for _ in range(reader.u8())
+        )
+        sigma = reader.i64() if reader.u8() else None
+        level = reader.i32()
+        dimensions = frozenset(reader.u16() for _ in range(reader.u16()))
+        budget = reader.f64()
+        return QueryMessage(
+            query_id=query_id,
+            sender=sender,
+            query=query,
+            index_ranges=index_ranges,
+            sigma=sigma,
+            level=level,
+            dimensions=dimensions,
+            budget=budget,
+        )
+
+    def _encode_reply_message(
+        self, writer: _Writer, message: ReplyMessage
+    ) -> None:
+        self._encode_query_id(writer, message.query_id)
+        writer.i64(message.sender)
+        writer.u32(len(message.matching))
+        for descriptor in message.matching:
+            self._encode_descriptor(writer, descriptor)
+        writer.f64(message.coverage)
+        writer.u8(1 if message.duplicate else 0)
+
+    def _decode_reply_message(self, reader: _Reader) -> ReplyMessage:
+        query_id = self._decode_query_id(reader)
+        sender = reader.i64()
+        matching = tuple(
+            self._decode_descriptor(reader) for _ in range(reader.u32())
+        )
+        coverage = reader.f64()
+        duplicate = bool(reader.u8())
+        return ReplyMessage(
+            query_id=query_id,
+            sender=sender,
+            matching=matching,
+            coverage=coverage,
+            duplicate=duplicate,
+        )
+
+    def _encode_entries(
+        self, writer: _Writer, entries: Tuple[ViewEntry, ...]
+    ) -> None:
+        writer.u16(len(entries))
+        for entry in entries:
+            self._encode_descriptor(writer, entry.descriptor)
+            writer.u32(entry.age)
+
+    def _decode_entries(self, reader: _Reader) -> Tuple[ViewEntry, ...]:
+        return tuple(
+            ViewEntry(descriptor=self._decode_descriptor(reader), age=reader.u32())
+            for _ in range(reader.u16())
+        )
+
+
+def _gossip_encoder(codec: Codec, writer: _Writer, message: Any) -> None:
+    """Payload encoder shared by all four gossip message types."""
+    codec._encode_entries(writer, tuple(message.entries))
+
+
+def _gossip_decoder(
+    message_type: Type,
+) -> Callable[[Codec, _Reader], Any]:
+    """Build the payload decoder for one gossip message type."""
+
+    def decode(codec: Codec, reader: _Reader) -> Any:
+        return message_type(entries=codec._decode_entries(reader))
+
+    return decode
+
+
+_ENCODERS: Dict[Type, Tuple[int, Callable[[Codec, _Writer, Any], None]]] = {
+    QueryMessage: (_TYPE_QUERY, Codec._encode_query_message),
+    ReplyMessage: (_TYPE_REPLY, Codec._encode_reply_message),
+    CyclonRequest: (_TYPE_CYCLON_REQUEST, _gossip_encoder),
+    CyclonReply: (_TYPE_CYCLON_REPLY, _gossip_encoder),
+    VicinityRequest: (_TYPE_VICINITY_REQUEST, _gossip_encoder),
+    VicinityReply: (_TYPE_VICINITY_REPLY, _gossip_encoder),
+}
+
+_DECODERS: Dict[int, Callable[[Codec, _Reader], Any]] = {
+    _TYPE_QUERY: Codec._decode_query_message,
+    _TYPE_REPLY: Codec._decode_reply_message,
+    _TYPE_CYCLON_REQUEST: _gossip_decoder(CyclonRequest),
+    _TYPE_CYCLON_REPLY: _gossip_decoder(CyclonReply),
+    _TYPE_VICINITY_REQUEST: _gossip_decoder(VicinityRequest),
+    _TYPE_VICINITY_REPLY: _gossip_decoder(VicinityReply),
+}

@@ -1,0 +1,176 @@
+"""Sustained-QPS benchmark and smoke harness for ``repro serve``.
+
+Spins a loopback :class:`~repro.runtime.aio.AioOverlay` behind the HTTP
+front door, drives it with concurrent keep-alive HTTP clients, and
+reports sustained throughput (QPS), latency percentiles and delivery
+correctness (every response's match count checked against full-scan
+ground truth). The same harness backs three surfaces:
+
+* ``repro bench serve`` — the tracked sustained-QPS row for
+  ``BENCH_paper_scale.json``;
+* ``repro serve --smoke N`` — the CI gate (100% delivery + clean drain
+  or a nonzero exit);
+* the server test-suite, which calls :func:`run_serve_benchmark`
+  directly at small scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.aio import AioOverlay
+from repro.server import HttpServer, ServeConfig, request_on_connection, serve_overlay
+from repro.util.rng import derive_rng
+from repro.workloads.distributions import uniform_sampler
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """The *fraction*-quantile of *samples* (nearest-rank, 0 for empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def generate_payloads(
+    config: ExperimentConfig, count: int
+) -> List[Dict[str, Any]]:
+    """Deterministic constraint payloads over the config's schema.
+
+    Each payload constrains one or two attributes to a random sub-range,
+    so queries differ in selectivity and origin the way a live workload
+    would, while staying reproducible from the seed.
+    """
+    rng = derive_rng(config.seed, "serve-bench-queries")
+    schema = config.schema()
+    names = [definition.name for definition in schema.definitions]
+    payloads: List[Dict[str, Any]] = []
+    for index in range(count):
+        constraints: Dict[str, Any] = {}
+        for name in rng.sample(names, rng.randint(1, min(2, len(names)))):
+            low = rng.uniform(0.0, 40.0)
+            constraints[name] = [round(low, 2), round(low + 40.0, 2)]
+        payloads.append(
+            {"constraints": constraints, "origin": index % config.network_size}
+        )
+    return payloads
+
+
+async def _client_worker(
+    server: HttpServer,
+    jobs: "asyncio.Queue[Optional[Tuple[int, Dict[str, Any]]]]",
+    outcomes: List[Tuple[int, int, float, int]],
+) -> None:
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    try:
+        while True:
+            job = await jobs.get()
+            if job is None:
+                return
+            index, payload = job
+            started = time.perf_counter()
+            while True:
+                status, body = await request_on_connection(
+                    reader, writer, "POST", "/query", payload
+                )
+                if status == 429:
+                    # Honour backpressure: brief pause, then retry.
+                    await asyncio.sleep(
+                        float(body.get("retry_after", 0.05))
+                        if isinstance(body, dict) else 0.05
+                    )
+                    continue
+                break
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            count = body.get("count", -1) if isinstance(body, dict) else -1
+            outcomes.append((index, status, elapsed_ms, count))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_serve_benchmark(
+    size: int = 64,
+    queries: int = 200,
+    concurrency: int = 16,
+    seed: int = 2009,
+    serve_config: Optional[ServeConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Serve a loopback overlay and measure sustained HTTP query load.
+
+    Returns the benchmark row: sustained ``qps``, ``p50_ms``/``p99_ms``
+    latency, ``delivered`` (fraction of responses whose match count
+    equals full-scan ground truth), ``errors`` (non-200 responses) and
+    ``drained`` (the graceful drain completed with zero in-flight
+    requests).
+    """
+    config = ExperimentConfig(network_size=size, seed=seed, dimensions=3)
+    schema = config.schema()
+    registry = registry if registry is not None else MetricsRegistry()
+    overlay = AioOverlay(schema, seed=seed, registry=registry)
+    try:
+        await overlay.populate(uniform_sampler(schema), size)
+        overlay.bootstrap()
+        server = await serve_overlay(
+            overlay, config=serve_config, registry=registry
+        )
+        payloads = generate_payloads(config, queries)
+        from repro.server import query_from_payload
+
+        expected = [
+            len(overlay.matching_descriptors(
+                query_from_payload(schema, payload)
+            ))
+            for payload in payloads
+        ]
+        jobs: "asyncio.Queue[Optional[Tuple[int, Dict[str, Any]]]]" = (
+            asyncio.Queue()
+        )
+        for item in enumerate(payloads):
+            jobs.put_nowait(item)
+        for _ in range(concurrency):
+            jobs.put_nowait(None)
+        outcomes: List[Tuple[int, int, float, int]] = []
+        started = time.perf_counter()
+        await asyncio.gather(*[
+            _client_worker(server, jobs, outcomes)
+            for _ in range(concurrency)
+        ])
+        elapsed = time.perf_counter() - started
+        await server.drain()
+        latencies = [row[2] for row in outcomes if row[1] == 200]
+        errors = sum(1 for row in outcomes if row[1] != 200)
+        delivered = sum(
+            1 for index, status, _, count in outcomes
+            if status == 200 and count == expected[index]
+        )
+        return {
+            "workload": "serve",
+            "network_size": size,
+            "queries": queries,
+            "concurrency": concurrency,
+            "qps": round(len(outcomes) / elapsed, 1) if elapsed else 0.0,
+            "p50_ms": round(percentile(latencies, 0.50), 3),
+            "p99_ms": round(percentile(latencies, 0.99), 3),
+            "delivered": round(delivered / queries, 6) if queries else 0.0,
+            "errors": errors,
+            "drained": server.inflight == 0,
+            "rejected_frames": overlay.rejected_frames,
+            "label": "asyncio UDP overlay + HTTP front door (loopback)",
+        }
+    finally:
+        await overlay.close()
+
+
+def run_serve_benchmark_sync(**kwargs: Any) -> Dict[str, Any]:
+    """Synchronous wrapper for :func:`run_serve_benchmark` (CLI entry)."""
+    return asyncio.run(run_serve_benchmark(**kwargs))

@@ -1,9 +1,13 @@
-"""Threaded local runtime (the cluster-emulation substrate)."""
+"""Local runtimes: threaded cluster emulation and asyncio-over-UDP."""
 
+from repro.runtime.aio import AioHost, AioOverlay, AsyncioTransport
 from repro.runtime.local import LocalRuntime, RuntimeHost, RuntimeTransport
 from repro.runtime.scheduler import TimerScheduler
 
 __all__ = [
+    "AioHost",
+    "AioOverlay",
+    "AsyncioTransport",
     "LocalRuntime",
     "RuntimeHost",
     "RuntimeTransport",

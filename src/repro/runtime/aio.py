@@ -1,0 +1,401 @@
+"""Asyncio production runtime: every overlay node behind a real UDP socket.
+
+This is the third runtime of the reproduction and the first one that
+speaks actual bytes. Each overlay node is an :class:`AioHost` that binds
+its own UDP datagram socket; messages between nodes are real datagrams
+framed by :class:`repro.core.codec.Codec`, timers are
+``loop.call_later`` wall-clock timers, and the clock is the event loop's
+monotonic clock — yet the protocol objects inside are the *identical*
+:class:`~repro.core.node.ResourceNode` and
+:class:`~repro.gossip.maintenance.TwoLayerMaintenance` the simulator and
+the threaded runtime drive, behind a different
+:class:`~repro.core.transport.Transport`. The paper's DAS-3 deployment
+("20 processes per node on 50 nodes") maps onto this runtime one process
+at a time; a single process can also emulate a whole loopback overlay,
+which is what ``repro serve`` and the parity tests do.
+
+Because asyncio is single-threaded, no locks are needed: every datagram
+receipt, timer callback and query completion runs on the event loop.
+
+Population and bootstrap consume the exact same seeded RNG streams as
+:class:`~repro.runtime.local.LocalRuntime` (``runtime-population`` /
+``runtime-bootstrap`` / ``runtime-host:<addr>``), so the two runtimes
+build bit-identical overlays from the same seed — the basis of the
+convergence/delivery parity test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeSchema, AttributeValue
+from repro.core.codec import Codec, CodecError
+from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.node import NodeConfig, ResourceNode
+from repro.core.observer import ProtocolObserver
+from repro.core.query import Query
+from repro.core.transport import TimerHandle, Transport
+from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.util.rng import derive_rng
+
+#: A UDP endpoint: ``(ip, port)``.
+Endpoint = Tuple[str, int]
+
+#: Loopback UDP caps a datagram at ~64 KiB; larger frames are dropped and
+#: counted rather than raising out of the protocol code.
+MAX_DATAGRAM = 65_000
+
+
+class AsyncioTransport(Transport):
+    """Per-host :class:`Transport` over a real UDP socket and loop timers.
+
+    ``send`` encodes the message with the shared codec and transmits one
+    datagram to the receiver's endpoint (looked up in the overlay
+    directory); ``now`` is the event loop's monotonic clock;
+    ``call_later``/``cancel`` map to ``loop.call_later`` handles, guarded
+    so no callback runs after the owning host closed.
+    """
+
+    __slots__ = ("host", "loop", "codec")
+
+    def __init__(self, host: "AioHost", codec: Codec) -> None:
+        self.host = host
+        self.loop = host.loop
+        self.codec = codec
+
+    def send(self, sender: Address, receiver: Address, message: object) -> None:
+        """Encode and transmit one datagram to *receiver*'s socket."""
+        host = self.host
+        endpoint = host.overlay.endpoints.get(receiver)
+        if endpoint is None or host.closed:
+            host.overlay.metrics.unknown_receiver.inc()
+            return
+        frame = self.codec.encode(sender, message)
+        if len(frame) > MAX_DATAGRAM or host.udp is None:
+            host.overlay.metrics.send_errors.inc()
+            return
+        try:
+            host.udp.sendto(frame, endpoint)
+        except OSError:
+            host.overlay.metrics.send_errors.inc()
+            return
+        host.overlay.metrics.datagrams_sent.inc()
+
+    def now(self) -> float:
+        """The event loop's monotonic clock, in seconds."""
+        return self.loop.time()
+
+    def call_later(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        """Arm a wall-clock timer on the event loop."""
+        host = self.host
+
+        def guarded() -> None:
+            if not host.closed:
+                callback()
+
+        return self.loop.call_later(max(0.0, delay), guarded)
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Cancel a ``loop.call_later`` handle (idempotent)."""
+        if isinstance(handle, asyncio.TimerHandle):
+            handle.cancel()
+
+
+class _NodeDatagramProtocol(asyncio.DatagramProtocol):
+    """Receive loop of one host's UDP socket."""
+
+    __slots__ = ("host",)
+
+    def __init__(self, host: "AioHost") -> None:
+        self.host = host
+
+    def connection_made(self, transport) -> None:
+        """Capture the datagram transport once the socket is bound."""
+        self.host.udp = transport
+
+    def datagram_received(self, data: bytes, addr: Endpoint) -> None:
+        """Decode and dispatch one datagram (hostile bytes never escape)."""
+        self.host.on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:
+        """Count ICMP-style transmission errors (e.g. a closed peer port)."""
+        self.host.overlay.metrics.send_errors.inc()
+
+
+class _OverlayMetrics:
+    """The runtime's socket-layer counters, shared by all hosts."""
+
+    __slots__ = (
+        "datagrams_sent",
+        "datagrams_received",
+        "frames_rejected",
+        "unknown_receiver",
+        "send_errors",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.datagrams_sent = registry.counter("aio.datagrams_sent")
+        self.datagrams_received = registry.counter("aio.datagrams_received")
+        self.frames_rejected = registry.counter("aio.frames_rejected")
+        self.unknown_receiver = registry.counter("aio.unknown_receiver")
+        self.send_errors = registry.counter("aio.send_errors")
+
+
+class AioHost:
+    """One overlay node bound to one real UDP socket."""
+
+    __slots__ = (
+        "overlay",
+        "loop",
+        "closed",
+        "udp",
+        "endpoint",
+        "transport",
+        "node",
+        "maintenance",
+        "rejected_frames",
+    )
+
+    def __init__(
+        self,
+        overlay: "AioOverlay",
+        descriptor: NodeDescriptor,
+        schema: AttributeSchema,
+        node_config: Optional[NodeConfig],
+        gossip_config: Optional[GossipConfig],
+        observer: Optional[ProtocolObserver],
+        seed: int,
+    ) -> None:
+        self.overlay = overlay
+        self.loop = overlay.loop
+        self.closed = False
+        self.udp: Optional[asyncio.DatagramTransport] = None
+        self.endpoint: Optional[Endpoint] = None
+        self.transport = AsyncioTransport(self, overlay.codec)
+        self.node = ResourceNode(
+            descriptor, schema, self.transport,
+            config=node_config, observer=observer,
+        )
+        self.maintenance: Optional[TwoLayerMaintenance] = None
+        if gossip_config is not None:
+            self.maintenance = TwoLayerMaintenance(
+                self.node,
+                self.transport,
+                derive_rng(seed, f"runtime-host:{descriptor.address}"),
+                gossip_config,
+            )
+        #: Frames this host's receive loop rejected as corrupt/truncated.
+        self.rejected_frames = 0
+
+    @property
+    def address(self) -> Address:
+        """This host's overlay address."""
+        return self.node.address
+
+    @property
+    def alive(self) -> bool:
+        """True while the host's socket is open and callbacks may run."""
+        return not self.closed
+
+    async def open(self, bind_host: str) -> None:
+        """Bind the UDP socket and register in the overlay directory."""
+        _, _ = await self.loop.create_datagram_endpoint(
+            lambda: _NodeDatagramProtocol(self),
+            local_addr=(bind_host, 0),
+        )
+        assert self.udp is not None
+        sock = self.udp.get_extra_info("sockname")
+        self.endpoint = (sock[0], sock[1])
+        self.overlay.endpoints[self.address] = self.endpoint
+
+    def on_datagram(self, data: bytes) -> None:
+        """Decode one received datagram and dispatch it to the protocol.
+
+        A frame that fails strict decoding — truncated, corrupt, alien
+        magic, lying length — is counted and dropped; it can never crash
+        the receive loop or reach the protocol objects.
+        """
+        if self.closed:
+            return
+        try:
+            sender, message = self.overlay.codec.decode(data)
+        except CodecError:
+            self.rejected_frames += 1
+            self.overlay.metrics.frames_rejected.inc()
+            return
+        self.overlay.metrics.datagrams_received.inc()
+        if self.maintenance is not None and self.maintenance.handle_message(
+            sender, message
+        ):
+            return
+        self.node.handle_message(sender, message)
+
+    def start_gossip(self, seeds: Sequence[NodeDescriptor]) -> None:
+        """Seed the views and start periodic maintenance."""
+        if self.maintenance is None:
+            raise RuntimeError("host was built without a gossip configuration")
+        self.maintenance.seed(seeds)
+        self.maintenance.start()
+
+    def issue_query(self, query: Query, sigma=None, on_complete=None):
+        """Originate a query on this host (event-loop thread only)."""
+        return self.node.issue_query(query, sigma=sigma, on_complete=on_complete)
+
+    def close(self) -> None:
+        """Stop gossip, silence timers, and close the socket (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.maintenance is not None:
+            self.maintenance.stop()
+        if self.udp is not None:
+            self.udp.close()
+        self.overlay.endpoints.pop(self.address, None)
+
+
+class AioOverlay:
+    """A set of UDP-socketed hosts forming one overlay in one process.
+
+    The asyncio analogue of :class:`~repro.runtime.local.LocalRuntime`:
+    same construction API, same seeded RNG streams, but every message is
+    a real datagram and every timer a real ``loop.call_later``. All
+    methods must run on the event loop (use ``async with`` /
+    :meth:`populate` from a coroutine).
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        seed: int = 42,
+        node_config: Optional[NodeConfig] = None,
+        gossip_config: Optional[GossipConfig] = None,
+        observer: Optional[ProtocolObserver] = None,
+        registry: Optional[MetricsRegistry] = None,
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        self.schema = schema
+        self.seed = seed
+        self.node_config = node_config
+        self.gossip_config = gossip_config
+        self.observer = observer
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.metrics = _OverlayMetrics(self.registry)
+        self.bind_host = bind_host
+        self.codec = Codec(schema)
+        self.loop = asyncio.get_running_loop()
+        self.hosts: Dict[Address, AioHost] = {}
+        self.endpoints: Dict[Address, Endpoint] = {}
+        self._next_address = 0
+
+    # -- membership -----------------------------------------------------------
+
+    async def add_host(self, values: Mapping[str, AttributeValue]) -> AioHost:
+        """Create one host, bind its socket, and join the directory."""
+        address = self._next_address
+        self._next_address += 1
+        descriptor = NodeDescriptor.build(address, self.schema, values)
+        host = AioHost(
+            self,
+            descriptor,
+            self.schema,
+            self.node_config,
+            self.gossip_config,
+            self.observer,
+            self.seed,
+        )
+        await host.open(self.bind_host)
+        self.hosts[address] = host
+        return host
+
+    async def populate(self, sampler, count: int) -> List[AioHost]:
+        """Create *count* hosts from a value sampler.
+
+        Consumes the identical ``runtime-population`` RNG stream as the
+        threaded runtime, so the same seed yields the same descriptors.
+        """
+        rng = derive_rng(self.seed, "runtime-population")
+        return [await self.add_host(sampler(rng)) for _ in range(count)]
+
+    def bootstrap(self, alternates_per_slot: int = 3) -> None:
+        """Install converged routing tables (no gossip warm-up needed)."""
+        from repro.sim.deployment import bootstrap_links
+
+        bootstrap_links(
+            list(self.hosts.values()),
+            derive_rng(self.seed, "runtime-bootstrap"),
+            alternates_per_slot=alternates_per_slot,
+        )
+
+    def start_gossip(self, seeds_per_node: int = 5) -> None:
+        """Seed every host with random contacts and start maintenance."""
+        rng = derive_rng(self.seed, "runtime-seeds")
+        descriptors = [host.node.descriptor for host in self.hosts.values()]
+        for host in self.hosts.values():
+            pool = [
+                descriptor
+                for descriptor in rng.sample(
+                    descriptors, min(len(descriptors), seeds_per_node + 1)
+                )
+                if descriptor.address != host.address
+            ][:seeds_per_node]
+            host.start_gossip(pool)
+
+    # -- queries --------------------------------------------------------------
+
+    async def execute_query(
+        self,
+        query: Query,
+        sigma: Optional[int] = None,
+        origin: Optional[Address] = None,
+        timeout: float = 30.0,
+    ) -> List[NodeDescriptor]:
+        """Issue a query and await its dissemination over real sockets."""
+        alive = [host for host in self.hosts.values() if host.alive]
+        if not alive:
+            raise RuntimeError("no live hosts")
+        host = self.hosts[origin] if origin is not None else alive[0]
+        future: "asyncio.Future[List[NodeDescriptor]]" = (
+            self.loop.create_future()
+        )
+
+        def on_complete(query_id, descriptors) -> None:
+            if not future.done():
+                future.set_result(list(descriptors))
+
+        host.issue_query(query, sigma=sigma, on_complete=on_complete)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            return []
+
+    def matching_descriptors(self, query: Query) -> List[NodeDescriptor]:
+        """Ground truth across live hosts."""
+        return [
+            host.node.descriptor
+            for host in self.hosts.values()
+            if host.alive and query.matches(host.node.descriptor.values)
+        ]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def rejected_frames(self) -> int:
+        """Total corrupt/truncated frames rejected across all hosts."""
+        return sum(host.rejected_frames for host in self.hosts.values())
+
+    async def close(self) -> None:
+        """Close every socket and let the loop flush transport teardown."""
+        for host in self.hosts.values():
+            host.close()
+        # One tick so asyncio completes the datagram-transport closes.
+        await asyncio.sleep(0)
+
+    async def __aenter__(self) -> "AioOverlay":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

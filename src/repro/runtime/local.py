@@ -50,8 +50,16 @@ class RuntimeTransport(Transport):
 
         def guarded() -> None:
             current = self.runtime.hosts.get(self.address)
-            if current is host and current is not None and current.alive:
-                with current.lock:
+            if current is not host or current is None:
+                return
+            # The liveness check must happen *inside* the host lock: a
+            # check-then-lock sequence races with stop() — the callback
+            # passes the check, stop() flips ``alive`` (also under the
+            # lock), and the callback then runs against a host being torn
+            # down. Re-checking under the lock makes stop() a barrier:
+            # once it returns, no timer payload can run.
+            with current.lock:
+                if current.alive:
                     callback()
 
         return self.runtime.scheduler.schedule(delay, guarded)
@@ -77,6 +85,10 @@ class RuntimeHost:
         self.inbox: "queue.Queue" = queue.Queue()
         self.lock = threading.RLock()
         self.alive = True
+        #: Messages rejected instead of delivered because this host was
+        #: stopped: counted deterministically (never silently discarded)
+        #: so stop-under-load tests and drain accounting can assert on it.
+        self.rejected_messages = 0
         self.transport = RuntimeTransport(runtime, descriptor.address)
         self.node = ResourceNode(
             descriptor, schema, self.transport,
@@ -109,6 +121,7 @@ class RuntimeHost:
                 return
             sender, message = item
             if not self.alive:
+                self.rejected_messages += 1
                 continue
             with self.lock:
                 if self.maintenance is not None and self.maintenance.handle_message(
@@ -131,17 +144,39 @@ class RuntimeHost:
             return self.node.issue_query(query, sigma=sigma, on_complete=on_complete)
 
     def fail(self) -> None:
-        """Crash: stop consuming messages and gossiping."""
-        self.alive = False
-        if self.maintenance is not None:
-            with self.lock:
+        """Crash: stop consuming messages and gossiping.
+
+        ``alive`` is flipped *under the host lock* so this acts as a
+        barrier against the timer path: any guarded callback already
+        holding the lock finishes first, and every callback acquiring it
+        afterwards observes ``alive == False`` and rejects. Without the
+        lock, a timer that passed its liveness check could still run its
+        payload against a host being stopped.
+        """
+        with self.lock:
+            self.alive = False
+            if self.maintenance is not None:
                 self.maintenance.stop()
 
     def shutdown(self) -> None:
-        """Stop the delivery thread."""
+        """Stop the delivery thread, rejecting queued traffic explicitly.
+
+        Deterministic drain-or-reject: after this returns, (a) no timer
+        callback and no message handler will run for this host again, and
+        (b) every message that was still queued — racing senders included
+        — has been counted in :attr:`rejected_messages` rather than
+        silently discarded.
+        """
         self.fail()
         self.inbox.put(_STOP)
         self.thread.join(timeout=5.0)
+        while True:
+            try:
+                item = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                self.rejected_messages += 1
 
 
 class LocalRuntime:
@@ -218,10 +253,20 @@ class LocalRuntime:
     # -- transfer ----------------------------------------------------------------------
 
     def deliver(self, sender: Address, receiver: Address, message: object) -> None:
-        """Route a message to the receiving host's inbox (lossless, FIFO)."""
+        """Route a message to the receiving host's inbox (lossless, FIFO).
+
+        Traffic to a stopped host is *rejected* (counted on the receiver)
+        rather than silently discarded; messages that slip into the inbox
+        while the host is stopping are counted by the delivery loop or the
+        shutdown drain instead, so accounting stays deterministic.
+        """
         host = self.hosts.get(receiver)
-        if host is not None and host.alive:
+        if host is None:
+            return
+        if host.alive:
             host.inbox.put((sender, message))
+        else:
+            host.rejected_messages += 1
 
     # -- queries -----------------------------------------------------------------------
 

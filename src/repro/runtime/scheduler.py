@@ -10,7 +10,7 @@ from typing import Callable, List, Optional
 
 
 class _ScheduledCall:
-    __slots__ = ("deadline", "sequence", "callback", "cancelled")
+    __slots__ = ("deadline", "sequence", "callback", "cancelled", "executed")
 
     def __init__(
         self, deadline: float, sequence: int, callback: Callable[[], None]
@@ -19,6 +19,7 @@ class _ScheduledCall:
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self.executed = False
 
     def __lt__(self, other: "_ScheduledCall") -> bool:
         return (self.deadline, self.sequence) < (other.deadline, other.sequence)
@@ -30,14 +31,30 @@ class TimerScheduler:
     One shared scheduler serves every host of a :class:`LocalRuntime`;
     callbacks run on the scheduler thread, so they must be cheap and
     thread-safe (the runtime hosts wrap them in their per-host locks).
+
+    Parameters
+    ----------
+    compaction_threshold:
+        Cancelled calls are only flagged, not removed from the heap (heap
+        deletion is O(n)). Under query churn — a failure timer armed and
+        then cancelled for every forward — the heap otherwise grows far
+        beyond the live timer count and every node's reply path pays for
+        the garbage (the same leak the simulator engine fixed in its
+        ``compaction_threshold``). Once at least this many cancelled calls
+        sit in the heap *and* they outnumber the live ones, the heap is
+        compacted (filter + re-heapify, O(n)); amortized cost stays O(1)
+        per cancel.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compaction_threshold: int = 4096) -> None:
         self._heap: List[_ScheduledCall] = []
         self._sequence = itertools.count()
         self._condition = threading.Condition()
         self._stopped = False
         self._thread: Optional[threading.Thread] = None
+        self._cancelled_in_heap = 0
+        self.compaction_threshold = compaction_threshold
+        self._compactions = 0
 
     def start(self) -> None:
         """Start the scheduler thread (idempotent)."""
@@ -69,7 +86,41 @@ class TimerScheduler:
 
     def cancel(self, call: _ScheduledCall) -> None:
         """Cancel a scheduled call (safe to repeat)."""
-        call.cancelled = True
+        with self._condition:
+            if call.cancelled or call.executed:
+                return
+            call.cancelled = True
+            self._cancelled_in_heap += 1
+            if (
+                self._cancelled_in_heap >= self.compaction_threshold
+                and self._cancelled_in_heap * 2 >= len(self._heap)
+            ):
+                self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Drop cancelled calls from the heap (condition lock held)."""
+        self._heap = [call for call in self._heap if not call.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including not-yet-compacted cancelled calls."""
+        with self._condition:
+            return len(self._heap)
+
+    @property
+    def pending_calls(self) -> int:
+        """Number of scheduled, non-cancelled calls still queued."""
+        with self._condition:
+            return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        with self._condition:
+            return self._compactions
 
     def _run(self) -> None:
         while True:
@@ -83,11 +134,13 @@ class TimerScheduler:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if head.deadline > now:
                     self._condition.wait(timeout=min(0.5, head.deadline - now))
                     continue
                 call = heapq.heappop(self._heap)
+                call.executed = True
             if not call.cancelled:
                 try:
                     call.callback()

@@ -1,0 +1,256 @@
+"""Round-trip property tests for the wire codec (strict, bit-exact)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeSchema, categorical, numeric
+from repro.core.codec import MAGIC, VERSION, Codec, CodecError, _HEADER
+from repro.core.descriptors import NodeDescriptor
+from repro.core.messages import QueryMessage, ReplyMessage
+from repro.core.query import CategoricalSet, Query, ValueRange
+from repro.gossip.messages import (
+    CyclonReply,
+    CyclonRequest,
+    VicinityReply,
+    VicinityRequest,
+)
+from repro.gossip.view import ViewEntry
+
+SCHEMA = AttributeSchema.regular(
+    [
+        numeric("cpu", 0, 100),
+        numeric("mem_mb", 0, 8192),
+        categorical("os", ["linux", "bsd", "darwin"]),
+    ],
+    max_level=3,
+)
+
+CODEC = Codec(SCHEMA)
+
+addresses = st.integers(min_value=0, max_value=2**40)
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+query_ids = st.tuples(addresses, st.integers(min_value=0, max_value=2**40))
+
+
+@st.composite
+def descriptors(draw):
+    """Arbitrary descriptors, including hand-built coordinate tuples."""
+    if draw(st.booleans()):
+        values = tuple(
+            draw(st.floats(min_value=0, max_value=hi, allow_nan=False))
+            for hi in (100.0, 8192.0, 2.0)
+        )
+        return NodeDescriptor.from_numeric(draw(addresses), SCHEMA, values)
+    # Direct construction: coordinates need not be schema-derived; the
+    # codec must still carry them bit-for-bit.
+    return NodeDescriptor(
+        address=draw(addresses),
+        values=tuple(draw(st.lists(finite, min_size=0, max_size=6))),
+        coordinates=tuple(
+            draw(st.lists(st.integers(0, 2**20), min_size=0, max_size=6))
+        ),
+    )
+
+
+@st.composite
+def value_ranges(draw):
+    """Well-formed (low <= high, possibly open-ended) value ranges."""
+    low = draw(st.none() | finite)
+    high = draw(st.none() | finite)
+    if low is not None and high is not None and low > high:
+        low, high = high, low
+    return ValueRange(low, high)
+
+
+@st.composite
+def queries(draw):
+    """Queries mixing range and categorical constraints + dynamic ones."""
+    constraints = []
+    if draw(st.booleans()):
+        constraints.append(("cpu", draw(value_ranges())))
+    if draw(st.booleans()):
+        constraints.append(("mem_mb", draw(value_ranges())))
+    if draw(st.booleans()):
+        ordinals = draw(st.sets(st.integers(0, 2), min_size=1, max_size=3))
+        constraints.append(("os", CategoricalSet(frozenset(ordinals))))
+    dynamic = []
+    if draw(st.booleans()):
+        dynamic.append(("free_disk_gb", draw(value_ranges())))
+    return Query(
+        schema=SCHEMA,
+        constraints=tuple(constraints),
+        dynamic_constraints=tuple(dynamic),
+    )
+
+
+@st.composite
+def query_messages(draw):
+    """Arbitrary QUERY messages over the shared schema."""
+    query = draw(queries())
+    return QueryMessage(
+        query_id=draw(query_ids),
+        sender=draw(addresses),
+        query=query,
+        index_ranges=tuple(
+            (draw(st.integers(0, 7)), draw(st.integers(0, 7)))
+            for _ in range(SCHEMA.dimensions)
+        ),
+        sigma=draw(st.none() | st.integers(min_value=0, max_value=2**31)),
+        level=draw(st.integers(min_value=-1, max_value=SCHEMA.max_level)),
+        dimensions=frozenset(
+            draw(st.sets(st.integers(0, SCHEMA.dimensions - 1), max_size=3))
+        ),
+        budget=draw(st.floats(min_value=0.0, max_value=3600.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def reply_messages(draw):
+    """Arbitrary REPLY messages carrying descriptor payloads."""
+    return ReplyMessage(
+        query_id=draw(query_ids),
+        sender=draw(addresses),
+        matching=tuple(draw(st.lists(descriptors(), max_size=8))),
+        coverage=draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        duplicate=draw(st.booleans()),
+    )
+
+
+view_entries = st.builds(
+    ViewEntry,
+    descriptor=descriptors(),
+    age=st.integers(min_value=0, max_value=2**31),
+)
+
+
+def roundtrip(sender, message):
+    """Encode, decode, and return the decoded (sender, message) pair."""
+    return CODEC.decode(CODEC.encode(sender, message))
+
+
+class TestRoundTrips:
+    @given(sender=addresses, message=query_messages())
+    @settings(max_examples=200, deadline=None)
+    def test_query_message(self, sender, message):
+        got_sender, got = roundtrip(sender, message)
+        assert got_sender == sender
+        assert got == message
+        # The schema is compare=False on Query; pin it explicitly.
+        assert got.query.schema is SCHEMA
+        assert got.query.dynamic_constraints == message.query.dynamic_constraints
+
+    @given(sender=addresses, message=reply_messages())
+    @settings(max_examples=200, deadline=None)
+    def test_reply_message(self, sender, message):
+        got_sender, got = roundtrip(sender, message)
+        assert got_sender == sender
+        assert got == message
+        for ours, theirs in zip(message.matching, got.matching):
+            assert ours.values == theirs.values
+            assert ours.coordinates == theirs.coordinates
+
+    @given(
+        sender=addresses,
+        entries=st.lists(view_entries, max_size=6),
+        message_type=st.sampled_from(
+            [CyclonRequest, CyclonReply, VicinityRequest, VicinityReply]
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gossip_messages(self, sender, entries, message_type):
+        message = message_type(entries=tuple(entries))
+        got_sender, got = roundtrip(sender, message)
+        assert got_sender == sender
+        assert type(got) is message_type
+        assert got == message
+
+    def test_decoded_coordinates_are_interned(self):
+        descriptor = NodeDescriptor.build(
+            7, SCHEMA, {"cpu": 50, "mem_mb": 1024, "os": "linux"}
+        )
+        reply = ReplyMessage(query_id=(7, 0), sender=7, matching=(descriptor,))
+        _, got = roundtrip(7, reply)
+        assert got.matching[0].coordinates is descriptor.coordinates
+
+    def test_float_fidelity_is_bit_exact(self):
+        tricky = (0.1 + 0.2, math.nextafter(1.0, 2.0), 1e-300, -0.0)
+        descriptor = NodeDescriptor(address=1, values=tricky, coordinates=(0,))
+        _, got = roundtrip(1, ReplyMessage((1, 0), 1, (descriptor,)))
+        assert all(
+            struct.pack(">d", a) == struct.pack(">d", b)
+            for a, b in zip(tricky, got.matching[0].values)
+        )
+
+
+class TestRejection:
+    def frame(self):
+        message = QueryMessage(
+            query_id=(3, 1),
+            sender=3,
+            query=Query.where(SCHEMA, cpu=(10, 90)),
+            index_ranges=((0, 7), (0, 7), (0, 2)),
+            sigma=5,
+            level=3,
+            dimensions=frozenset({0, 1, 2}),
+        )
+        return CODEC.encode(3, message)
+
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            CODEC.decode(data)
+        except CodecError:
+            pass  # the only acceptable failure mode
+
+    def test_every_truncation_is_rejected(self):
+        frame = self.frame()
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                CODEC.decode(frame[:cut])
+
+    def test_trailing_garbage_is_rejected(self):
+        with pytest.raises(CodecError):
+            CODEC.decode(self.frame() + b"\x00")
+
+    def test_bad_magic(self):
+        frame = bytearray(self.frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            CODEC.decode(bytes(frame))
+
+    def test_unsupported_version(self):
+        frame = bytearray(self.frame())
+        frame[2] = VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            CODEC.decode(bytes(frame))
+
+    def test_unknown_message_type(self):
+        frame = bytearray(self.frame())
+        frame[3] = 0x7F
+        with pytest.raises(CodecError, match="type"):
+            CODEC.decode(bytes(frame))
+
+    def test_lying_length_field(self):
+        frame = self.frame()
+        header = bytearray(frame[:_HEADER.size])
+        magic, version, ftype, sender, length = _HEADER.unpack(bytes(header))
+        for lie in (length - 1, length + 1):
+            bad = _HEADER.pack(magic, version, ftype, sender, lie)
+            with pytest.raises(CodecError, match="length|large"):
+                CODEC.decode(bad + frame[_HEADER.size:])
+
+    def test_oversized_declared_length(self):
+        bad = _HEADER.pack(MAGIC, VERSION, 1, 0, 2**31)
+        with pytest.raises(CodecError, match="large"):
+            CODEC.decode(bad)
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(CodecError, match="unencodable"):
+            CODEC.encode(0, object())

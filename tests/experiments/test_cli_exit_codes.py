@@ -1,0 +1,94 @@
+"""Exit-code contract of the CLI: 0 success, 1 runtime failure, 2 usage.
+
+Pre-fix, the subcommands disagreed: argparse exited 2 for bad flags but
+value errors surfaced as tracebacks (exit 1), and unexpected runtime
+errors escaped as tracebacks with whatever code Python chose. These
+tests pin the normalized contract.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.cli import main
+from repro.util.errors import ConfigurationError, ReproError
+
+
+class TestUsageErrorsExitTwo:
+    def test_negative_size_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "fig06", "--size", "-5"])
+        assert err.value.code == 2
+
+    def test_non_numeric_size_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "--size", "lots"])
+        assert err.value.code == 2
+
+    def test_unknown_bench_workload_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "everything"])
+        assert err.value.code == 2
+
+    def test_unknown_chaos_scenario_exits_two(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_configuration_error_exits_two(self, monkeypatch, capsys):
+        def boom(args):
+            raise ConfigurationError("bad schema")
+
+        monkeypatch.setitem(cli.COMMANDS, "fig06", boom)
+        assert main(["run", "fig06"]) == 2
+        assert "bad schema" in capsys.readouterr().err
+
+
+class TestRuntimeFailuresExitOne:
+    def test_unexpected_exception_exits_one(self, monkeypatch, capsys):
+        def boom(args):
+            raise RuntimeError("socket melted")
+
+        monkeypatch.setitem(cli.COMMANDS, "fig06", boom)
+        assert main(["run", "fig06"]) == 1
+        assert "socket melted" in capsys.readouterr().err
+
+    def test_repro_error_exits_one(self, monkeypatch, capsys):
+        def boom(args):
+            raise ReproError("protocol invariant violated")
+
+        monkeypatch.setitem(cli.COMMANDS, "fig06", boom)
+        assert main(["run", "fig06"]) == 1
+
+
+class TestServeSmoke:
+    def test_smoke_delivers_and_writes_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "serve", "--size", "16", "--smoke", "20",
+            "--concurrency", "4", "--seed", "5",
+            "--metrics-out", str(metrics_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "smoke: OK" in out
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["aio.datagrams_sent"] > 0
+        assert snapshot["counters"].get("http.responses{status=200}", 0) >= 20
+
+    def test_bench_serve_appends_row(self, tmp_path, capsys):
+        bench_file = tmp_path / "bench.json"
+        bench_file.write_text("[]")
+        code = main([
+            "bench", "serve", "--size", "16", "--queries", "20",
+            "--concurrency", "4", "--seed", "5",
+            "--append", str(bench_file),
+        ])
+        assert code == 0
+        rows = json.loads(bench_file.read_text())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["workload"] == "serve"
+        assert row["qps"] > 0
+        assert row["delivered"] == 1.0
+        assert {"p50_ms", "p99_ms", "concurrency"} <= set(row)

@@ -1,0 +1,142 @@
+"""Regression tests for the threaded-runtime shutdown race.
+
+Two pre-fix bugs, both deterministic here:
+
+1. ``RuntimeTransport.call_later``'s guard checked ``host.alive`` *before*
+   acquiring the host lock, so a timer callback could pass the check,
+   block on the lock, and then run its payload against a host that
+   ``stop()`` had already torn down.
+2. ``RuntimeHost._loop`` silently discarded in-flight messages once
+   ``alive`` flipped, and ``shutdown()`` left racing senders' messages
+   unaccounted in the inbox.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.runtime.local import LocalRuntime
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+class TestTimerStopBarrier:
+    def test_callback_that_raced_past_the_check_is_rejected(self, schema):
+        """The TOCTOU window, held open deliberately.
+
+        The test holds the host lock so the timer callback (already
+        dispatched by the scheduler) blocks at lock acquisition, flips
+        ``alive`` — exactly what a concurrent ``stop()`` does — and then
+        releases the lock. Pre-fix the callback had already passed its
+        liveness check and runs anyway; post-fix the re-check under the
+        lock rejects it.
+        """
+        with LocalRuntime(schema, seed=11) as runtime:
+            host = runtime.add_host({"cpu": 10, "mem": 10})
+            fired = []
+            with host.lock:
+                host.transport.call_later(0.0, lambda: fired.append("ran"))
+                # Give the scheduler thread ample time to dispatch the
+                # callback and block on the lock we hold.
+                time.sleep(0.4)
+                host.alive = False
+            time.sleep(0.3)
+            assert fired == []
+
+    def test_no_timer_payload_fires_after_shutdown_returns(self, schema):
+        runtime = LocalRuntime(schema, seed=12)
+        host = runtime.add_host({"cpu": 10, "mem": 10})
+        fired = []
+        stopped = threading.Event()
+
+        def payload() -> None:
+            if stopped.is_set():
+                fired.append("post-stop")
+
+        for delay in [i * 0.01 for i in range(50)]:
+            host.transport.call_later(delay, payload)
+        time.sleep(0.1)  # some fire before the stop, that's fine
+        host.shutdown()
+        stopped.set()
+        time.sleep(0.6)  # every remaining deadline passes
+        runtime.shutdown()
+        assert fired == []
+
+
+class TestStopUnderLoad:
+    def test_queued_messages_are_rejected_not_discarded(self, schema):
+        runtime = LocalRuntime(schema, seed=13)
+        host = runtime.add_host({"cpu": 10, "mem": 10})
+        other = runtime.add_host({"cpu": 20, "mem": 20})
+        # Stop the receiver, then keep sending: every message must be
+        # accounted as rejected — by deliver(), the loop, or the drain.
+        host.shutdown()
+        for _ in range(25):
+            runtime.deliver(other.address, host.address, object())
+        assert host.rejected_messages == 25
+        assert host.inbox.empty()
+        runtime.shutdown()
+
+    def test_shutdown_drains_inbox_of_racing_senders(self, schema):
+        runtime = LocalRuntime(schema, seed=14)
+        host = runtime.add_host({"cpu": 10, "mem": 10})
+        # Simulate senders that won the alive-check race: their messages
+        # are already queued when shutdown begins.
+        host.inbox.put((99, object()))
+        host.inbox.put((99, object()))
+        host.shutdown()
+        assert host.rejected_messages == 2
+        assert host.inbox.empty()
+        runtime.shutdown()
+
+    def test_stop_under_gossip_load_is_quiescent(self, schema):
+        gossip = GossipConfig(period=0.02, answer_timeout=0.1)
+        runtime = LocalRuntime(schema, seed=15, gossip_config=gossip)
+        runtime.populate(uniform_sampler(schema), 12)
+        runtime.start_gossip()
+        time.sleep(0.3)  # real gossip traffic + timers in flight
+        for host in runtime.hosts.values():
+            host.shutdown()
+        cycles = {
+            address: host.maintenance.cycles_run
+            for address, host in runtime.hosts.items()
+        }
+        pending = {
+            address: dict(host.node.pending)
+            for address, host in runtime.hosts.items()
+        }
+        time.sleep(0.4)
+        # No post-stop callback fired: no gossip cycle ran, no query state
+        # changed, and nothing new reached any inbox.
+        for address, host in runtime.hosts.items():
+            assert host.maintenance.cycles_run == cycles[address]
+            assert dict(host.node.pending) == pending[address]
+            assert host.inbox.empty()
+        runtime.shutdown()
+
+    def test_queries_still_work_after_peer_shutdown(self, schema):
+        from repro.core.node import NodeConfig
+
+        config = NodeConfig(query_timeout=2.0, min_timeout=0.2)
+        with LocalRuntime(schema, seed=16, node_config=config) as runtime:
+            runtime.populate(uniform_sampler(schema), 30)
+            runtime.bootstrap()
+            victims = list(runtime.hosts.values())[:5]
+            for victim in victims:
+                victim.shutdown()
+            alive = [h for h in runtime.hosts.values() if h.alive]
+            found = runtime.execute_query(
+                Query.where(schema), origin=alive[0].address, timeout=25.0
+            )
+            assert len(found) >= 1
+            assert all(runtime.hosts[d.address].alive for d in found)

@@ -1,0 +1,69 @@
+"""Regression tests: cancelled timers must not accumulate in the heap.
+
+The sim engine got amortized cancel-compaction in the million-node PR;
+the threaded :class:`TimerScheduler` did not, so a long-lived runtime
+arming and cancelling a failure timer per forward leaked heap entries
+without bound. These tests fail on the pre-fix scheduler.
+"""
+
+import time
+
+from repro.runtime.scheduler import TimerScheduler
+
+
+class TestCancelCompaction:
+    def test_cancel_churn_keeps_heap_bounded(self):
+        scheduler = TimerScheduler(compaction_threshold=128)
+        # No thread started: pure data-structure churn, fully deterministic.
+        for _ in range(40):
+            calls = [
+                scheduler.schedule(60.0, lambda: None) for _ in range(100)
+            ]
+            for call in calls:
+                scheduler.cancel(call)
+        # Pre-fix: 4,000 cancelled entries sit in the heap forever.
+        assert scheduler.heap_size < 256
+        assert scheduler.pending_calls == 0
+        assert scheduler.compactions >= 1
+
+    def test_compaction_preserves_live_timers(self):
+        scheduler = TimerScheduler(compaction_threshold=64)
+        keep = [scheduler.schedule(30.0 + i, lambda: None) for i in range(10)]
+        for _ in range(10):
+            calls = [scheduler.schedule(60.0, lambda: None) for _ in range(50)]
+            for call in calls:
+                scheduler.cancel(call)
+        assert scheduler.pending_calls == 10
+        assert all(not call.cancelled for call in keep)
+        # The earliest live deadline survived at the heap head region.
+        assert scheduler.heap_size >= 10
+
+    def test_double_cancel_counts_once(self):
+        scheduler = TimerScheduler(compaction_threshold=8)
+        calls = [scheduler.schedule(60.0, lambda: None) for _ in range(16)]
+        for call in calls:
+            scheduler.cancel(call)
+            scheduler.cancel(call)  # idempotent
+        assert scheduler.pending_calls == 0
+        assert scheduler.heap_size <= 16
+
+    def test_live_timers_still_fire_after_compaction(self):
+        scheduler = TimerScheduler(compaction_threshold=32)
+        scheduler.start()
+        try:
+            fired = []
+            live = scheduler.schedule(0.2, lambda: fired.append("live"))
+            for _ in range(8):
+                churn = [
+                    scheduler.schedule(60.0, lambda: None) for _ in range(16)
+                ]
+                for call in churn:
+                    scheduler.cancel(call)
+            assert scheduler.compactions >= 1
+            deadline = time.monotonic() + 2.0
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert fired == ["live"]
+            assert live.executed
+        finally:
+            scheduler.stop()
