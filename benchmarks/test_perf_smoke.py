@@ -112,6 +112,68 @@ def test_memory_footprint_per_node(benchmark):
     )
 
 
+def test_columnar_memory_footprint_per_node(benchmark):
+    """Columnar-state gate: the sharded master stays under 2 KB/node.
+
+    With process-mode workers the hosts live in forked children; what the
+    master holds is the columnar population (four numpy columns), the
+    shared bootstrap plan, and the shard proxies. tracemalloc-attributed
+    bytes per node gate the columnar path an order of magnitude below the
+    object-path ceiling above — falling back to per-node descriptor
+    objects (or pickling them to the workers) trips this immediately.
+    """
+    from repro.experiments.scale import build_sharded_deployment
+    from repro.util.memory import traced_allocation
+
+    holder: list = []
+
+    def build_traced():
+        with traced_allocation(holder):
+            return build_sharded_deployment(
+                PAPER_PEERSIM.scaled(SMOKE_N), num_shards=2, mode="process"
+            )
+
+    deployment, _ = run_once(benchmark, build_traced)
+    try:
+        assert deployment._store is not None, "columnar path not taken"
+        bytes_per_node = holder[0] / SMOKE_N
+        assert bytes_per_node < 2_048, (
+            f"columnar footprint regressed: {bytes_per_node:.0f} bytes/node"
+        )
+    finally:
+        deployment.close()
+
+
+def test_sharded_startup_work_is_partitioned(benchmark):
+    """Sublinear-startup gate, counter-based (immune to machine noise).
+
+    Each process-mode worker must bootstrap only the nodes it owns:
+    ``visited_nodes`` counts the nodes whose bootstrap draws the worker
+    consumed. A regression to replaying the full population per worker
+    (the pre-columnar behavior) makes every worker visit all N nodes and
+    fails the strict inequality.
+    """
+    from repro.experiments.scale import build_sharded_deployment
+
+    num_shards = 4
+    deployment, _ = run_once(
+        benchmark,
+        lambda: build_sharded_deployment(
+            PAPER_PEERSIM.scaled(SMOKE_N), num_shards=num_shards, mode="process"
+        ),
+    )
+    try:
+        stats = deployment.build_stats
+        assert len(stats) == num_shards
+        assert sum(entry["visited_nodes"] for entry in stats) == SMOKE_N
+        for entry in stats:
+            assert entry["visited_nodes"] == entry["hosts"]
+            assert entry["visited_nodes"] < SMOKE_N  # strictly sublinear
+            assert entry["visited_nodes"] <= SMOKE_N // num_shards + 1
+    finally:
+        deployment.close()
+
+
 def test_telemetry_overhead_is_bounded(benchmark):
     """Observability must be affordable at scale, in both positions.
 

@@ -5,9 +5,13 @@ The tracked workload is the acceptance benchmark of the fast-path work:
 build the paper's headline configuration (N=100,000, d=5, max(l)=3,
 uniform population, converged overlay) and issue 10 aligned f=0.125
 queries at sigma=50. Each invocation appends one machine-readable row —
-wall time per phase, peak RSS and measured bytes per node — so the JSON
-file accumulates the performance trajectory of the repository over time.
-``--shards K`` runs the same workload on the sharded engine instead.
+wall time per phase (build broken down into ``populate_seconds`` and
+``bootstrap_seconds``), peak RSS and measured bytes per node — so the
+JSON file accumulates the performance trajectory of the repository over
+time. ``--shards K`` runs the same workload on the sharded engine
+instead; sharded rows also carry ``shard_build_stats``, the per-worker
+startup counters (hosts, visited nodes, materialized descriptors, build
+seconds, worker RSS).
 
 Usage::
 

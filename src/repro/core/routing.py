@@ -204,49 +204,63 @@ class RoutingTable:
 
         Each element of *slot_buckets* is ``(level, dim, bucket, picks)``:
         *picks* members of *bucket* are drawn without replacement using
-        *rng*; the first free draw becomes the slot's selected neighbor
-        and the rest are retained as alternates up to
-        ``alternates_per_slot``. Like :meth:`seed_zero`, the caller
-        guarantees every bucket member actually lies in its slot's cell,
-        so classification is skipped. Fusing the sampling with the
-        install avoids both ``random.sample``'s per-call machinery and
-        one Python frame per slot — together the dominant cost of
-        bootstrapping a 100,000-node overlay.
+        *rng*; the first draw becomes the slot's selected neighbor and
+        the rest are retained as alternates up to ``alternates_per_slot``
+        (callers cap ``picks`` at ``1 + alternates_per_slot``). Fusing
+        the sampling with the install avoids both ``random.sample``'s
+        per-call machinery and one Python frame per slot — together the
+        dominant cost of bootstrapping a 100,000-node overlay.
+
+        This is a *bootstrap-only* fast path with two hard preconditions,
+        both structural properties of the hypercube cell geometry:
+
+        - every bucket member lies in its slot's cell (so classification
+          is skipped), and
+        - the buckets are pairwise disjoint and contain neither the
+          owner nor any C0 member already installed by
+          :meth:`seed_zero` — each differs from the owner's cell
+          coordinates at its own (level, dim) bit, so no address can
+          arrive twice and the per-descriptor known/self guards the
+          general :meth:`install` path needs are dropped here.
+
+        Indices come from ``int(rng.random() * count)`` — one C-level
+        draw each — rather than ``_randbelow``'s Python retry loop. The
+        truncation bias is < count/2**53, irrelevant at any population
+        this simulator holds, and the bootstrap's determinism contract
+        is a *shared stream*, not a particular one: every engine seeds
+        through this method, so sharded and single-process runs stay
+        bit-identical to each other.
         """
         by_address = self._by_address
-        owner_address = self.owner.address
         primary = self._primary
+        alternates_map = self._alternates
         cap = self.alternates_per_slot
-        # random.sample's own core primitive, minus its per-call checks.
-        randbelow = rng._randbelow
+        random = rng.random
         shuffle = rng.shuffle
         for level, dim, bucket, picks in slot_buckets:
             count = len(bucket)
             if picks == 1:
-                chosen = (bucket[randbelow(count)],)
-            elif picks >= count:
+                descriptor = bucket[int(random() * count)]
+                primary[(level, dim)] = descriptor
+                by_address[descriptor.address] = descriptor
+                continue
+            if picks >= count:
                 chosen = list(bucket)
                 shuffle(chosen)
             else:
                 indices: Dict[int, None] = {}
                 while len(indices) < picks:
-                    indices[randbelow(count)] = None
+                    indices[int(random() * count)] = None
                 chosen = [bucket[i] for i in indices]
             slot = (level, dim)
-            alternates: Optional[List[NodeDescriptor]] = None
-            for descriptor in chosen:
-                address = descriptor.address
-                if address == owner_address or address in by_address:
-                    continue
-                if slot not in primary:
-                    primary[slot] = descriptor
-                else:
-                    if alternates is None:
-                        alternates = self._alternates.setdefault(slot, [])
-                    if len(alternates) >= cap:
-                        break
-                    alternates.append(descriptor)
-                by_address[address] = descriptor
+            descriptor = chosen[0]
+            primary[slot] = descriptor
+            by_address[descriptor.address] = descriptor
+            rest = chosen[1 : 1 + cap]
+            if rest:
+                alternates_map[slot] = rest
+                for descriptor in rest:
+                    by_address[descriptor.address] = descriptor
 
     def _locate(self, address: Address) -> Optional[Slot]:
         """The slot currently holding *address*, or None if unknown."""

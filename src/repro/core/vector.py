@@ -15,7 +15,12 @@ construction, so this module provides batch equivalents over coordinate
   geometry (``C_l`` and ``N(l,k)`` boxes for many nodes at once);
 * :func:`slot_matrix` — batch :func:`repro.core.cells.slot_of`;
 * :func:`pack_codes` — per-slot bucket/flipped keys packed into int64
-  scalars, the identity behind the vectorized bootstrap bucket assignment.
+  scalars, the identity behind the vectorized bootstrap bucket assignment;
+* :func:`pack_cell_codes` / :func:`pack_cell_code` — full-coordinate C0
+  cell keys packed into int64, the sort/group key of the columnar store
+  (:mod:`repro.core.store`);
+* :func:`matches_mask` — batch :meth:`repro.core.query.Query.matches`
+  over a value matrix (the columnar ground-truth filter).
 
 Every function is kept bit-identical to its scalar twin by the property
 tests in ``tests/core/test_vector.py`` (randomized depths, dimensions and
@@ -219,6 +224,63 @@ def pack_codes(
             part = coords[:, j] >> level
         codes = (codes << max_level) | part
     return codes
+
+
+def pack_cell_codes(coords: "np.ndarray", max_level: int) -> "np.ndarray":
+    """Per-row C0 cell keys: the full coordinate vector packed into int64.
+
+    Two rows receive equal codes iff their coordinate tuples are equal —
+    the packed form of the :class:`~repro.core.index.CellIndex` cell id,
+    usable as a sort/group key. Requires :func:`packable` geometry; each
+    dimension occupies ``max_level`` bits (injective because every cell
+    index lies below ``2**max_level``). Scalar twin:
+    :func:`pack_cell_code`.
+    """
+    _require_numpy()
+    if not packable(coords.shape[1], max_level):
+        raise ValueError(
+            f"cannot pack {coords.shape[1]} x {max_level}-bit parts into int64"
+        )
+    codes = np.zeros(len(coords), dtype=np.int64)
+    for dim in range(coords.shape[1]):
+        codes = (codes << max_level) | coords[:, dim]
+    return codes
+
+
+def pack_cell_code(coordinates: Sequence[int], max_level: int) -> int:
+    """Scalar :func:`pack_cell_codes`: one coordinate tuple to its int key."""
+    code = 0
+    for part in coordinates:
+        code = (code << max_level) | int(part)
+    return code
+
+
+def matches_mask(query, values: "np.ndarray") -> "np.ndarray":
+    """Batch :meth:`repro.core.query.Query.matches` over a value matrix.
+
+    Row ``i`` of the returned boolean mask equals
+    ``query.matches(values[i])``: inclusive ``ValueRange`` bounds with
+    ``None`` open ends, and exact integral-ordinal membership for
+    ``CategoricalSet`` (``int(v) in ordinals and float(int(v)) == v``,
+    where ``int()`` truncates toward zero exactly like ``np.trunc``).
+    Dynamic constraints are ignored, as in the scalar method.
+    """
+    _require_numpy()
+    from repro.core.query import CategoricalSet
+
+    mask = np.ones(len(values), dtype=bool)
+    for name, constraint in query.constraints:
+        column = values[:, query.schema.dimension_of(name)]
+        if isinstance(constraint, CategoricalSet):
+            truncated = np.trunc(column)
+            mask &= truncated == column
+            mask &= np.isin(truncated, list(constraint.ordinals))
+        else:
+            if constraint.low is not None:
+                mask &= column >= constraint.low
+            if constraint.high is not None:
+                mask &= column <= constraint.high
+    return mask
 
 
 def matrix_of(

@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     mean_overhead,
     measure_queries,
 )
+from repro.obs import profile
 from repro.sim.deployment import ValueSampler
 from repro.sim.shard import ShardedDeployment, _MergedMetrics
 from repro.util.memory import current_rss_bytes, peak_rss_bytes
@@ -54,6 +55,11 @@ def build_sharded_deployment(
     ``deployment.telemetry_snapshot()``); *trace_sample_rate* arms a
     sampled per-shard tracer whose events merge through
     ``deployment.trace_events()``.
+
+    Construction is failure-safe: if populate or bootstrap raises, the
+    deployment is closed (stopping any process-mode workers already
+    forked) before the error propagates. The populate and bootstrap
+    phases report to the active :mod:`repro.obs.profile` profiler.
     """
     schema = config.schema()
     latency, loss = latency_for_testbed(config.testbed)
@@ -69,8 +75,16 @@ def build_sharded_deployment(
         trace_sample_rate=trace_sample_rate,
         trace_seed=trace_seed,
     )
-    deployment.populate(sampler or uniform_sampler(schema), config.network_size)
-    deployment.bootstrap()
+    try:
+        with profile.phase("populate", deployment.simulator):
+            deployment.populate(
+                sampler or uniform_sampler(schema), config.network_size
+            )
+        with profile.phase("bootstrap", deployment.simulator):
+            deployment.bootstrap()
+    except BaseException:
+        deployment.close()
+        raise
     return deployment, deployment.metrics
 
 
@@ -88,21 +102,35 @@ def measure_scale(
     the sharded engine runs the queries (single-process by default).
     ``bytes_per_node`` is the RSS growth across populate+bootstrap
     divided by the population — the whole per-node cost (descriptor,
-    host, node, routing table and all its links), not one structure.
+    host, node, routing table and all its links), not one structure. In
+    process mode the hosts live in the forked workers, so
+    ``bytes_per_node`` measures the *master's* columnar state; each
+    worker's own RSS is reported in ``shard_build_stats``. The build is
+    also broken down per phase (``populate_seconds`` /
+    ``bootstrap_seconds``, via the phase profiler) and per shard.
     """
     base = config or PAPER_PEERSIM
     cfg = base if size == base.network_size else base.scaled(size)
     schema = cfg.schema()
+    previous_profiler = profile.active()
+    profiler = profile.activate()
     rss_before = current_rss_bytes()
     build_started = time.perf_counter()
-    if num_shards > 1:
-        deployment, metrics = build_sharded_deployment(
-            cfg, num_shards=num_shards, mode=shard_mode
-        )
-    else:
-        deployment, metrics = build_deployment(cfg)
+    try:
+        if num_shards > 1:
+            deployment, metrics = build_sharded_deployment(
+                cfg, num_shards=num_shards, mode=shard_mode
+            )
+        else:
+            deployment, metrics = build_deployment(cfg)
+    finally:
+        if previous_profiler is not None:
+            profile.activate(previous_profiler)
+        else:
+            profile.deactivate()
     build_seconds = time.perf_counter() - build_started
     rss_after = current_rss_bytes()
+    phases = profiler.phases
 
     query_started = time.perf_counter()
     outcomes = measure_queries(
@@ -120,6 +148,12 @@ def measure_scale(
         "network_size": size,
         "queries": queries,
         "build_seconds": round(build_seconds, 3),
+        "populate_seconds": round(
+            phases["populate"].seconds if "populate" in phases else 0.0, 3
+        ),
+        "bootstrap_seconds": round(
+            phases["bootstrap"].seconds if "bootstrap" in phases else 0.0, 3
+        ),
         "query_seconds": round(query_seconds, 3),
         "total_seconds": round(build_seconds + query_seconds, 3),
         "mean_overhead": round(mean_overhead(outcomes), 3),
@@ -130,7 +164,11 @@ def measure_scale(
         "deployment_rss_bytes": built_bytes,
         "bytes_per_node": round(built_bytes / size, 1) if size else 0.0,
         "num_shards": num_shards,
+        "shard_mode": shard_mode if num_shards > 1 else None,
     }
+    shard_stats = getattr(deployment, "build_stats", None)
+    if shard_stats:
+        result["shard_build_stats"] = shard_stats
     closer = getattr(deployment, "close", None)
     if closer is not None:
         closer()

@@ -326,8 +326,9 @@ class AioOverlay:
 
         bootstrap_links(
             list(self.hosts.values()),
-            derive_rng(self.seed, "runtime-bootstrap"),
+            self.seed,
             alternates_per_slot=alternates_per_slot,
+            stream="runtime-bootstrap",
         )
 
     def start_gossip(self, seeds_per_node: int = 5) -> None:

@@ -37,35 +37,6 @@ from repro.util.rng import derive_rng
 ValueSampler = Callable[[random.Random], Mapping[str, AttributeValue]]
 
 
-def consume_slot_draws(
-    slot_buckets: Sequence[Tuple[int, int, Sequence[NodeDescriptor], int]],
-    rng: random.Random,
-) -> None:
-    """Advance *rng* exactly as ``RoutingTable.seed_slots`` would.
-
-    The sharded engine replays the single global bootstrap rng stream on
-    every shard and installs tables only for locally-owned nodes; remote
-    nodes' draws must still be consumed so the stream stays aligned.
-    This mirrors the sampling in
-    :meth:`repro.core.routing.RoutingTable.seed_slots` draw for draw
-    (the draw count depends only on bucket sizes and pick counts, never
-    on table contents) — keep the two in sync.
-    """
-    randbelow = rng._randbelow
-    shuffle = rng.shuffle
-    for _level, _dim, bucket, picks in slot_buckets:
-        count = len(bucket)
-        if picks == 1:
-            randbelow(count)
-        elif picks >= count:
-            scratch = list(range(count))
-            shuffle(scratch)
-        else:
-            indices: Dict[int, None] = {}
-            while len(indices) < picks:
-                indices[rng._randbelow(count)] = None
-
-
 def _slot_buckets_by_cell(
     index: CellIndex,
     schema: AttributeSchema,
@@ -132,21 +103,35 @@ def _slot_buckets_by_cell(
     return slot_buckets_of
 
 
+def bootstrap_rng(seed: int, address: Address, stream: str = "bootstrap") -> random.Random:
+    """The per-node bootstrap draw stream for *address*.
+
+    Each node's slot draws come from its own derived stream instead of
+    one shared sequential stream. The streams are pure functions of
+    ``(seed, stream, address)``, so any worker holding any subset of the
+    population seeds bit-identical tables for the nodes it owns — no
+    replaying (and no draw-consuming) of other nodes' randomness, which
+    is what makes a sharded worker's bootstrap O(owned) instead of O(N).
+    """
+    return derive_rng(seed, f"{stream}:{address}")
+
+
 def bootstrap_tables(
     descriptors: Sequence[NodeDescriptor],
-    rng: random.Random,
+    seed: int,
     table_for: Callable[[Address], Optional[RoutingTable]],
     schema: AttributeSchema,
     alternates_per_slot: int = 3,
+    stream: str = "bootstrap",
 ) -> None:
     """Seed converged routing tables for a (possibly partial) population.
 
     *descriptors* is the **whole** overlay population in a deterministic
-    order; *table_for* resolves an address to the routing table to seed,
-    or None for nodes this caller does not own (a sharded worker seeding
-    only its partition). Unowned nodes still consume their rng draws via
-    :func:`consume_slot_draws`, so every shard replaying the same stream
-    installs bit-identical tables for the nodes it does own.
+    order (the buckets every table samples from span all of it);
+    *table_for* resolves an address to the routing table to seed, or
+    None for nodes this caller does not own (a sharded worker seeding
+    only its partition). Draws come from per-node streams
+    (:func:`bootstrap_rng`), so unowned nodes cost nothing.
     """
     if not descriptors:
         return
@@ -173,16 +158,18 @@ def bootstrap_tables(
         for descriptor in cell_descriptors:
             routing = table_for(descriptor.address)
             if routing is None:
-                consume_slot_draws(slot_buckets, rng)
                 continue
             routing.seed_zero(zero_members)  # skips the self-descriptor
-            routing.seed_slots(slot_buckets, rng)
+            routing.seed_slots(
+                slot_buckets, bootstrap_rng(seed, descriptor.address, stream)
+            )
 
 
 def bootstrap_links(
     hosts: Sequence[SimHost],
-    rng: random.Random,
+    seed: int,
     alternates_per_slot: int = 3,
+    stream: str = "bootstrap",
 ) -> None:
     """Install the converged routing tables directly (no gossip warm-up).
 
@@ -191,7 +178,8 @@ def bootstrap_links(
     of the gossip selection that the paper credits for load balance
     ("each node selects its neighbors independently ... evenly distributes
     the links across all nodes of a given cell") — plus a few alternates,
-    and links every node to all members of its C0 cell.
+    and links every node to all members of its C0 cell. Draws come from
+    per-node streams derived from ``(seed, stream, address)``.
     """
     if not hosts:
         return
@@ -200,10 +188,11 @@ def bootstrap_links(
     tables = {host.node.descriptor.address: host.node.routing for host in hosts}
     bootstrap_tables(
         [host.node.descriptor for host in hosts],
-        rng,
+        seed,
         tables.get,
         schema,
         alternates_per_slot=alternates_per_slot,
+        stream=stream,
     )
 
 
@@ -305,7 +294,7 @@ class Deployment:
         with paused_gc():
             bootstrap_links(
                 list(self.hosts.values()),
-                derive_rng(self.seed, "bootstrap"),
+                self.seed,
                 alternates_per_slot=alternates_per_slot,
             )
 

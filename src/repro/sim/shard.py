@@ -19,24 +19,32 @@ discrete-event simulation:
   (``send_time + latency``), before the next window begins. Empty
   stretches are skipped by fast-forwarding ``t`` to the earliest pending
   event across all shards.
-* **Determinism.** Everything randomized is replayed from shared streams:
-  the master samples the population once (same ``derive_rng(seed,
-  "population")`` stream as the single-process deployment), and every
-  worker replays the full global bootstrap stream, installing tables for
-  its own nodes and consuming the draws of everyone else's
-  (:func:`~repro.sim.deployment.consume_slot_draws`). At the bridge,
-  collected messages are sorted by ``(arrival, source shard, send
-  order)`` before injection, so delivery order never depends on worker
-  scheduling. With a deterministic latency model, zero loss and no fault
-  layer (the converged-overlay measurement setup), a sharded run yields
-  **bit-identical** per-query delivery/overhead/duplicate metrics to the
-  single-process engine — verified by ``tests/sim/test_shard.py`` and the
-  CI determinism gate.
+* **Determinism.** Everything randomized comes from shared derived
+  streams: the master samples the population once (same
+  ``derive_rng(seed, "population")`` stream as the single-process
+  deployment — vectorized through the columnar
+  :class:`~repro.core.store.DescriptorStore` when available), and every
+  node's bootstrap draws come from its own
+  ``derive_rng(seed, f"bootstrap:{address}")`` stream
+  (:func:`~repro.sim.deployment.bootstrap_rng`), so a worker seeds
+  tables for exactly the nodes it owns — O(N/S) startup, nothing
+  replayed. At the bridge, collected messages are sorted by ``(arrival,
+  source shard, send order)`` before injection, so delivery order never
+  depends on worker scheduling. With a deterministic latency model, zero
+  loss and no fault layer (the converged-overlay measurement setup), a
+  sharded run yields **bit-identical** per-query
+  delivery/overhead/duplicate metrics to the single-process engine —
+  verified by ``tests/sim/test_shard.py`` and the CI determinism gate.
 * **Workers.** The default ``mode="inline"`` runs every shard in-process
   (deterministic partitioning plus per-shard memory/event accounting —
   the right default on small machines). ``mode="process"`` forks one OS
   process per shard, bridged over pipes, extending the fork-pool plumbing
-  of :mod:`repro.experiments.parallel` into the simulator itself.
+  of :mod:`repro.experiments.parallel` into the simulator itself. The
+  columnar store and the shared :class:`~repro.core.store.BootstrapPlan`
+  are built once in the master *before* forking, so workers inherit the
+  arrays copy-on-write instead of receiving descriptor lists over the
+  pipe, and process-mode builds run concurrently (requests are pipelined
+  to all workers before the first reply is awaited).
 
 Scope: the sharded engine drives the *converged* overlay (direct
 bootstrap, no gossip maintenance, no churn) — the configuration behind
@@ -46,6 +54,7 @@ the paper-scale benchmarks. Gossip/churn stay on the single-process path.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeSchema
@@ -54,16 +63,26 @@ from repro.core.index import CellIndex
 from repro.core.node import NodeConfig
 from repro.core.observer import FanoutObserver
 from repro.core.query import Query
+from repro.core.store import (
+    BootstrapPlan,
+    ColumnarCellIndex,
+    DescriptorStore,
+)
 from repro.metrics.collectors import MetricsCollector, QueryRecord
 from repro.obs.events import TraceEvent, event_from_dict
 from repro.obs.registry import MetricsRegistry, merge_snapshots
 from repro.obs.telemetry import TelemetryCollector
 from repro.obs.tracer import TraceRecorder
-from repro.sim.deployment import ValueSampler, bootstrap_tables
+from repro.sim.deployment import (
+    ValueSampler,
+    bootstrap_rng,
+    bootstrap_tables,
+)
 from repro.sim.engine import Simulator
 from repro.sim.host import SimHost
 from repro.sim.latency import LatencyModel, minimum_latency
 from repro.sim.network import SimNetwork
+from repro.util.memory import current_rss_bytes
 from repro.util.perf import paused_gc
 from repro.util.rng import derive_rng
 
@@ -115,6 +134,9 @@ class ShardWorker:
         telemetry: bool = False,
         trace_sample_rate: Optional[float] = None,
         trace_seed: int = 0,
+        store: Optional[DescriptorStore] = None,
+        bootstrap_plan: Optional[BootstrapPlan] = None,
+        descriptors: Optional[Sequence[NodeDescriptor]] = None,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -154,6 +176,13 @@ class ShardWorker:
         self._observer = (
             FanoutObserver(self.metrics, *extras) if extras else self.metrics
         )
+        # Population handles: either the shared columnar store + plan
+        # (fork-inherited copy-on-write in process mode) or the legacy
+        # descriptor list for the object fallback path.
+        self._store = store
+        self._bootstrap_plan = bootstrap_plan
+        self._descriptors = descriptors
+        self._build_stats: Dict[str, Any] = {}
         self.hosts: Dict[Address, SimHost] = {}
         self._outbox: List[Crossing] = []
         self.network.remote_route = self._collect
@@ -172,47 +201,90 @@ class ShardWorker:
 
     # -- construction --------------------------------------------------------
 
-    def build(
-        self,
-        descriptors: Sequence[NodeDescriptor],
-        alternates_per_slot: int = 3,
-    ) -> int:
+    def _make_host(self, descriptor: NodeDescriptor) -> None:
+        address = descriptor.address
+        self.hosts[address] = SimHost(
+            descriptor,
+            self.schema,
+            self.network,
+            rng=lambda address=address: derive_rng(
+                self.seed, f"host:{address}"
+            ),
+            node_config=self.node_config,
+            observer=self._observer,
+            registry=self.registry,
+        )
+
+    def build(self, alternates_per_slot: int = 3) -> Dict[str, Any]:
         """Create this shard's hosts and seed their converged tables.
 
-        *descriptors* is the full population in global address order; the
-        bootstrap replays the shared rng stream over all of it so local
-        tables come out bit-identical to a single-process bootstrap.
-        Returns the number of local hosts built.
+        The population comes from the handles passed at construction: the
+        shared columnar store + bootstrap plan (preferred — per-shard
+        cost O(owned); in process mode the plan arrives pre-materialized
+        from the master's fork, so ``materialized_descriptors`` reports
+        the whole inherited population) or the legacy full descriptor
+        list. Per-node bootstrap streams make the tables
+        bit-identical to a single-process bootstrap either way. Returns
+        the build stats dict (also kept for :meth:`build_stats`):
+        ``visited_nodes`` counts the nodes whose bootstrap draws this
+        worker consumed — equal to ``hosts``, the partition-not-replay
+        invariant the perf-smoke gate asserts.
         """
+        started = time.perf_counter()
         with paused_gc():
-            for descriptor in descriptors:
-                if not self.owns(descriptor.address):
-                    continue
-                address = descriptor.address
-                self.hosts[address] = SimHost(
-                    descriptor,
-                    self.schema,
-                    self.network,
-                    rng=lambda address=address: derive_rng(
-                        self.seed, f"host:{address}"
-                    ),
-                    node_config=self.node_config,
-                    observer=self._observer,
-                    registry=self.registry,
-                )
-            self.network.local_addresses = set(self.hosts)
-            tables = {
-                address: host.node.routing
-                for address, host in self.hosts.items()
-            }
-            bootstrap_tables(
-                descriptors,
-                derive_rng(self.seed, "bootstrap"),
-                tables.get,
-                self.schema,
-                alternates_per_slot=alternates_per_slot,
+            if self._store is not None and self._bootstrap_plan is not None:
+                self._build_from_store(alternates_per_slot)
+                materialized = self._store.materialized_count
+            else:
+                self._build_from_descriptors(alternates_per_slot)
+                materialized = len(self._descriptors or ())
+        self._build_stats = {
+            "shard_id": self.shard_id,
+            "hosts": len(self.hosts),
+            "visited_nodes": len(self.hosts),
+            "materialized_descriptors": materialized,
+            "build_seconds": round(time.perf_counter() - started, 3),
+            "rss_bytes": current_rss_bytes(),
+        }
+        return self._build_stats
+
+    def _build_from_store(self, alternates_per_slot: int) -> None:
+        store = self._store
+        plan = self._bootstrap_plan
+        assert store is not None and plan is not None
+        owned_rows = store.owned_rows(self.num_shards, self.shard_id)
+        for row in owned_rows:
+            self._make_host(store.descriptor(row))
+        self.network.local_addresses = set(self.hosts)
+        for row in owned_rows:
+            address = store.address_at(row)
+            plan.seed_row(
+                row,
+                self.hosts[address].node.routing,
+                bootstrap_rng(self.seed, address),
             )
-        return len(self.hosts)
+
+    def _build_from_descriptors(self, alternates_per_slot: int) -> None:
+        descriptors = self._descriptors or ()
+        for descriptor in descriptors:
+            if self.owns(descriptor.address):
+                self._make_host(descriptor)
+        self.network.local_addresses = set(self.hosts)
+        tables = {
+            address: host.node.routing
+            for address, host in self.hosts.items()
+        }
+        bootstrap_tables(
+            descriptors,
+            self.seed,
+            tables.get,
+            self.schema,
+            alternates_per_slot=alternates_per_slot,
+        )
+
+    def build_stats(self) -> Dict[str, Any]:
+        """The stats dict of the last :meth:`build` (pipe-safe)."""
+        return self._build_stats
 
     # -- synchronization -----------------------------------------------------
 
@@ -335,15 +407,32 @@ class _ProcessProxy:
         self._process.start()
         child_conn.close()
 
-    def _call(self, method: str, *args: Any) -> Any:
+    def _send(self, method: str, *args: Any) -> None:
         self._conn.send((method, args))
+
+    def _receive(self, method: str) -> Any:
         status, value = self._conn.recv()
         if status != "ok":
             raise RuntimeError(f"shard worker failed in {method}: {value}")
         return value
 
-    def build(self, descriptors, alternates_per_slot=3):
-        return self._call("build", descriptors, alternates_per_slot)
+    def _call(self, method: str, *args: Any) -> Any:
+        self._send(method, *args)
+        return self._receive(method)
+
+    def build(self, alternates_per_slot=3):
+        return self._call("build", alternates_per_slot)
+
+    def start_build(self, alternates_per_slot=3) -> None:
+        """Dispatch build without waiting — workers build concurrently."""
+        self._send("build", alternates_per_slot)
+
+    def finish_build(self):
+        """Collect the result of a :meth:`start_build` dispatch."""
+        return self._receive("build")
+
+    def build_stats(self):
+        return self._call("build_stats")
 
     def next_event_time(self):
         return self._call("next_event_time")
@@ -467,29 +556,105 @@ class ShardedDeployment:
                 "hard minimum (model.minimum) to derive its lookahead"
             )
         self.lookahead = lookahead
-        self.index = CellIndex(schema)
-        self.descriptors: List[NodeDescriptor] = []
         self.simulator = _ShardClock(self)
         self.metrics = _MergedMetrics()
         self._rng = derive_rng(seed, "deployment")
+        self._population_rng = derive_rng(seed, "population")
+        self._next_address = 0
+        self._store: Optional[DescriptorStore] = None
+        self._plan: Optional[BootstrapPlan] = None
+        self._descriptors: List[NodeDescriptor] = []
+        self._object_index = CellIndex(schema)
+        self._columnar_index: Optional[ColumnarCellIndex] = None
+        #: Per-shard build stats dicts, filled by :meth:`bootstrap`.
+        self.build_stats: List[Dict[str, Any]] = []
         self._workers: List[Any] = []
         self._counters_cache: Optional[List[Dict[str, int]]] = None
+
+    # -- population views ----------------------------------------------------
+
+    @property
+    def descriptors(self) -> List[NodeDescriptor]:
+        """The population as descriptor objects (materialized on demand)."""
+        if self._store is not None:
+            return list(self._store.descriptors())
+        return self._descriptors
+
+    @property
+    def index(self):
+        """The ground-truth cell index (columnar when the store is live)."""
+        if self._store is not None:
+            if self._columnar_index is None:
+                self._columnar_index = ColumnarCellIndex(self._store)
+            return self._columnar_index
+        return self._object_index
+
+    @property
+    def population(self) -> int:
+        """Number of sampled nodes."""
+        if self._store is not None:
+            return len(self._store)
+        return len(self._descriptors)
+
+    def _address_at(self, position: int) -> Address:
+        if self._store is not None:
+            return self._store.address_at(position)
+        return self._descriptors[position].address
 
     # -- construction --------------------------------------------------------
 
     def populate(self, sampler: ValueSampler, count: int) -> None:
-        """Sample the population — the same stream as ``Deployment``."""
-        rng = derive_rng(self.seed, "population")
+        """Sample the population — the same stream as ``Deployment``.
+
+        Columnar when possible: one vectorized sampler pass into a
+        :class:`~repro.core.store.DescriptorStore` (bit-identical to the
+        scalar loop, which remains the fallback for samplers without a
+        batch hook, unpackable geometries, or numpy-less machines).
+        """
         with paused_gc():
-            for address in range(count):
-                descriptor = NodeDescriptor.build(
-                    address, self.schema, sampler(rng)
+            if not self._descriptors:
+                chunk = DescriptorStore.sample(
+                    self.schema,
+                    sampler,
+                    self._population_rng,
+                    count,
+                    base_address=self._next_address,
                 )
-                self.descriptors.append(descriptor)
-                self.index.add(descriptor)
+                if chunk is not None:
+                    self._store = (
+                        chunk
+                        if self._store is None
+                        else DescriptorStore.concat(self._store, chunk)
+                    )
+                    self._next_address += count
+                    self._columnar_index = None
+                    return
+            if self._store is not None:
+                # A later batch fell off the columnar path (e.g. a
+                # different sampler): degrade once to the object path.
+                for descriptor in self._store.descriptors():
+                    self._descriptors.append(descriptor)
+                    self._object_index.add(descriptor)
+                self._store = None
+                self._columnar_index = None
+            for _ in range(count):
+                descriptor = NodeDescriptor.build(
+                    self._next_address, self.schema, sampler(self._population_rng)
+                )
+                self._next_address += 1
+                self._descriptors.append(descriptor)
+                self._object_index.add(descriptor)
 
     def bootstrap(self, alternates_per_slot: int = 3) -> None:
-        """Spin up the shard workers and seed their converged tables."""
+        """Spin up the shard workers and seed their converged tables.
+
+        The shared bootstrap plan is derived once here (master side,
+        before any fork) and handed to every worker; each worker then
+        only does O(owned) work. Process-mode builds are pipelined so
+        the workers run concurrently. On any failure the already-started
+        workers are stopped before the error propagates — no leaked
+        children.
+        """
         if self._workers:
             raise RuntimeError("already bootstrapped")
 
@@ -506,20 +671,50 @@ class ShardedDeployment:
                     telemetry=self.telemetry,
                     trace_sample_rate=self.trace_sample_rate,
                     trace_seed=self.trace_seed,
+                    store=self._store,
+                    bootstrap_plan=self._plan,
+                    descriptors=(
+                        None if self._store is not None else self._descriptors
+                    ),
                 )
 
             return factory
 
-        for shard_id in range(self.num_shards):
-            factory = make_factory(shard_id)
+        try:
+            if self._store is not None:
+                self._plan = BootstrapPlan(
+                    self._store, 1 + alternates_per_slot
+                )
+                if self.mode == "process":
+                    # Warm the plan once, master side: the forked
+                    # children inherit the materialized caches through
+                    # copy-on-write instead of each rebuilding them.
+                    self._plan.materialize()
+            for shard_id in range(self.num_shards):
+                factory = make_factory(shard_id)
+                if self.mode == "process":
+                    worker: Any = _ProcessProxy(factory)
+                else:
+                    worker = factory()
+                self._workers.append(worker)
             if self.mode == "process":
-                worker: Any = _ProcessProxy(factory)
+                for worker in self._workers:
+                    worker.start_build(alternates_per_slot)
+                self.build_stats = [
+                    worker.finish_build() for worker in self._workers
+                ]
+                if self._plan is not None:
+                    # The children own their copies now; release the
+                    # master's so its retained footprint stays columnar.
+                    self._plan.trim()
             else:
-                worker = factory()
-            worker.build(
-                self.descriptors, alternates_per_slot=alternates_per_slot
-            )
-            self._workers.append(worker)
+                self.build_stats = [
+                    worker.build(alternates_per_slot)
+                    for worker in self._workers
+                ]
+        except BaseException:
+            self.close()
+            raise
 
     def close(self) -> None:
         """Stop process-mode workers (no-op for inline workers)."""
@@ -593,10 +788,14 @@ class ShardedDeployment:
         """
         if not self._workers:
             raise RuntimeError("bootstrap() the sharded deployment first")
-        if not self.descriptors:
+        population = self.population
+        if not population:
             raise RuntimeError("no live hosts to issue the query from")
         if origin is None:
-            origin = self._rng.choice(self.descriptors).address
+            # Same single draw as Deployment's rng.choice(alive) — choice
+            # over a sequence is one _randbelow(len) — without
+            # materializing the population as objects.
+            origin = self._address_at(self._rng.choice(range(population)))
         shard = origin % self.num_shards
         worker = self._workers[shard]
         query_id = worker.issue(origin, query, sigma)

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import List
+from typing import List, Optional
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None  # type: ignore[assignment]
 
 
 def _mix(seed: int, label: str) -> int:
@@ -28,3 +33,35 @@ def derive_rng(seed: int, label: str) -> random.Random:
 def spawn_seeds(seed: int, label: str, count: int) -> List[int]:
     """Return *count* independent integer seeds derived from *seed*/*label*."""
     return [_mix(seed, f"{label}:{index}") for index in range(count)]
+
+
+def batched_random(rng: random.Random, count: int) -> Optional["_np.ndarray"]:
+    """Draw *count* doubles from *rng* as one vectorized batch.
+
+    Returns exactly the array ``[rng.random() for _ in range(count)]``
+    would produce — bit for bit — and leaves *rng* in exactly the state
+    that loop would leave it in, so batched and scalar draws can be
+    interleaved freely on one stream. Both CPython's ``random.Random``
+    and numpy's legacy ``RandomState`` run the same MT19937 core and the
+    same 53-bit ``genrand_res53`` output function, so the batch is
+    produced by transplanting the Mersenne state into a ``RandomState``,
+    drawing, and transplanting the advanced state back.
+
+    Returns None when numpy is unavailable (callers fall back to the
+    scalar loop). This is the primitive behind the columnar population
+    sampler (:mod:`repro.core.store`).
+    """
+    if _np is None:
+        return None
+    version, internal, gauss_next = rng.getstate()
+    state = _np.random.RandomState()
+    # CPython's state tuple is 624 key words plus the stream position.
+    state.set_state(
+        ("MT19937", _np.array(internal[:624], dtype=_np.uint32), internal[624])
+    )
+    draws = state.random_sample(count)
+    _, key, position, _, _ = state.get_state()
+    rng.setstate(
+        (version, tuple(int(word) for word in key) + (int(position),), gauss_next)
+    )
+    return draws

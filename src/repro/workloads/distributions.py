@@ -19,6 +19,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.attributes import AttributeSchema, AttributeValue
 from repro.sim.deployment import ValueSampler
+from repro.util.rng import batched_random
 
 
 def _sample_categorical(
@@ -29,7 +30,18 @@ def _sample_categorical(
 
 
 def uniform_sampler(schema: AttributeSchema) -> ValueSampler:
-    """Every attribute drawn uniformly over its domain."""
+    """Every attribute drawn uniformly over its domain.
+
+    For all-numeric schemas the returned sampler also carries a
+    ``sample_batch(rng, count)`` hook: one vectorized pass producing the
+    ``(count, d)`` encoded value matrix — bit-identical, draw for draw,
+    to *count* scalar ``sampler(rng)`` calls, and leaving *rng* in the
+    same state (see :func:`repro.util.rng.batched_random`). The columnar
+    populate path (:meth:`repro.core.store.DescriptorStore.sample`) uses
+    the hook when present and falls back to the scalar loop otherwise —
+    categorical attributes interleave variable-length ``choice`` draws,
+    so they stay on the scalar path.
+    """
 
     def sampler(rng: random.Random) -> Mapping[str, AttributeValue]:
         values: Dict[str, AttributeValue] = {}
@@ -41,6 +53,25 @@ def uniform_sampler(schema: AttributeSchema) -> ValueSampler:
                     definition.lower, definition.upper
                 )
         return values
+
+    if all(not definition.is_categorical for definition in schema.definitions):
+        bounds = [
+            (definition.lower, definition.upper)
+            for definition in schema.definitions
+        ]
+
+        def sample_batch(rng: random.Random, count: int):
+            draws = batched_random(rng, count * len(bounds))
+            if draws is None:
+                return None
+            matrix = draws.reshape(count, len(bounds))
+            for dim, (lower, upper) in enumerate(bounds):
+                # rng.uniform(a, b) is a + (b - a) * rng.random(); the same
+                # affine transform on the same doubles is IEEE-identical.
+                matrix[:, dim] = lower + (upper - lower) * matrix[:, dim]
+            return matrix
+
+        sampler.sample_batch = sample_batch  # type: ignore[attr-defined]
 
     return sampler
 

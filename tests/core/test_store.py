@@ -1,0 +1,201 @@
+"""Property tests: the columnar store is exactly the object path.
+
+:mod:`repro.core.store` re-derives everything the build needs — sampled
+values, cell coordinates, packed cell keys, bootstrap buckets, and the
+match index — from numpy arrays instead of per-node objects. Its whole
+correctness obligation is *bit-identity with the object path*: the same
+seeded stream must yield the same values, the same cells, and the same
+query answers, including under add/remove churn layered on top of the
+frozen columnar base.
+"""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.index import CellIndex
+from repro.core.store import ColumnarCellIndex, DescriptorStore, store_enabled
+from repro.core.vector import HAVE_NUMPY
+from repro.util.rng import derive_rng
+from repro.workloads.distributions import uniform_sampler
+from repro.workloads.queries import random_box_query
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+
+
+def make_schema(dimensions: int, max_level: int) -> AttributeSchema:
+    return AttributeSchema.regular(
+        [numeric(f"a{i}", 0.0, 100.0) for i in range(dimensions)],
+        max_level=max_level,
+    )
+
+
+def scalar_population(schema, sampler, rng, count):
+    """The object populate loop the vectorized pass must replicate."""
+    return [
+        NodeDescriptor.build(address, schema, sampler(rng))
+        for address in range(count)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dimensions=st.integers(1, 5),
+    max_level=st.integers(1, 4),
+    population=st.integers(1, 80),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_sampled_store_is_bit_identical_to_object_loop(
+    dimensions, max_level, population, seed
+):
+    schema = make_schema(dimensions, max_level)
+    sampler = uniform_sampler(schema)
+
+    batched_rng = derive_rng(seed, "population")
+    store = DescriptorStore.sample(schema, sampler, batched_rng, population)
+    assert store_enabled(schema) and store is not None
+
+    scalar_rng = derive_rng(seed, "population")
+    reference = scalar_population(schema, sampler, scalar_rng, population)
+
+    # Same stream position afterwards: interleaved populate calls stay
+    # aligned no matter which path served the earlier batches.
+    assert batched_rng.getstate() == scalar_rng.getstate()
+
+    assert len(store) == len(reference)
+    for row, expected in enumerate(reference):
+        materialized = store.descriptor(row)
+        assert materialized.address == expected.address
+        assert materialized.values == expected.values  # bit-identical floats
+        assert materialized.coordinates == expected.coordinates
+        # Interned against the same schema cache as the object path.
+        assert materialized.coordinates is expected.coordinates
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dimensions=st.integers(1, 5),
+    max_level=st.integers(1, 4),
+    population=st.integers(1, 80),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_packed_cell_keys_match_descriptor_cells(
+    dimensions, max_level, population, seed
+):
+    schema = make_schema(dimensions, max_level)
+    sampler = uniform_sampler(schema)
+    store = DescriptorStore.sample(
+        schema, sampler, derive_rng(seed, "population"), population
+    )
+
+    def pack(coordinates):
+        code = 0
+        for coordinate in coordinates:
+            code = (code << max_level) | coordinate
+        return code
+
+    for row in range(len(store)):
+        descriptor = store.descriptor(row)
+        assert int(store.cell_codes[row]) == pack(descriptor.coordinates)
+
+
+def assert_same_index(columnar: ColumnarCellIndex, reference: CellIndex):
+    """Observational equality across the whole CellIndex surface."""
+    assert len(columnar) == len(reference)
+    assert columnar.occupied_cells == reference.occupied_cells
+    by_key = lambda d: d.address
+    assert sorted(columnar.descriptors(), key=by_key) == sorted(
+        reference.descriptors(), key=by_key
+    )
+    for coordinates, members in reference.cells():
+        assert sorted(columnar.members(coordinates), key=by_key) == sorted(
+            members, key=by_key
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dimensions=st.integers(1, 4),
+    max_level=st.integers(1, 4),
+    population=st.integers(1, 50),
+    churn_ops=st.integers(0, 40),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_columnar_index_matches_object_index_under_churn(
+    dimensions, max_level, population, churn_ops, seed
+):
+    schema = make_schema(dimensions, max_level)
+    sampler = uniform_sampler(schema)
+    store = DescriptorStore.sample(
+        schema, sampler, derive_rng(seed, "population"), population
+    )
+    columnar = ColumnarCellIndex(store)
+    reference = CellIndex(schema)
+    for descriptor in store.descriptors():
+        reference.add(descriptor)
+
+    rng = random.Random(seed)
+    next_address = population
+    for _ in range(churn_ops):
+        operation = rng.random()
+        if operation < 0.35:  # join a fresh node
+            descriptor = NodeDescriptor.build(
+                next_address, schema, sampler(rng)
+            )
+            next_address += 1
+            columnar.add(descriptor)
+            reference.add(descriptor)
+        elif operation < 0.65:  # kill a (possibly absent) node
+            address = rng.randrange(next_address + 3)
+            assert columnar.discard(address) == reference.discard(address)
+        else:  # refresh an existing node with new values
+            address = rng.randrange(next_address)
+            if address in reference:
+                descriptor = NodeDescriptor.build(
+                    address, schema, sampler(rng)
+                )
+                columnar.add(descriptor)
+                reference.add(descriptor)
+
+        address = rng.randrange(next_address + 3)
+        assert (address in columnar) == (address in reference)
+        assert columnar.get(address) == reference.get(address)
+
+    assert_same_index(columnar, reference)
+    query_rng = random.Random(seed + 1)
+    for selectivity in (0.01, 0.125, 0.5, 1.0):
+        query = random_box_query(schema, selectivity, query_rng)
+        assert columnar.matching(query) == reference.matching(query)
+
+
+def test_sample_falls_back_without_batch_hook():
+    schema = make_schema(2, 3)
+
+    def plain_sampler(rng):  # no sample_batch attribute
+        return {d.name: rng.uniform(d.lower, d.upper) for d in schema.definitions}
+
+    assert (
+        DescriptorStore.sample(schema, plain_sampler, random.Random(1), 10)
+        is None
+    )
+
+
+def test_concat_matches_single_pass():
+    schema = make_schema(3, 3)
+    sampler = uniform_sampler(schema)
+    rng = derive_rng(7, "population")
+    first = DescriptorStore.sample(schema, sampler, rng, 30)
+    second = DescriptorStore.sample(
+        schema, sampler, rng, 20, base_address=30
+    )
+    combined = DescriptorStore.concat(first, second)
+
+    reference = scalar_population(
+        schema, sampler, derive_rng(7, "population"), 50
+    )
+    assert [combined.descriptor(row) for row in range(50)] == reference

@@ -81,8 +81,11 @@ def test_sharded_inline_is_bit_identical(
     assert run_engine(num_shards) == single_process_fingerprint
 
 
-def test_sharded_process_mode_is_bit_identical(single_process_fingerprint):
-    assert run_engine(2, mode="process") == single_process_fingerprint
+@pytest.mark.parametrize("num_shards", [1, 2, 3])
+def test_sharded_process_mode_is_bit_identical(
+    num_shards, single_process_fingerprint
+):
+    assert run_engine(num_shards, mode="process") == single_process_fingerprint
 
 
 def test_sharded_runs_are_repeatable():
@@ -100,6 +103,31 @@ def test_shards_partition_the_population():
         assert all(address % 3 == shard_id for address in addresses)
     counters = deployment.shard_counters()
     assert sum(entry["hosts"] for entry in counters) == 200
+    # Startup work is partitioned, not replayed: each worker consumed
+    # bootstrap draws only for the nodes it owns.
+    stats = deployment.build_stats
+    assert sum(entry["visited_nodes"] for entry in stats) == 200
+    assert all(entry["visited_nodes"] == entry["hosts"] for entry in stats)
+
+
+def test_bootstrap_failure_stops_forked_workers(monkeypatch):
+    """Regression: a failed build must not leak process-mode workers."""
+    import multiprocessing
+    import time
+
+    from repro.sim.shard import ShardWorker
+
+    def exploding_build(self, alternates_per_slot=3):
+        raise RuntimeError("injected build failure")
+
+    monkeypatch.setattr(ShardWorker, "build", exploding_build)
+    config = PAPER_PEERSIM.scaled(60)
+    with pytest.raises(RuntimeError, match="injected build failure"):
+        build_sharded_deployment(config, num_shards=2, mode="process")
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children()
 
 
 def test_cross_shard_traffic_is_accounted():
