@@ -473,16 +473,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"unknown scenario {args.scenario!r}; choose from: "
               + ", ".join(scenario_names()), file=sys.stderr)
         return 2
-    config = ChaosConfig(
-        size=args.size,
-        seed=args.seed,
-        severity=args.severity,
-        sweep=not args.no_sweep,
-        hold=args.hold,
-        recovery=args.recovery,
-        compare_static=args.compare_static,
-    )
-    report = run_chaos(args.scenario, config)
+    if args.runtime == "aio":
+        from repro.faults.live import (
+            LiveChaosConfig,
+            live_scenario_names,
+            run_live_chaos,
+        )
+
+        if args.scenario not in live_scenario_names():
+            print(f"scenario {args.scenario!r} has no live builder; "
+                  "live scenarios: " + ", ".join(live_scenario_names()),
+                  file=sys.stderr)
+            return 2
+        # The sim-scale defaults (N=256, minutes-long windows) make no
+        # sense against wall clocks: unchanged defaults map to the live
+        # config's loopback scale, explicit values pass through.
+        defaults = ChaosConfig()
+        live_defaults = LiveChaosConfig()
+        config = LiveChaosConfig(
+            size=live_defaults.size if args.size == 256 else args.size,
+            seed=args.seed,
+            severity=args.severity,
+            sweep=not args.no_sweep,
+            hold=(live_defaults.hold if args.hold == defaults.hold
+                  else args.hold),
+            recovery=(live_defaults.recovery
+                      if args.recovery == defaults.recovery
+                      else args.recovery),
+            compare_static=args.compare_static,
+        )
+        report = run_live_chaos(args.scenario, config)
+    else:
+        config = ChaosConfig(
+            size=args.size,
+            seed=args.seed,
+            severity=args.severity,
+            sweep=not args.no_sweep,
+            hold=args.hold,
+            recovery=args.recovery,
+            compare_static=args.compare_static,
+        )
+        report = run_chaos(args.scenario, config)
     print("\n".join(report.summary_lines()))
     if args.compare_static:
         adaptive = report.counters.get("spurious_timeouts", 0)
@@ -627,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--scenario", type=str, default="",
                        help="scenario name (see --list)")
+    chaos.add_argument("--runtime", choices=("sim", "aio"), default="sim",
+                       help="run the scenario on the simulator (default) or "
+                       "on a live loopback UDP overlay with socket-level "
+                       "fault injection (sizes/windows scale to seconds; "
+                       "unchanged defaults map to the live scale)")
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
     chaos.add_argument("--size", type=_positive_int, default=256,

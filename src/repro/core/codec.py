@@ -37,6 +37,7 @@ the canonical tuple with every local descriptor in the same cell.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.attributes import AttributeSchema
@@ -67,13 +68,44 @@ _TYPE_CYCLON_REQUEST = 3
 _TYPE_CYCLON_REPLY = 4
 _TYPE_VICINITY_REQUEST = 5
 _TYPE_VICINITY_REPLY = 6
+_TYPE_FRAGMENT = 7
+_TYPE_ACK = 8
 
 _KIND_RANGE = 0
 _KIND_CATEGORICAL = 1
 
+#: Bytes a fragment payload spends before the chunk: message id (i64),
+#: fragment index (u16), fragment count (u16).
+FRAGMENT_OVERHEAD = 8 + 2 + 2
+
 
 class CodecError(ValueError):
     """A frame or payload could not be decoded (corrupt, truncated, alien)."""
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One slice of a frame too large for a single datagram.
+
+    The *chunk* bytes are a contiguous slice of a complete inner frame
+    (header included); the receiver reassembles ``count`` slices of one
+    ``message_id`` in index order and decodes the joined bytes as an
+    ordinary frame. ``count == 1`` is legal — it is how the reliability
+    layer wraps small frames that want ack/retransmit semantics.
+    """
+
+    message_id: int
+    index: int
+    count: int
+    chunk: bytes
+
+
+@dataclass(frozen=True)
+class FragmentAck:
+    """Receiver-side acknowledgement of one fragment of one message."""
+
+    message_id: int
+    index: int
 
 
 class _Writer:
@@ -172,6 +204,12 @@ class _Reader:
             return self._take(length).decode("utf-8")
         except UnicodeDecodeError as error:
             raise CodecError(f"invalid UTF-8 in string field: {error}") from None
+
+    def rest(self) -> bytes:
+        """Read every remaining byte (may be empty)."""
+        chunk = self.data[self.offset:]
+        self.offset = len(self.data)
+        return chunk
 
     def done(self) -> None:
         """Require the payload to be fully consumed (no trailing bytes)."""
@@ -411,6 +449,73 @@ class Codec:
             duplicate=duplicate,
         )
 
+    def _encode_fragment(self, writer: _Writer, message: Fragment) -> None:
+        writer.i64(message.message_id)
+        writer.u16(message.index)
+        writer.u16(message.count)
+        writer.parts.append(message.chunk)
+
+    def _decode_fragment(self, reader: _Reader) -> Fragment:
+        message_id = reader.i64()
+        index = reader.u16()
+        count = reader.u16()
+        chunk = reader.rest()
+        if count == 0:
+            raise CodecError("fragment with zero count")
+        if index >= count:
+            raise CodecError(f"fragment index {index} >= count {count}")
+        if not chunk:
+            raise CodecError("fragment with empty chunk")
+        return Fragment(
+            message_id=message_id, index=index, count=count, chunk=chunk
+        )
+
+    def _encode_ack(self, writer: _Writer, message: FragmentAck) -> None:
+        writer.i64(message.message_id)
+        writer.u16(message.index)
+
+    def _decode_ack(self, reader: _Reader) -> FragmentAck:
+        return FragmentAck(message_id=reader.i64(), index=reader.u16())
+
+    def fragment(
+        self,
+        sender: Address,
+        message_id: int,
+        frame: bytes,
+        max_datagram: int,
+    ) -> List[bytes]:
+        """Slice one encoded *frame* into fragment frames ≤ *max_datagram*.
+
+        The inner frame (header and all) is cut into equal-budget chunks;
+        each chunk ships as its own :class:`Fragment` frame small enough
+        for one datagram. Raises :class:`CodecError` if the datagram cap
+        leaves no room for a chunk or the frame needs more than 65535
+        fragments (the u16 index space).
+        """
+        chunk_size = max_datagram - _HEADER.size - FRAGMENT_OVERHEAD
+        if chunk_size <= 0:
+            raise CodecError(
+                f"datagram cap {max_datagram} leaves no room for a chunk"
+            )
+        count = max(1, -(-len(frame) // chunk_size))
+        if count > 0xFFFF:
+            raise CodecError(
+                f"frame of {len(frame)} bytes needs {count} fragments "
+                f"(u16 index space allows 65535)"
+            )
+        return [
+            self.encode(
+                sender,
+                Fragment(
+                    message_id=message_id,
+                    index=index,
+                    count=count,
+                    chunk=frame[index * chunk_size:(index + 1) * chunk_size],
+                ),
+            )
+            for index in range(count)
+        ]
+
     def _encode_entries(
         self, writer: _Writer, entries: Tuple[ViewEntry, ...]
     ) -> None:
@@ -449,6 +554,8 @@ _ENCODERS: Dict[Type, Tuple[int, Callable[[Codec, _Writer, Any], None]]] = {
     CyclonReply: (_TYPE_CYCLON_REPLY, _gossip_encoder),
     VicinityRequest: (_TYPE_VICINITY_REQUEST, _gossip_encoder),
     VicinityReply: (_TYPE_VICINITY_REPLY, _gossip_encoder),
+    Fragment: (_TYPE_FRAGMENT, Codec._encode_fragment),
+    FragmentAck: (_TYPE_ACK, Codec._encode_ack),
 }
 
 _DECODERS: Dict[int, Callable[[Codec, _Reader], Any]] = {
@@ -458,4 +565,6 @@ _DECODERS: Dict[int, Callable[[Codec, _Reader], Any]] = {
     _TYPE_CYCLON_REPLY: _gossip_decoder(CyclonReply),
     _TYPE_VICINITY_REQUEST: _gossip_decoder(VicinityRequest),
     _TYPE_VICINITY_REPLY: _gossip_decoder(VicinityReply),
+    _TYPE_FRAGMENT: Codec._decode_fragment,
+    _TYPE_ACK: Codec._decode_ack,
 }

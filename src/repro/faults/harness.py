@@ -626,9 +626,24 @@ def _effective_config(scenario: str, config: ChaosConfig) -> ChaosConfig:
 
 
 def run_chaos(
-    scenario: str, config: Optional[ChaosConfig] = None
+    scenario: str,
+    config: Optional[ChaosConfig] = None,
+    runtime: str = "sim",
 ) -> ChaosReport:
-    """Run *scenario* under *config* and evaluate the four invariants."""
+    """Run *scenario* under *config* and evaluate the four invariants.
+
+    ``runtime="sim"`` (default) runs the simulated episode described
+    above; ``runtime="aio"`` delegates to
+    :func:`repro.faults.live.run_live_chaos` — the same invariants on a
+    loopback UDP overlay with socket-level fault injection (*config*
+    must then be a :class:`~repro.faults.live.LiveChaosConfig` or None).
+    """
+    if runtime == "aio":
+        from repro.faults.live import run_live_chaos
+
+        return run_live_chaos(scenario, config)
+    if runtime != "sim":
+        raise ValueError(f"unknown runtime {runtime!r} (sim or aio)")
     config = _effective_config(scenario, config or ChaosConfig())
     spec = SCENARIOS[scenario]
     severity = (

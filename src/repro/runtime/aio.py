@@ -14,6 +14,17 @@ the threaded runtime drive, behind a different
 at a time; a single process can also emulate a whole loopback overlay,
 which is what ``repro serve`` and the parity tests do.
 
+Robustness is layered under the protocol, not into it: every outgoing
+frame passes through a per-host
+:class:`~repro.runtime.reliable.ReliableChannel` (fragmentation above
+the datagram cap, optional ack/retransmit), every datagram the channel
+emits passes through the overlay's optional :class:`FaultyTransport`
+(the simulator's fault schedules judging real sockets), and each host
+supports the crash/restart lifecycle of the simulator's ``SimHost``:
+:meth:`AioHost.crash` kills the socket mid-run and bumps the host's
+*incarnation* so stale timers die, :meth:`AioHost.restart` rejoins under
+the same identity on a fresh port.
+
 Because asyncio is single-threaded, no locks are needed: every datagram
 receipt, timer callback and query completion runs on the event loop.
 
@@ -27,35 +38,42 @@ convergence/delivery parity test.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeSchema, AttributeValue
-from repro.core.codec import Codec, CodecError
+from repro.core.codec import Codec, CodecError, Fragment, FragmentAck
 from repro.core.descriptors import Address, NodeDescriptor
+from repro.core.health import HealthMonitor
 from repro.core.node import NodeConfig, ResourceNode
 from repro.core.observer import ProtocolObserver
 from repro.core.query import Query
 from repro.core.transport import TimerHandle, Transport
+from repro.faults.model import FaultSchedule
 from repro.gossip.maintenance import GossipConfig, TwoLayerMaintenance
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.runtime.reliable import ChannelMetrics, ReliableChannel, ReliableConfig
 from repro.util.rng import derive_rng
 
 #: A UDP endpoint: ``(ip, port)``.
 Endpoint = Tuple[str, int]
 
-#: Loopback UDP caps a datagram at ~64 KiB; larger frames are dropped and
-#: counted rather than raising out of the protocol code.
+#: Loopback UDP caps a datagram at ~64 KiB; larger frames fragment
+#: through the reliability layer (or are dropped and counted when
+#: fragmentation is disabled).
 MAX_DATAGRAM = 65_000
 
 
 class AsyncioTransport(Transport):
     """Per-host :class:`Transport` over a real UDP socket and loop timers.
 
-    ``send`` encodes the message with the shared codec and transmits one
-    datagram to the receiver's endpoint (looked up in the overlay
-    directory); ``now`` is the event loop's monotonic clock;
-    ``call_later``/``cancel`` map to ``loop.call_later`` handles, guarded
-    so no callback runs after the owning host closed.
+    ``send`` encodes the message with the shared codec and hands the
+    frame to the host's reliability channel (which fragments, tracks and
+    finally transmits datagrams to the receiver's endpoint); ``now`` is
+    the event loop's monotonic clock; ``call_later``/``cancel`` map to
+    ``loop.call_later`` handles, guarded so no callback runs after the
+    owning host closed *or crashed and restarted* (each timer captures
+    the host's incarnation at arm time).
     """
 
     __slots__ = ("host", "loop", "codec")
@@ -66,22 +84,13 @@ class AsyncioTransport(Transport):
         self.codec = codec
 
     def send(self, sender: Address, receiver: Address, message: object) -> None:
-        """Encode and transmit one datagram to *receiver*'s socket."""
+        """Encode *message* and hand the frame to the reliability layer."""
         host = self.host
-        endpoint = host.overlay.endpoints.get(receiver)
-        if endpoint is None or host.closed:
+        if host.closed:
             host.overlay.metrics.unknown_receiver.inc()
             return
         frame = self.codec.encode(sender, message)
-        if len(frame) > MAX_DATAGRAM or host.udp is None:
-            host.overlay.metrics.send_errors.inc()
-            return
-        try:
-            host.udp.sendto(frame, endpoint)
-        except OSError:
-            host.overlay.metrics.send_errors.inc()
-            return
-        host.overlay.metrics.datagrams_sent.inc()
+        host.channel.send_frame(receiver, frame)
 
     def now(self) -> float:
         """The event loop's monotonic clock, in seconds."""
@@ -92,9 +101,10 @@ class AsyncioTransport(Transport):
     ) -> TimerHandle:
         """Arm a wall-clock timer on the event loop."""
         host = self.host
+        incarnation = host.incarnation
 
         def guarded() -> None:
-            if not host.closed:
+            if not host.closed and host.incarnation == incarnation:
                 callback()
 
         return self.loop.call_later(max(0.0, delay), guarded)
@@ -103,6 +113,51 @@ class AsyncioTransport(Transport):
         """Cancel a ``loop.call_later`` handle (idempotent)."""
         if isinstance(handle, asyncio.TimerHandle):
             handle.cancel()
+
+
+class FaultyTransport:
+    """Datagram-level fault injector between the channels and the sockets.
+
+    The single choke point every outgoing datagram of a faulted overlay
+    passes through. Each datagram is judged by the same severity-
+    parameterized :class:`~repro.faults.model.FaultSchedule` the
+    simulator uses — drops vanish (counted), latency goes through real
+    ``loop.call_later`` holds, duplicates transmit extra copies — so the
+    scenarios of :mod:`repro.faults.scenarios` abuse real sockets with
+    the identical fault model that drives the simulation.
+    """
+
+    __slots__ = ("schedule", "rng", "loop", "metrics")
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        rng: random.Random,
+        loop: asyncio.AbstractEventLoop,
+        metrics: "_OverlayMetrics",
+    ) -> None:
+        self.schedule = schedule
+        self.rng = rng
+        self.loop = loop
+        self.metrics = metrics
+
+    def transmit(self, host: "AioHost", receiver: Address, frame: bytes) -> None:
+        """Judge one datagram and deliver the surviving (delayed) copies."""
+        delivery = self.schedule.apply(
+            host.address, receiver, frame, self.loop.time(), self.rng
+        )
+        if delivery.drop:
+            self.metrics.injected_drops.inc()
+            return
+        delays = delivery.delays
+        if len(delays) > 1:
+            self.metrics.injected_duplicates.inc(len(delays) - 1)
+        for delay in delays:
+            if delay <= 0.0:
+                host.sendto(receiver, frame)
+            else:
+                self.metrics.injected_delays.inc()
+                self.loop.call_later(delay, host.sendto, receiver, frame)
 
 
 class _NodeDatagramProtocol(asyncio.DatagramProtocol):
@@ -135,6 +190,11 @@ class _OverlayMetrics:
         "frames_rejected",
         "unknown_receiver",
         "send_errors",
+        "injected_drops",
+        "injected_delays",
+        "injected_duplicates",
+        "crashes",
+        "restarts",
     )
 
     def __init__(self, registry: MetricsRegistry) -> None:
@@ -143,6 +203,17 @@ class _OverlayMetrics:
         self.frames_rejected = registry.counter("aio.frames_rejected")
         self.unknown_receiver = registry.counter("aio.unknown_receiver")
         self.send_errors = registry.counter("aio.send_errors")
+        self.injected_drops = registry.counter(
+            "aio.datagrams_injected", effect="drop"
+        )
+        self.injected_delays = registry.counter(
+            "aio.datagrams_injected", effect="delay"
+        )
+        self.injected_duplicates = registry.counter(
+            "aio.datagrams_injected", effect="duplicate"
+        )
+        self.crashes = registry.counter("aio.host_crashes")
+        self.restarts = registry.counter("aio.host_restarts")
 
 
 class AioHost:
@@ -152,11 +223,14 @@ class AioHost:
         "overlay",
         "loop",
         "closed",
+        "incarnation",
         "udp",
         "endpoint",
         "transport",
+        "health",
         "node",
         "maintenance",
+        "channel",
         "rejected_frames",
     )
 
@@ -173,12 +247,19 @@ class AioHost:
         self.overlay = overlay
         self.loop = overlay.loop
         self.closed = False
+        #: Bumped on every crash; timers armed before the crash compare
+        #: their captured incarnation and stay dead after a restart.
+        self.incarnation = 0
         self.udp: Optional[asyncio.DatagramTransport] = None
         self.endpoint: Optional[Endpoint] = None
         self.transport = AsyncioTransport(self, overlay.codec)
+        config = node_config if node_config is not None else NodeConfig()
+        #: Per-neighbor failure-detection state, shared by the query
+        #: protocol and gossip maintenance (exactly as in ``SimHost``).
+        self.health = HealthMonitor(config.health, registry=overlay.registry)
         self.node = ResourceNode(
             descriptor, schema, self.transport,
-            config=node_config, observer=observer,
+            config=node_config, observer=observer, health=self.health,
         )
         self.maintenance: Optional[TwoLayerMaintenance] = None
         if gossip_config is not None:
@@ -187,7 +268,20 @@ class AioHost:
                 self.transport,
                 derive_rng(seed, f"runtime-host:{descriptor.address}"),
                 gossip_config,
+                registry=overlay.registry,
+                health=self.health if config.adaptive_timeouts else None,
             )
+        self.channel = ReliableChannel(
+            address=descriptor.address,
+            codec=overlay.codec,
+            config=overlay.reliable,
+            clock=self.loop.time,
+            call_later=self.transport.call_later,
+            cancel=self.transport.cancel,
+            transmit=self._transmit,
+            deliver=self._dispatch,
+            metrics=overlay.channel_metrics,
+        )
         #: Frames this host's receive loop rejected as corrupt/truncated.
         self.rejected_frames = 0
 
@@ -212,12 +306,44 @@ class AioHost:
         self.endpoint = (sock[0], sock[1])
         self.overlay.endpoints[self.address] = self.endpoint
 
+    # -- datagram path ---------------------------------------------------------
+
+    def _transmit(self, receiver: Address, frame: bytes) -> None:
+        """Channel hook: judge injected faults, then hit the wire."""
+        faults = self.overlay.faults
+        if faults is not None:
+            faults.transmit(self, receiver, frame)
+        else:
+            self.sendto(receiver, frame)
+
+    def sendto(self, receiver: Address, frame: bytes) -> None:
+        """Put one datagram on the wire to *receiver*'s current endpoint.
+
+        The endpoint is resolved at send time (not enqueue time), so a
+        datagram a fault held back still reaches a peer that crashed and
+        rejoined on a new port in the meantime.
+        """
+        if self.closed or self.udp is None:
+            return
+        endpoint = self.overlay.endpoints.get(receiver)
+        if endpoint is None:
+            self.overlay.metrics.unknown_receiver.inc()
+            return
+        try:
+            self.udp.sendto(frame, endpoint)
+        except OSError:
+            self.overlay.metrics.send_errors.inc()
+            return
+        self.overlay.metrics.datagrams_sent.inc()
+
     def on_datagram(self, data: bytes) -> None:
         """Decode one received datagram and dispatch it to the protocol.
 
         A frame that fails strict decoding — truncated, corrupt, alien
         magic, lying length — is counted and dropped; it can never crash
-        the receive loop or reach the protocol objects.
+        the receive loop or reach the protocol objects. Fragment and ack
+        frames are consumed by the reliability channel; everything else
+        goes straight up to gossip/query handling.
         """
         if self.closed:
             return
@@ -228,11 +354,23 @@ class AioHost:
             self.overlay.metrics.frames_rejected.inc()
             return
         self.overlay.metrics.datagrams_received.inc()
+        if isinstance(message, Fragment):
+            self.channel.on_fragment(sender, message)
+            return
+        if isinstance(message, FragmentAck):
+            self.channel.on_ack(sender, message)
+            return
+        self._dispatch(sender, message)
+
+    def _dispatch(self, sender: Address, message: object) -> None:
+        """Route one protocol message to gossip maintenance or the node."""
         if self.maintenance is not None and self.maintenance.handle_message(
             sender, message
         ):
             return
         self.node.handle_message(sender, message)
+
+    # -- protocol lifecycle ----------------------------------------------------
 
     def start_gossip(self, seeds: Sequence[NodeDescriptor]) -> None:
         """Seed the views and start periodic maintenance."""
@@ -245,15 +383,55 @@ class AioHost:
         """Originate a query on this host (event-loop thread only)."""
         return self.node.issue_query(query, sigma=sigma, on_complete=on_complete)
 
+    def crash(self) -> None:
+        """Kill the socket mid-run, exactly as a process crash would.
+
+        Gossip stops, every armed timer dies (the incarnation bump
+        outlives even handles asyncio has already scheduled), channel
+        state vanishes, and the endpoint leaves the directory — but the
+        node object survives for :meth:`restart`. Idempotent.
+        """
+        if self.closed:
+            return
+        self._teardown()
+        self.overlay.metrics.crashes.inc()
+
+    async def restart(self) -> None:
+        """Rejoin under the same identity after :meth:`crash`.
+
+        Mirrors the simulator's ``SimHost.restart``: in-flight query
+        state is abandoned (``node.restart()``), the routing table is
+        kept (stale but a working warm start), the channel advances its
+        message-id epoch, and the socket rebinds on a fresh port. If the
+        host gossips, maintenance resumes from the surviving views.
+        """
+        if not self.closed:
+            return
+        self.node.restart()
+        self.channel.reset()
+        self.closed = False
+        await self.open(self.overlay.bind_host)
+        if self.maintenance is not None:
+            self.maintenance.start()
+        self.overlay.metrics.restarts.inc()
+
     def close(self) -> None:
         """Stop gossip, silence timers, and close the socket (idempotent)."""
         if self.closed:
             return
+        self._teardown()
+
+    def _teardown(self) -> None:
+        """The shared crash/close path: silence everything, free the port."""
         self.closed = True
+        self.incarnation += 1
         if self.maintenance is not None:
             self.maintenance.stop()
+        self.channel.close()
         if self.udp is not None:
             self.udp.close()
+            self.udp = None
+        self.endpoint = None
         self.overlay.endpoints.pop(self.address, None)
 
 
@@ -276,6 +454,7 @@ class AioOverlay:
         observer: Optional[ProtocolObserver] = None,
         registry: Optional[MetricsRegistry] = None,
         bind_host: str = "127.0.0.1",
+        reliable: Optional[ReliableConfig] = None,
     ) -> None:
         self.schema = schema
         self.seed = seed
@@ -286,6 +465,10 @@ class AioOverlay:
         self.metrics = _OverlayMetrics(self.registry)
         self.bind_host = bind_host
         self.codec = Codec(schema)
+        self.reliable = reliable if reliable is not None else ReliableConfig()
+        self.channel_metrics = ChannelMetrics(self.registry)
+        #: Installed fault injector, or None for a clean network.
+        self.faults: Optional[FaultyTransport] = None
         self.loop = asyncio.get_running_loop()
         self.hosts: Dict[Address, AioHost] = {}
         self.endpoints: Dict[Address, Endpoint] = {}
@@ -344,6 +527,24 @@ class AioOverlay:
                 if descriptor.address != host.address
             ][:seeds_per_node]
             host.start_gossip(pool)
+
+    # -- fault injection ------------------------------------------------------
+
+    def install_faults(
+        self, schedule: FaultSchedule, rng: Optional[random.Random] = None
+    ) -> FaultyTransport:
+        """Route every outgoing datagram through *schedule* from now on."""
+        self.faults = FaultyTransport(
+            schedule,
+            rng if rng is not None else derive_rng(self.seed, "runtime-faults"),
+            self.loop,
+            self.metrics,
+        )
+        return self.faults
+
+    def clear_faults(self) -> None:
+        """Restore the clean network (already-delayed datagrams still land)."""
+        self.faults = None
 
     # -- queries --------------------------------------------------------------
 

@@ -77,6 +77,9 @@ class ServeConfig:
     request_timeout: float = 10.0
     #: Seconds the drain waits for in-flight requests before closing.
     drain_grace: float = 10.0
+    #: ``Retry-After`` hint (seconds, rounded up on the wire) attached to
+    #: 429 and 504 responses so well-behaved clients back off.
+    retry_after: float = 1.0
 
 
 class HttpError(Exception):
@@ -209,6 +212,9 @@ class HttpServer:
         )
         self._m_timeouts = self.registry.counter("http.timeouts")
         self._m_latency = self.registry.histogram("http.latency_ms")
+        #: Admission-gate queue depth, exported so /metrics shows how
+        #: full the gate is at scrape time (http_inflight).
+        self._m_inflight = self.registry.gauge("http.inflight")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -275,14 +281,15 @@ class HttpServer:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload = await self._dispatch(
+                status, payload, extra_headers = await self._dispatch(
                     client, method, path, body
                 )
                 self._m_requests.get(
                     status, self._m_requests[500]
                 ).inc()
                 await self._write_response(
-                    writer, status, payload, keep_alive=keep_alive
+                    writer, status, payload, keep_alive=keep_alive,
+                    extra_headers=extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -323,9 +330,14 @@ class HttpServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
+    def _retry_headers(self) -> Dict[str, str]:
+        """The backoff hint attached to 429/504 responses."""
+        seconds = max(1, int(-(-self.config.retry_after // 1)))
+        return {"Retry-After": str(seconds)}
+
     async def _dispatch(
         self, client: str, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             health = dict(self.service.health())
@@ -333,23 +345,38 @@ class HttpServer:
             health["inflight"] = self.inflight
             status = 503 if self.draining else 200
             health["status"] = "draining" if self.draining else "ok"
-            return status, health
+            return status, health, {}
         if path == "/metrics":
-            return 200, {"_raw": prometheus_text(self.registry.snapshot())}
+            return 200, {"_raw": prometheus_text(self.registry.snapshot())}, {}
         if path != "/query":
-            return 404, {"error": f"no such route {path!r}"}
+            return 404, {"error": f"no such route {path!r}"}, {}
         if method != "POST":
-            return 405, {"error": "POST /query"}
+            return 405, {"error": "POST /query"}, {}
         if self.draining:
             self._m_rejected_drain.inc()
-            return 503, {"error": "draining"}
+            return 503, {"error": "draining"}, self._retry_headers()
         if self.inflight >= self.config.max_pending:
             self._m_rejected_full.inc()
-            return 429, {"error": "server at capacity", "retry_after": 0.05}
+            return (
+                429,
+                {
+                    "error": "server at capacity",
+                    "retry_after": self.config.retry_after,
+                },
+                self._retry_headers(),
+            )
         if self.per_client.get(client, 0) >= self.config.per_client_limit:
             self._m_rejected_client.inc()
-            return 429, {"error": "per-client limit", "retry_after": 0.05}
+            return (
+                429,
+                {
+                    "error": "per-client limit",
+                    "retry_after": self.config.retry_after,
+                },
+                self._retry_headers(),
+            )
         self.inflight += 1
+        self._m_inflight.set(self.inflight)
         self.per_client[client] = self.per_client.get(client, 0) + 1
         self._idle.clear()
         started = time.perf_counter()
@@ -364,17 +391,18 @@ class HttpServer:
                 self.service.execute(payload),
                 timeout=self.config.request_timeout,
             )
-            return 200, result
+            return 200, result, {}
         except asyncio.TimeoutError:
             self._m_timeouts.inc()
-            return 504, {"error": "query timed out"}
+            return 504, {"error": "query timed out"}, self._retry_headers()
         except HttpError as exc:
-            return exc.status, {"error": exc.detail}
+            return exc.status, {"error": exc.detail}, {}
         except Exception as exc:  # noqa: BLE001 - a request must not kill the server
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
         finally:
             self._m_latency.observe((time.perf_counter() - started) * 1000.0)
             self.inflight -= 1
+            self._m_inflight.set(self.inflight)
             remaining = self.per_client.get(client, 1) - 1
             if remaining <= 0:
                 self.per_client.pop(client, None)
@@ -389,6 +417,7 @@ class HttpServer:
         status: int,
         payload: Dict[str, Any],
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if "_raw" in payload:
             body = payload["_raw"].encode()
@@ -397,11 +426,16 @@ class HttpServer:
             body = json.dumps(payload).encode()
             content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -440,8 +474,14 @@ async def request_on_connection(
     path: str,
     body: Optional[Dict[str, Any]] = None,
     keep_alive: bool = True,
-) -> Tuple[int, Any]:
-    """Issue one request on an already-open connection (keep-alive)."""
+    return_headers: bool = False,
+) -> Any:
+    """Issue one request on an already-open connection (keep-alive).
+
+    Returns ``(status, parsed_body)``, or ``(status, parsed_body,
+    headers)`` with lower-cased header names when *return_headers* is
+    set (tests assert on ``Retry-After`` and friends).
+    """
     raw = json.dumps(body).encode() if body is not None else b""
     head = (
         f"{method} {path} HTTP/1.1\r\n"
@@ -465,8 +505,12 @@ async def request_on_connection(
     length = int(headers.get("content-length", "0") or "0")
     payload = await reader.readexactly(length) if length else b""
     if headers.get("content-type", "").startswith("application/json"):
-        return status, json.loads(payload or b"{}")
-    return status, payload.decode()
+        parsed: Any = json.loads(payload or b"{}")
+    else:
+        parsed = payload.decode()
+    if return_headers:
+        return status, parsed, headers
+    return status, parsed
 
 
 async def serve_overlay(

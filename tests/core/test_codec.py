@@ -8,7 +8,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.attributes import AttributeSchema, categorical, numeric
-from repro.core.codec import MAGIC, VERSION, Codec, CodecError, _HEADER
+from repro.core.codec import (
+    FRAGMENT_OVERHEAD,
+    MAGIC,
+    VERSION,
+    Codec,
+    CodecError,
+    Fragment,
+    FragmentAck,
+    _HEADER,
+)
 from repro.core.descriptors import NodeDescriptor
 from repro.core.messages import QueryMessage, ReplyMessage
 from repro.core.query import CategoricalSet, Query, ValueRange
@@ -254,3 +263,128 @@ class TestRejection:
     def test_unencodable_object_raises(self):
         with pytest.raises(CodecError, match="unencodable"):
             CODEC.encode(0, object())
+
+
+message_ids = st.integers(min_value=-(2**62), max_value=2**62)
+
+
+@st.composite
+def fragments(draw):
+    """Arbitrary well-formed fragments (index < count, non-empty chunk)."""
+    count = draw(st.integers(min_value=1, max_value=0xFFFF))
+    return Fragment(
+        message_id=draw(message_ids),
+        index=draw(st.integers(min_value=0, max_value=count - 1)),
+        count=count,
+        chunk=draw(st.binary(min_size=1, max_size=256)),
+    )
+
+
+class TestFragmentRoundTrips:
+    @given(sender=addresses, message=fragments())
+    @settings(max_examples=200, deadline=None)
+    def test_fragment(self, sender, message):
+        got_sender, got = roundtrip(sender, message)
+        assert got_sender == sender
+        assert got == message
+        assert got.chunk == message.chunk  # bytes, bit-for-bit
+
+    @given(
+        sender=addresses,
+        message_id=message_ids,
+        index=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ack(self, sender, message_id, index):
+        got_sender, got = roundtrip(
+            sender, FragmentAck(message_id=message_id, index=index)
+        )
+        assert got_sender == sender
+        assert got == FragmentAck(message_id=message_id, index=index)
+
+    @given(
+        payload=st.binary(min_size=1, max_size=4096),
+        max_datagram=st.integers(
+            min_value=_HEADER.size + FRAGMENT_OVERHEAD + 1, max_value=512
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fragmentation_reassembles_bit_identically(
+        self, payload, max_datagram
+    ):
+        """fragment() slices any frame so the joined chunks restore it."""
+        inner = CODEC.encode(
+            5, ReplyMessage(query_id=(5, 1), sender=5, matching=())
+        )
+        inner += b""  # the inner frame itself is what gets sliced
+        datagrams = CODEC.fragment(5, 42, payload, max_datagram)
+        assert all(len(d) <= max_datagram for d in datagrams)
+        pieces = {}
+        count = None
+        for datagram in datagrams:
+            sender, frag = CODEC.decode(datagram)
+            assert sender == 5
+            assert isinstance(frag, Fragment)
+            assert frag.message_id == 42
+            count = frag.count
+            pieces[frag.index] = frag.chunk
+        assert len(pieces) == count == len(datagrams)
+        joined = b"".join(pieces[i] for i in range(count))
+        assert joined == payload
+
+    def test_fragment_cap_too_small_raises(self):
+        with pytest.raises(CodecError, match="no room"):
+            CODEC.fragment(1, 1, b"x" * 100, _HEADER.size + FRAGMENT_OVERHEAD)
+
+    def test_fragment_count_overflow_raises(self):
+        cap = _HEADER.size + FRAGMENT_OVERHEAD + 1  # one byte per fragment
+        with pytest.raises(CodecError, match="65535"):
+            CODEC.fragment(1, 1, b"x" * 0x10000, cap)
+
+
+class TestFragmentRejection:
+    def fragment_frame(self, **overrides):
+        fields = dict(message_id=9, index=0, count=2, chunk=b"abc")
+        fields.update(overrides)
+        return CODEC.encode(4, Fragment(**fields))
+
+    def test_every_truncation_is_rejected(self):
+        frame = self.fragment_frame()
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                CODEC.decode(frame[:cut])
+
+    def test_every_ack_truncation_is_rejected(self):
+        frame = CODEC.encode(4, FragmentAck(message_id=9, index=1))
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                CODEC.decode(frame[:cut])
+
+    def test_zero_count_is_rejected(self):
+        # Hand-build the payload: encode() would happily emit count=0 but
+        # a hostile peer can too, and decode must refuse it.
+        payload = struct.pack(">qHH", 9, 0, 0) + b"abc"
+        frame = _HEADER.pack(MAGIC, VERSION, 7, 4, len(payload)) + payload
+        with pytest.raises(CodecError, match="zero count"):
+            CODEC.decode(frame)
+
+    def test_index_beyond_count_is_rejected(self):
+        payload = struct.pack(">qHH", 9, 3, 2) + b"abc"
+        frame = _HEADER.pack(MAGIC, VERSION, 7, 4, len(payload)) + payload
+        with pytest.raises(CodecError, match="index"):
+            CODEC.decode(frame)
+
+    def test_empty_chunk_is_rejected(self):
+        payload = struct.pack(">qHH", 9, 0, 2)
+        frame = _HEADER.pack(MAGIC, VERSION, 7, 4, len(payload)) + payload
+        with pytest.raises(CodecError, match="empty chunk"):
+            CODEC.decode(frame)
+
+    @given(data=st.binary(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_random_fragment_payloads_never_crash(self, data):
+        frame = _HEADER.pack(MAGIC, VERSION, 7, 4, len(data)) + data
+        try:
+            CODEC.decode(frame)
+        except CodecError:
+            pass  # the only acceptable failure mode

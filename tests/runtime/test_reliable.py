@@ -1,0 +1,432 @@
+"""Unit tests for the reliability layer (fragmentation, ack, bounds).
+
+Every test drives a :class:`ReliableChannel` with a fake clock and a
+fake timer wheel — no sockets, no event loop — so retransmission
+backoff, TTL eviction and duplicate suppression are exercised
+deterministically. Two harnesses wired back-to-back form a loopback
+"network" whose loss and reordering the test controls explicitly.
+"""
+
+import logging
+
+import pytest
+
+from repro.core.attributes import AttributeSchema, numeric
+from repro.core.codec import Codec, Fragment, FragmentAck
+from repro.core.messages import ReplyMessage
+from repro.core.descriptors import NodeDescriptor
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.reliable import (
+    ChannelMetrics,
+    ReliableChannel,
+    ReliableConfig,
+)
+
+SCHEMA = AttributeSchema.regular(
+    [numeric("cpu", 0, 100), numeric("mem", 0, 100)], max_level=3
+)
+CODEC = Codec(SCHEMA)
+
+
+def big_reply(sender=3, descriptors=600):
+    """A reply whose encoded frame far exceeds a small datagram cap."""
+    matching = tuple(
+        NodeDescriptor.from_numeric(i, SCHEMA, (float(i % 100), 1.0))
+        for i in range(descriptors)
+    )
+    return ReplyMessage(query_id=(sender, 1), sender=sender, matching=matching)
+
+
+class Harness:
+    """One channel plus fake clock, fake timers and capture buffers."""
+
+    def __init__(self, config, address=1):
+        self.now = 0.0
+        self.timers = {}
+        self.sent = []
+        self.delivered = []
+        self._next_timer = 0
+        self.registry = MetricsRegistry()
+        self.metrics = ChannelMetrics(self.registry)
+        self.channel = ReliableChannel(
+            address=address,
+            codec=CODEC,
+            config=config,
+            clock=lambda: self.now,
+            call_later=self._call_later,
+            cancel=self._cancel,
+            transmit=lambda receiver, frame: self.sent.append(
+                (receiver, frame)
+            ),
+            deliver=lambda sender, message: self.delivered.append(
+                (sender, message)
+            ),
+            metrics=self.metrics,
+        )
+
+    def _call_later(self, delay, callback):
+        handle = self._next_timer
+        self._next_timer += 1
+        self.timers[handle] = (self.now + delay, callback)
+        return handle
+
+    def _cancel(self, handle):
+        self.timers.pop(handle, None)
+
+    def advance(self, dt):
+        """Advance the clock, firing due timers in order."""
+        target = self.now + dt
+        while True:
+            due = [
+                (at, handle)
+                for handle, (at, _) in self.timers.items()
+                if at <= target
+            ]
+            if not due:
+                break
+            at, handle = min(due)
+            self.now = at
+            _, callback = self.timers.pop(handle)
+            callback()
+        self.now = target
+
+    def drain_sent(self):
+        frames = self.sent
+        self.sent = []
+        return frames
+
+    def feed(self, frames):
+        """Feed raw frames into this channel as if received off the wire."""
+        for _, frame in frames:
+            sender, message = CODEC.decode(frame)
+            if isinstance(message, Fragment):
+                self.channel.on_fragment(sender, message)
+            elif isinstance(message, FragmentAck):
+                self.channel.on_ack(sender, message)
+            else:
+                self.delivered.append((sender, message))
+
+
+class TestFastPath:
+    def test_small_frame_without_ack_is_untouched(self):
+        h = Harness(ReliableConfig())
+        frame = CODEC.encode(1, big_reply(descriptors=2))
+        h.channel.send_frame(9, frame)
+        assert h.drain_sent() == [(9, frame)]  # byte-identical passthrough
+        assert h.metrics.fragments_sent.value == 0
+
+
+class TestOversizeDrop:
+    """S1: an oversized frame with fragmentation off must be *visible*."""
+
+    def test_drop_is_counted_under_a_reason_label(self):
+        h = Harness(ReliableConfig(max_datagram=256, fragment=False))
+        h.channel.send_frame(9, CODEC.encode(1, big_reply()))
+        assert h.sent == []
+        assert h.metrics.frames_dropped_oversize.value == 1
+        # The label is part of the contract: dashboards key on it.
+        counters = h.registry.snapshot()["counters"]
+        assert counters["runtime.frames_dropped{reason=oversize}"] == 1
+
+    def test_warning_is_logged_exactly_once(self, caplog):
+        h = Harness(ReliableConfig(max_datagram=256, fragment=False))
+        frame = CODEC.encode(1, big_reply())
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.reliable"):
+            h.channel.send_frame(9, frame)
+            h.channel.send_frame(9, frame)
+        drops = [
+            record for record in caplog.records
+            if "fragmentation is disabled" in record.getMessage()
+        ]
+        assert len(drops) == 1
+        assert h.metrics.frames_dropped_oversize.value == 2
+
+
+class TestFragmentation:
+    def test_large_frame_round_trips_bit_identically(self):
+        config = ReliableConfig(max_datagram=512)
+        sender, receiver = Harness(config, address=1), Harness(
+            config, address=2
+        )
+        message = big_reply()
+        frame = CODEC.encode(1, message)
+        assert len(frame) > config.max_datagram
+        sender.channel.send_frame(2, frame)
+        datagrams = sender.drain_sent()
+        assert len(datagrams) > 1
+        assert all(len(f) <= config.max_datagram for _, f in datagrams)
+        receiver.feed(datagrams)
+        assert receiver.delivered == [(1, message)]
+        assert receiver.metrics.reassembled.value == 1
+        assert receiver.channel.pending_reassembly == 0
+        assert receiver.channel.buffered_bytes == 0
+
+    def test_out_of_order_fragments_reassemble(self):
+        config = ReliableConfig(max_datagram=512)
+        sender, receiver = Harness(config, 1), Harness(config, 2)
+        message = big_reply()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        datagrams = sender.drain_sent()
+        receiver.feed(list(reversed(datagrams)))
+        assert receiver.delivered == [(1, message)]
+
+    def test_duplicate_fragments_are_suppressed(self):
+        config = ReliableConfig(max_datagram=512)
+        sender, receiver = Harness(config, 1), Harness(config, 2)
+        message = big_reply()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        datagrams = sender.drain_sent()
+        # Every fragment twice, interleaved; then the whole message again.
+        receiver.feed([d for pair in zip(datagrams, datagrams) for d in pair])
+        receiver.feed(datagrams)
+        assert receiver.delivered == [(1, message)]
+        assert receiver.metrics.duplicates_suppressed.value > 0
+        assert receiver.channel.pending_reassembly == 0
+        assert receiver.channel.buffered_bytes == 0
+
+    def test_count_mismatch_rejects_the_stream(self):
+        config = ReliableConfig(max_datagram=512)
+        receiver = Harness(config, 2)
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=0, count=3, chunk=b"abc")
+        )
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=1, count=4, chunk=b"def")
+        )
+        assert receiver.metrics.reassembly_rejected.value == 1
+        assert receiver.channel.pending_reassembly == 0
+        assert receiver.channel.buffered_bytes == 0
+
+    def test_garbage_reassembly_is_rejected_not_crashed(self):
+        receiver = Harness(ReliableConfig(max_datagram=512), 2)
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=5, index=0, count=2, chunk=b"\x00" * 10)
+        )
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=5, index=1, count=2, chunk=b"\xff" * 10)
+        )
+        assert receiver.delivered == []
+        assert receiver.metrics.reassembly_rejected.value == 1
+        assert receiver.channel.buffered_bytes == 0
+
+    def test_nested_fragment_frames_are_rejected(self):
+        # A "message" that reassembles into a Fragment frame is hostile:
+        # a well-behaved sender never nests framing.
+        receiver = Harness(ReliableConfig(max_datagram=512), 2)
+        inner = CODEC.encode(
+            7, Fragment(message_id=1, index=0, count=1, chunk=b"x")
+        )
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=6, index=0, count=1, chunk=inner)
+        )
+        assert receiver.delivered == []
+        assert receiver.metrics.reassembly_rejected.value == 1
+
+    def test_alien_ack_ids_are_ignored(self):
+        h = Harness(ReliableConfig(ack=True), 1)
+        h.channel.on_ack(9, FragmentAck(message_id=12345, index=0))
+        assert h.channel.pending_outbound == 0
+
+
+class TestReassemblyBounds:
+    def test_ttl_evicts_stale_buffers(self):
+        config = ReliableConfig(max_datagram=512, reassembly_ttl=1.0)
+        receiver = Harness(config, 2)
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=0, count=2, chunk=b"abc")
+        )
+        assert receiver.channel.pending_reassembly == 1
+        receiver.now += 2.0
+        receiver.channel.expire(receiver.now)
+        assert receiver.channel.pending_reassembly == 0
+        assert receiver.channel.buffered_bytes == 0
+        assert receiver.metrics.reassembly_evicted_ttl.value == 1
+
+    def test_incoming_fragment_triggers_lazy_expiry(self):
+        config = ReliableConfig(max_datagram=512, reassembly_ttl=1.0)
+        receiver = Harness(config, 2)
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=0, count=2, chunk=b"abc")
+        )
+        receiver.now += 2.0
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=2, index=0, count=2, chunk=b"def")
+        )
+        assert receiver.metrics.reassembly_evicted_ttl.value == 1
+        assert receiver.channel.pending_reassembly == 1  # only the fresh one
+
+    def test_buffer_capacity_evicts_oldest(self):
+        config = ReliableConfig(max_datagram=512, max_reassembly_buffers=2)
+        receiver = Harness(config, 2)
+        for message_id in (1, 2, 3):
+            receiver.channel.on_fragment(
+                7,
+                Fragment(
+                    message_id=message_id, index=0, count=2, chunk=b"abc"
+                ),
+            )
+        assert receiver.channel.pending_reassembly == 2
+        assert receiver.metrics.reassembly_evicted_capacity.value == 1
+        # Message 1 (the oldest) is the one gone: completing it now starts
+        # a fresh buffer rather than delivering.
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=1, count=2, chunk=b"def")
+        )
+        assert receiver.delivered == []
+
+    def test_byte_bound_evicts_even_the_current_message(self):
+        config = ReliableConfig(max_datagram=512, max_reassembly_bytes=100)
+        receiver = Harness(config, 2)
+        receiver.channel.on_fragment(
+            7, Fragment(message_id=1, index=0, count=2, chunk=b"x" * 200)
+        )
+        assert receiver.channel.pending_reassembly == 0
+        assert receiver.channel.buffered_bytes == 0
+        assert receiver.metrics.reassembly_evicted_capacity.value == 1
+
+    def test_seen_lru_is_bounded(self):
+        config = ReliableConfig(max_datagram=512, seen_history=4)
+        sender, receiver = Harness(config, 1), Harness(config, 2)
+        for _ in range(10):
+            sender.channel.send_frame(2, CODEC.encode(1, big_reply()))
+        receiver.feed(sender.drain_sent())
+        assert len(receiver.delivered) == 10
+        assert len(receiver.channel._seen) <= 4
+
+
+class TestAckRetransmit:
+    CONFIG = ReliableConfig(
+        max_datagram=512, ack=True, max_retries=3,
+        initial_rtt=0.1, rto_min=0.05, rto_max=10.0,
+    )
+
+    def test_acked_message_completes_and_samples_rtt(self):
+        sender, receiver = Harness(self.CONFIG, 1), Harness(self.CONFIG, 2)
+        message = big_reply()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        assert sender.channel.pending_outbound == 1
+        datagrams = sender.drain_sent()
+        sender.now = receiver.now = 0.02
+        receiver.feed(datagrams)
+        assert receiver.delivered == [(1, message)]
+        acks = receiver.drain_sent()
+        assert len(acks) == len(datagrams)
+        sender.feed(acks)
+        assert sender.channel.pending_outbound == 0
+        assert sender.timers == {}  # retransmit timer cancelled
+        # Karn: the unretransmitted exchange produced a genuine sample.
+        assert sender.channel._estimators[2].samples == 1
+
+    def test_small_acked_frame_travels_as_single_fragment(self):
+        sender, receiver = Harness(self.CONFIG, 1), Harness(self.CONFIG, 2)
+        message = big_reply(descriptors=1)
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        datagrams = sender.drain_sent()
+        assert len(datagrams) == 1
+        _, frag = CODEC.decode(datagrams[0][1])
+        assert isinstance(frag, Fragment) and frag.count == 1
+        receiver.feed(datagrams)
+        assert receiver.delivered == [(1, message)]
+
+    def test_lost_fragments_are_retransmitted_until_acked(self):
+        sender, receiver = Harness(self.CONFIG, 1), Harness(self.CONFIG, 2)
+        message = big_reply()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        first_round = sender.drain_sent()
+        # Deliver all but the last fragment; ack what arrived.
+        receiver.feed(first_round[:-1])
+        sender.feed(receiver.drain_sent())
+        assert receiver.delivered == []
+        # The retransmit timer fires and resends only the missing one.
+        (fire_at, _), = sender.timers.values()
+        sender.advance(fire_at - sender.now + 1e-9)
+        retry = sender.drain_sent()
+        assert retry == [first_round[-1]]
+        assert sender.metrics.retransmits.value == 1
+        receiver.feed(retry)
+        sender.feed(receiver.drain_sent())
+        assert receiver.delivered == [(1, message)]
+        assert sender.channel.pending_outbound == 0
+
+    def test_retransmit_backoff_doubles(self):
+        sender = Harness(self.CONFIG, 1)
+        sender.channel.send_frame(2, CODEC.encode(1, big_reply(descriptors=1)))
+        sender.drain_sent()
+        gaps = []
+        last = 0.0
+        for _ in range(3):
+            (fire_at, _), = sender.timers.values()
+            gaps.append(fire_at - last)
+            last = fire_at
+            sender.advance(fire_at - sender.now + 1e-9)
+            sender.drain_sent()
+        assert gaps[1] > gaps[0]
+        assert gaps[2] > gaps[1]
+
+    def test_gives_up_after_capped_retries(self):
+        sender = Harness(self.CONFIG, 1)
+        sender.channel.send_frame(2, CODEC.encode(1, big_reply(descriptors=1)))
+        sender.drain_sent()
+        sender.advance(1000.0)
+        assert sender.channel.pending_outbound == 0
+        assert sender.metrics.gave_up.value == 1
+        assert sender.metrics.retransmits.value == self.CONFIG.max_retries
+        assert sender.timers == {}
+
+    def test_retransmitted_exchange_takes_no_rtt_sample(self):
+        sender, receiver = Harness(self.CONFIG, 1), Harness(self.CONFIG, 2)
+        sender.channel.send_frame(2, CODEC.encode(1, big_reply(descriptors=1)))
+        first = sender.drain_sent()
+        (fire_at, _), = sender.timers.values()
+        sender.advance(fire_at - sender.now + 1e-9)  # exactly one retransmit
+        retry = sender.drain_sent()
+        assert retry
+        receiver.feed(first)
+        sender.feed(receiver.drain_sent())
+        assert sender.channel.pending_outbound == 0
+        # Karn rule: the ambiguous (retransmitted) exchange is not sampled.
+        assert sender.channel._estimators[2].samples == 0
+
+
+class TestLifecycle:
+    def test_close_cancels_timers_and_clears_state(self):
+        config = ReliableConfig(max_datagram=512, ack=True)
+        h = Harness(config, 1)
+        h.channel.send_frame(2, CODEC.encode(1, big_reply()))
+        h.channel.on_fragment(
+            7, Fragment(message_id=1, index=0, count=2, chunk=b"abc")
+        )
+        assert h.timers and h.channel.pending_outbound == 1
+        h.channel.close()
+        assert h.timers == {}
+        assert h.channel.pending_outbound == 0
+        assert h.channel.pending_reassembly == 0
+        assert h.channel.buffered_bytes == 0
+
+    def test_reset_advances_the_epoch(self):
+        config = ReliableConfig(max_datagram=512)
+        h = Harness(config, 1)
+        h.channel.send_frame(2, CODEC.encode(1, big_reply()))
+        before = {
+            CODEC.decode(f)[1].message_id for _, f in h.drain_sent()
+        }
+        h.channel.reset()
+        h.channel.send_frame(2, CODEC.encode(1, big_reply()))
+        after = {
+            CODEC.decode(f)[1].message_id for _, f in h.drain_sent()
+        }
+        assert before.isdisjoint(after)
+
+    def test_restarted_sender_is_not_deduplicated_as_stale(self):
+        # A peer that completed message ids from epoch 0 must still accept
+        # the restarted sender's epoch-1 ids (the whole point of epochs).
+        config = ReliableConfig(max_datagram=512)
+        sender, receiver = Harness(config, 1), Harness(config, 2)
+        message = big_reply()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        receiver.feed(sender.drain_sent())
+        sender.channel.reset()
+        sender.channel.send_frame(2, CODEC.encode(1, message))
+        receiver.feed(sender.drain_sent())
+        assert receiver.delivered == [(1, message), (1, message)]
+        assert receiver.metrics.duplicates_suppressed.value == 0

@@ -21,6 +21,7 @@ from repro.server import (
     ServeConfig,
     http_request,
     query_from_payload,
+    request_on_connection,
     serve_overlay,
 )
 from repro.workloads.distributions import uniform_sampler
@@ -238,6 +239,124 @@ class TestBackpressure:
         assert inflight == 0
 
 
+class TestRetryAfter:
+    """429 and 504 responses must carry a Retry-After header (S2)."""
+
+    @staticmethod
+    async def _raw_request(port, method="POST", path="/query", body=None):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await request_on_connection(
+                reader, writer, method, path, body if body is not None else {},
+                keep_alive=False, return_headers=True,
+            )
+        finally:
+            writer.close()
+
+    def test_queue_full_429_has_retry_after(self):
+        async def scenario():
+            service = _GatedService()
+            server = await _start(
+                service, max_pending=1, per_client_limit=10, retry_after=2.5
+            )
+            try:
+                blocked = asyncio.create_task(http_request(
+                    "127.0.0.1", server.port, "POST", "/query", {}
+                ))
+                while service.calls < 1:
+                    await asyncio.sleep(0.01)
+                status, _, headers = await self._raw_request(server.port)
+                service.gate.set()
+                await blocked
+                return status, headers
+            finally:
+                await server.close()
+
+        status, headers = asyncio.run(scenario())
+        assert status == 429
+        # Retry-After is integer seconds, rounded up from the config.
+        assert headers["retry-after"] == "3"
+
+    def test_per_client_429_has_retry_after(self):
+        async def scenario():
+            service = _GatedService()
+            server = await _start(
+                service, max_pending=10, per_client_limit=1
+            )
+            try:
+                blocked = asyncio.create_task(http_request(
+                    "127.0.0.1", server.port, "POST", "/query", {}
+                ))
+                while service.calls < 1:
+                    await asyncio.sleep(0.01)
+                status, _, headers = await self._raw_request(server.port)
+                service.gate.set()
+                await blocked
+                return status, headers
+            finally:
+                await server.close()
+
+        status, headers = asyncio.run(scenario())
+        assert status == 429
+        assert headers["retry-after"] == "1"
+
+    def test_timeout_504_has_retry_after(self):
+        async def scenario():
+            service = _GatedService()  # never released: guaranteed timeout
+            server = await _start(service, request_timeout=0.05)
+            try:
+                return await self._raw_request(server.port)
+            finally:
+                await server.close()
+
+        status, _, headers = asyncio.run(scenario())
+        assert status == 504
+        assert headers["retry-after"] == "1"
+
+    def test_success_has_no_retry_after(self):
+        async def scenario():
+            service = _GatedService()
+            service.gate.set()
+            server = await _start(service)
+            try:
+                return await self._raw_request(server.port)
+            finally:
+                await server.close()
+
+        status, _, headers = asyncio.run(scenario())
+        assert status == 200
+        assert "retry-after" not in headers
+
+    def test_metrics_export_admission_queue_depth(self):
+        async def scenario():
+            service = _GatedService()
+            server = await _start(service)
+            try:
+                blocked = [
+                    asyncio.create_task(http_request(
+                        "127.0.0.1", server.port, "POST", "/query", {}
+                    ))
+                    for _ in range(2)
+                ]
+                while service.calls < 2:
+                    await asyncio.sleep(0.01)
+                _, busy = await http_request(
+                    "127.0.0.1", server.port, "GET", "/metrics"
+                )
+                service.gate.set()
+                await asyncio.gather(*blocked)
+                _, idle = await http_request(
+                    "127.0.0.1", server.port, "GET", "/metrics"
+                )
+                return busy, idle
+            finally:
+                await server.close()
+
+        busy, idle = asyncio.run(scenario())
+        assert "http_inflight 2" in busy
+        assert "http_inflight 0" in idle
+
+
 class TestDrain:
     def test_drain_rejects_new_work_and_waits_for_inflight(self):
         async def scenario():
@@ -283,6 +402,79 @@ class TestDrain:
         assert health["status"] == "draining"
         assert inflight_status == 200  # admitted work finished during drain
         assert refused  # listener is closed after the drain
+
+
+class TestDrainUnderLoss:
+    """S4: SIGTERM drain with in-flight queries over a lossy transport.
+
+    Every admitted request must resolve deterministically — a real
+    answer, a 503 (drain), or a 504 (timeout) — and the drain itself
+    must finish; no request may hang on a future the drain abandoned.
+    """
+
+    def test_sigterm_drains_cleanly_with_injected_loss(self, schema):
+        import os
+        import signal
+
+        from repro.faults.model import FaultSchedule, LinkLossFault
+        from repro.util.rng import derive_rng
+
+        async def scenario():
+            registry = MetricsRegistry()
+            async with AioOverlay(
+                schema, seed=61, registry=registry
+            ) as overlay:
+                await overlay.populate(uniform_sampler(schema), 24)
+                overlay.bootstrap()
+                overlay.install_faults(
+                    FaultSchedule().add(LinkLossFault({}, default=0.2)),
+                    derive_rng(61, "drain-test"),
+                )
+                server = await serve_overlay(
+                    overlay,
+                    ServeConfig(
+                        port=0, request_timeout=2.0, drain_grace=8.0,
+                        max_pending=16, per_client_limit=16,
+                    ),
+                    registry,
+                )
+                server.install_signal_handlers()
+                try:
+                    requests = [
+                        asyncio.create_task(http_request(
+                            "127.0.0.1", server.port, "POST", "/query",
+                            {"constraints": {"cpu": [0, None]}},
+                        ))
+                        for _ in range(6)
+                    ]
+                    while server.inflight == 0:
+                        await asyncio.sleep(0.005)
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    # Every request resolves within a hard bound: no
+                    # request may outlive the drain as a hung future.
+                    statuses = [
+                        status for status, _ in await asyncio.wait_for(
+                            asyncio.gather(*requests), timeout=15.0
+                        )
+                    ]
+                    while server._server is not None:
+                        await asyncio.sleep(0.02)
+                    refused = False
+                    try:
+                        await http_request(
+                            "127.0.0.1", server.port, "GET", "/healthz"
+                        )
+                    except (ConnectionError, OSError):
+                        refused = True
+                    return statuses, refused, server.inflight
+                finally:
+                    await server.close()
+
+        statuses, refused, inflight = asyncio.run(scenario())
+        assert len(statuses) == 6
+        assert all(status in (200, 503, 504) for status in statuses)
+        assert refused  # the listener really closed after the drain
+        assert inflight == 0
 
 
 class TestServeBenchmark:
